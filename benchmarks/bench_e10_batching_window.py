@@ -1,0 +1,39 @@
+"""Bench E10 — batching window vs. latency/privacy/cost (extension).
+
+Regenerates the E10 table and times a full service run at a mid-size
+window.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import ProtectionSetting
+from repro.core.system import OpaqueSystem
+from repro.experiments import e10_batching_window
+from repro.network.generators import grid_network
+from repro.service.simulator import BatchingObfuscationService, poisson_arrivals
+from repro.workloads.queries import hotspot_queries, requests_from_queries
+
+
+def test_e10_table(benchmark, record_result):
+    result = benchmark.pedantic(e10_batching_window.run, rounds=1, iterations=1)
+    record_result(result)
+    latencies = result.column("mean_latency_s")
+    breaches = result.column("mean_breach")
+    assert latencies == sorted(latencies)
+    assert breaches == sorted(breaches, reverse=True)
+    assert result.rows[-1]["settled_nodes"] <= result.rows[0]["settled_nodes"]
+
+
+def test_e10_service_run_time(benchmark):
+    network = grid_network(30, 30, perturbation=0.1, seed=10)
+    queries = hotspot_queries(network, 32, num_hotspots=2, seed=10)
+    requests = requests_from_queries(queries, ProtectionSetting(3, 3))
+    arrivals = poisson_arrivals(requests, rate=2.0, seed=10)
+
+    def run():
+        system = OpaqueSystem(network, mode="shared", seed=10)
+        service = BatchingObfuscationService(system, window=2.0)
+        return service.run(arrivals)
+
+    _results, report = benchmark(run)
+    assert len(report.latencies_by_user) == 32

@@ -1,0 +1,34 @@
+"""Bench E11 — (f_S, f_T) factorization cost at fixed anonymity.
+
+Regenerates the E11 table and times the planner (it must be cheap enough
+to run per request).
+"""
+
+from __future__ import annotations
+
+from repro.core.planner import plan_protection
+from repro.core.query import PathQuery
+from repro.experiments import e11_protection_sizing
+from repro.network.generators import grid_network
+
+
+def test_e11_table(benchmark, record_result):
+    result = benchmark.pedantic(e11_protection_sizing.run, rounds=1, iterations=1)
+    record_result(result)
+    settled = result.column("measured_settled")
+    # Cost must grow monotonically as the anonymity product shifts from
+    # the destination side to the source side.
+    assert settled == sorted(settled)
+    # The planner's top pick must be the measured-cheapest split.
+    best_row = min(result.rows, key=lambda r: r["measured_settled"])
+    assert best_row["planner_rank"] == 1
+
+
+def test_e11_planner_time(benchmark):
+    network = grid_network(30, 30, perturbation=0.1, seed=11)
+    nodes = list(network.nodes())
+    query = PathQuery(nodes[31], nodes[600])
+    plans = benchmark(
+        plan_protection, network, query, 1 / 12, max_side=12
+    )
+    assert plans[0].setting.f_s <= plans[0].setting.f_t

@@ -1,0 +1,36 @@
+"""Bench E12 — linkage attack on repeated queries vs. sticky decoys.
+
+Regenerates the E12 table and times the intersection attack itself.
+"""
+
+from __future__ import annotations
+
+from repro.core.attacks import LinkageAttack
+from repro.core.obfuscator import PathQueryObfuscator
+from repro.core.query import ClientRequest, PathQuery, ProtectionSetting
+from repro.experiments import e12_linkage
+from repro.network.generators import grid_network
+
+
+def test_e12_table(benchmark, record_result):
+    result = benchmark.pedantic(e12_linkage.run, rounds=1, iterations=1)
+    record_result(result)
+    fresh = result.column("fresh_breach")
+    sticky = result.column("sticky_breach")
+    assert fresh == sorted(fresh)          # worsens with observations
+    assert len(set(sticky)) == 1           # fixpoint at the Def. 2 bound
+    assert result.rows[-1]["fresh_exposed"] == 1.0
+    assert result.rows[-1]["sticky_exposed"] == 0.0
+
+
+def test_e12_intersection_time(benchmark):
+    network = grid_network(30, 30, perturbation=0.1, seed=12)
+    obfuscator = PathQueryObfuscator(network, seed=12)
+    request = ClientRequest(
+        "alice", PathQuery(31, 600), ProtectionSetting(6, 6)
+    )
+    observations = [
+        obfuscator.obfuscate_independent(request).query for _ in range(10)
+    ]
+    outcome = benchmark(LinkageAttack().intersect, observations)
+    assert outcome.observations == 10

@@ -1,0 +1,35 @@
+"""Bench E1 — breach probability vs. obfuscation power (Definition 2).
+
+Regenerates the E1 table and times the attack-evaluation loop (the
+empirical side of Definition 2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attacks import empirical_breach_rate
+from repro.core.obfuscator import PathQueryObfuscator
+from repro.core.query import ProtectionSetting
+from repro.experiments import e1_breach
+from repro.network.generators import grid_network
+from repro.workloads.queries import requests_from_queries, uniform_queries
+
+
+def test_e1_table(benchmark, record_result):
+    result = benchmark.pedantic(e1_breach.run, rounds=1, iterations=1)
+    record_result(result)
+    for row in result.rows:
+        assert row["abs_error"] < 0.05
+    breaches = result.column("analytic_breach")
+    assert breaches == sorted(breaches, reverse=True)
+
+
+def test_e1_attack_throughput(benchmark):
+    network = grid_network(30, 30, perturbation=0.1, seed=1)
+    queries = uniform_queries(network, 10, seed=1)
+    requests = requests_from_queries(queries, ProtectionSetting(3, 3))
+    obfuscator = PathQueryObfuscator(network, seed=1)
+    records = [obfuscator.obfuscate_independent(r) for r in requests]
+    rate = benchmark(empirical_breach_rate, records, trials_per_record=100)
+    assert rate == pytest.approx(1 / 9, abs=0.05)

@@ -1,0 +1,42 @@
+"""Bench E2 — server cost vs. |T| (Lemma 1; naive vs. shared SSMD).
+
+Regenerates the E2 table and times both processors on a representative
+obfuscated query so the wall-clock gap backs the settled-node gap.
+"""
+
+from __future__ import annotations
+
+from repro.core.obfuscator import PathQueryObfuscator
+from repro.core.query import ClientRequest, PathQuery, ProtectionSetting
+from repro.experiments import e2_processing_cost
+from repro.network.generators import grid_network
+from repro.search.multi import NaivePairwiseProcessor, SharedTreeProcessor
+
+
+def _representative_query():
+    network = grid_network(40, 40, perturbation=0.1, seed=2)
+    obfuscator = PathQueryObfuscator(network, seed=2)
+    request = ClientRequest("u", PathQuery(41, 1438), ProtectionSetting(3, 6))
+    record = obfuscator.obfuscate_independent(request)
+    return network, list(record.query.sources), list(record.query.destinations)
+
+
+def test_e2_table(benchmark, record_result):
+    result = benchmark.pedantic(e2_processing_cost.run, rounds=1, iterations=1)
+    record_result(result)
+    for row in result.rows:
+        assert row["shared_settled"] <= row["naive_settled"]
+        assert row["shared_faults"] <= row["naive_faults"]
+    assert result.rows[-1]["speedup"] > result.rows[0]["speedup"]
+
+
+def test_e2_naive_processor_time(benchmark):
+    network, sources, destinations = _representative_query()
+    out = benchmark(NaivePairwiseProcessor().process, network, sources, destinations)
+    assert out.num_paths == len(sources) * len(destinations)
+
+
+def test_e2_shared_processor_time(benchmark):
+    network, sources, destinations = _representative_query()
+    out = benchmark(SharedTreeProcessor().process, network, sources, destinations)
+    assert out.num_paths == len(sources) * len(destinations)

@@ -1,0 +1,49 @@
+"""Bench E4 — independent vs. shared obfuscation as batch size grows.
+
+Regenerates the E4 table and times a full OpaqueSystem.submit in both
+modes at the largest batch size.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import ProtectionSetting
+from repro.core.system import OpaqueSystem
+from repro.experiments import e4_independent_vs_shared
+from repro.network.generators import grid_network
+from repro.workloads.queries import hotspot_queries, requests_from_queries
+
+
+def test_e4_table(benchmark, record_result):
+    result = benchmark.pedantic(e4_independent_vs_shared.run, rounds=1, iterations=1)
+    record_result(result)
+    last = result.rows[-1]
+    assert last["shared_settled"] < last["indep_settled"]
+    assert last["shared_breach"] < last["indep_breach"]
+    assert last["shared_queries"] == 1
+
+
+def _batch(network, k):
+    queries = hotspot_queries(network, k, num_hotspots=2, seed=4)
+    return requests_from_queries(queries, ProtectionSetting(3, 3))
+
+
+def test_e4_independent_submit_time(benchmark):
+    network = grid_network(40, 40, perturbation=0.1, seed=4)
+    requests = _batch(network, 16)
+
+    def run():
+        return OpaqueSystem(network, mode="independent", seed=4).submit(requests)
+
+    results = benchmark(run)
+    assert len(results) == 16
+
+
+def test_e4_shared_submit_time(benchmark):
+    network = grid_network(40, 40, perturbation=0.1, seed=4)
+    requests = _batch(network, 16)
+
+    def run():
+        return OpaqueSystem(network, mode="shared", seed=4).submit(requests)
+
+    results = benchmark(run)
+    assert len(results) == 16

@@ -1,0 +1,36 @@
+"""Bench E5 — collusion resistance: independent vs. shared.
+
+Regenerates the E5 table and times the collusion-attack evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.core.attacks import CollusionAttack
+from repro.core.obfuscator import PathQueryObfuscator
+from repro.core.query import ProtectionSetting
+from repro.experiments import e5_collusion
+from repro.network.generators import grid_network
+from repro.workloads.queries import requests_from_queries, uniform_queries
+
+
+def test_e5_table(benchmark, record_result):
+    result = benchmark.pedantic(e5_collusion.run, rounds=1, iterations=1)
+    record_result(result)
+    for row in result.rows:
+        assert row["indep_breach_pool"] == 1.0
+        assert row["shared_breach_pool"] < 1.0
+    shared = [row["shared_breach_pool"] for row in result.rows]
+    assert shared == sorted(shared)
+
+
+def test_e5_collusion_attack_time(benchmark):
+    network = grid_network(30, 30, perturbation=0.1, seed=5)
+    queries = uniform_queries(network, 8, seed=5)
+    requests = requests_from_queries(queries, ProtectionSetting(8, 8))
+    obfuscator = PathQueryObfuscator(network, seed=5)
+    record = obfuscator.obfuscate_shared(requests)
+    attack = CollusionAttack(
+        colluding_users=[r.user for r in requests[1:5]], knows_fake_pool=True
+    )
+    outcome = benchmark(attack.attack, record, requests[0])
+    assert not outcome.exposed

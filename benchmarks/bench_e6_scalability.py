@@ -1,0 +1,37 @@
+"""Bench E6 — server cost vs. network size for all MSMD processors.
+
+Regenerates the E6 table and times the shared processor on the largest
+grid in the sweep.
+"""
+
+from __future__ import annotations
+
+from repro.core.obfuscator import PathQueryObfuscator
+from repro.core.query import ClientRequest, PathQuery, ProtectionSetting
+from repro.experiments import e6_scalability
+from repro.network.generators import grid_network
+from repro.search.multi import SharedTreeProcessor
+
+
+def test_e6_table(benchmark, record_result):
+    result = benchmark.pedantic(e6_scalability.run, rounds=1, iterations=1)
+    record_result(result)
+    for row in result.rows:
+        assert row["shared_settled"] <= row["naive_settled"]
+        assert row["side_settled"] <= row["shared_settled"]
+    assert result.rows[-1]["naive_settled"] > result.rows[0]["naive_settled"]
+
+
+def test_e6_shared_processor_on_large_grid(benchmark):
+    network = grid_network(50, 50, perturbation=0.1, seed=6)
+    obfuscator = PathQueryObfuscator(network, seed=6)
+    record = obfuscator.obfuscate_independent(
+        ClientRequest("u", PathQuery(51, 2448), ProtectionSetting(4, 2))
+    )
+    out = benchmark(
+        SharedTreeProcessor().process,
+        network,
+        list(record.query.sources),
+        list(record.query.destinations),
+    )
+    assert out.num_paths == 8

@@ -1,0 +1,48 @@
+"""Bench E7 — fake endpoint strategy ablation.
+
+Regenerates the E7 table and times the compact strategy's selection
+(the obfuscator's hot path).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.endpoints import CompactEndpointStrategy, SelectionContext
+from repro.experiments import e7_endpoint_strategies
+from repro.network.generators import grid_network
+from repro.network.spatial import GridSpatialIndex
+
+
+def test_e7_table(benchmark, record_result):
+    result = benchmark.pedantic(e7_endpoint_strategies.run, rounds=1, iterations=1)
+    record_result(result)
+    rows = {row["strategy"]: row for row in result.rows}
+    assert rows["compact"]["cost_inflation"] < rows["uniform"]["cost_inflation"]
+    # Popularity-matched fakes defend best against the prior-aware adversary.
+    assert abs(rows["popularity"]["breach_excess"]) < abs(
+        rows["uniform"]["breach_excess"]
+    )
+    assert abs(rows["popularity"]["breach_excess"]) < abs(
+        rows["compact"]["breach_excess"]
+    )
+
+
+def test_e7_compact_selection_time(benchmark):
+    network = grid_network(40, 40, perturbation=0.1, seed=7)
+    index = GridSpatialIndex(network)
+    strategy = CompactEndpointStrategy()
+
+    def select():
+        context = SelectionContext(
+            network=network,
+            index=index,
+            rng=random.Random(7),
+            anchors=[41],
+            counterparts=[1438],
+            exclude=frozenset({41, 1438}),
+        )
+        return strategy.select(context, 4)
+
+    fakes = benchmark(select)
+    assert len(fakes) == 4

@@ -1,0 +1,32 @@
+"""Bench E8 — query clustering ablation.
+
+Regenerates the E8 table and times the greedy clustering pass.
+"""
+
+from __future__ import annotations
+
+from repro.core.clustering import cluster_requests
+from repro.core.query import ProtectionSetting
+from repro.experiments import e8_clustering
+from repro.network.generators import grid_network
+from repro.workloads.queries import hotspot_queries, requests_from_queries
+
+
+def test_e8_table(benchmark, record_result):
+    result = benchmark.pedantic(e8_clustering.run, rounds=1, iterations=1)
+    record_result(result)
+    clusters = result.column("clusters")
+    assert clusters == sorted(clusters, reverse=True)
+    assert clusters[-1] == 1  # infinite bound -> one shared query
+    breaches = result.column("mean_breach")
+    assert breaches[-1] <= breaches[0]
+
+
+def test_e8_clustering_time(benchmark):
+    network = grid_network(40, 40, perturbation=0.1, seed=8)
+    queries = hotspot_queries(network, 64, num_hotspots=4, seed=8)
+    requests = requests_from_queries(queries, ProtectionSetting(3, 3))
+    clusters = benchmark(
+        cluster_requests, requests, network, 8.0, 8.0
+    )
+    assert sum(c.size for c in clusters) == 64

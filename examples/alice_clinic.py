@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""The paper's motivating scenario: Alice, the clinic, and a curious server.
+
+Section II of the paper: Alice queries directions from home to an
+infertility clinic.  A semi-trusted server armed with public information
+(who lives where, what business sits at which address) can link her to
+the clinic.  This example plays the full story on a TIGER-like suburban
+map:
+
+1. Alice queries directly -> the server identifies her trip outright.
+2. Alice uses OPAQUE with geometry-only fakes -> a prior-aware server
+   still concentrates suspicion on her (the fakes are empty fields).
+3. Alice uses OPAQUE with popularity-matched fakes -> the server's
+   posterior collapses to the Definition 2 bound.
+
+Run:  python examples/alice_clinic.py
+"""
+
+from __future__ import annotations
+
+from repro import ClientRequest, OpaqueSystem, PathQuery, ProtectionSetting
+from repro.core.attacks import ServerAdversary
+from repro.core.endpoints import PopularityWeightedStrategy, UniformEndpointStrategy
+from repro.core.privacy import posterior_breach
+from repro.network import tiger_like_network
+from repro.workloads import popularity_map
+
+
+def main() -> None:
+    suburbia = tiger_like_network(blocks=4, block_size=5, seed=11)
+    nodes = list(suburbia.nodes())
+
+    # Public information: trip-endpoint popularity (voter rolls + yellow
+    # pages give the server a prior over who travels where).
+    public_prior = popularity_map(suburbia, seed=11, skew=1.2)
+
+    # Alice's home and the clinic are ordinary addresses — drawn from the
+    # same popularity distribution real trips follow.
+    ranked = sorted(nodes, key=lambda n: public_prior[n], reverse=True)
+    home = ranked[10]
+    clinic = ranked[25]
+    alice = ClientRequest("alice", PathQuery(home, clinic), ProtectionSetting(4, 4))
+    print(f"Alice's true query: home={home} -> clinic={clinic}\n")
+
+    # --- 1. No protection -------------------------------------------------
+    print("1. Direct query: the server sees (home, clinic) verbatim.")
+    print("   breach probability = 1.0 — Alice is fully identified.\n")
+
+    # --- 2. OPAQUE with naive (uniform) fakes ------------------------------
+    system = OpaqueSystem(
+        suburbia, mode="independent",
+        strategy=UniformEndpointStrategy(), seed=11,
+    )
+    system.submit([alice])
+    record = system.last_report.records[0]
+    naive_breach = posterior_breach(
+        record.query, alice.query, public_prior, public_prior
+    )
+    adversary = ServerAdversary(public_prior, public_prior, seed=1)
+    guess = adversary.best_guess(record.query)
+    print("2. OPAQUE, uniform random fakes (f_S=f_T=4):")
+    print(f"   Definition 2 bound: {1/16:.4f}")
+    print(f"   prior-aware server's posterior on Alice: {naive_breach:.4f}")
+    print(f"   server's best guess: {guess} "
+          f"({'CORRECT' if guess == alice.query.as_pair() else 'wrong'})\n")
+
+    # --- 3. OPAQUE with popularity-matched fakes ---------------------------
+    system = OpaqueSystem(
+        suburbia, mode="independent",
+        strategy=PopularityWeightedStrategy(public_prior), seed=11,
+    )
+    system.submit([alice])
+    record = system.last_report.records[0]
+    matched_breach = posterior_breach(
+        record.query, alice.query, public_prior, public_prior
+    )
+    guess = ServerAdversary(public_prior, public_prior, seed=1).best_guess(
+        record.query
+    )
+    print("3. OPAQUE, popularity-matched fakes (f_S=f_T=4):")
+    print(f"   prior-aware server's posterior on Alice: {matched_breach:.4f}")
+    print(f"   server's best guess: {guess} "
+          f"({'CORRECT' if guess == alice.query.as_pair() else 'wrong'})")
+    print("\nPopularity-matched decoys push the informed adversary back to "
+          "(roughly) the uniform-guessing bound.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Running OPAQUE as an online service: the batching-window dial (E10).
+
+The obfuscator is a live middle tier — requests arrive over time and
+shared obfuscated path queries only exist if several requests are in hand
+at once.  This example simulates Poisson arrivals against batching
+windows from 0.5 s to 8 s and prints the latency / privacy / server-cost
+trade-off an operator would tune.
+
+Run:  python examples/batching_service.py
+"""
+
+from __future__ import annotations
+
+from repro.core.query import ProtectionSetting
+from repro.core.system import OpaqueSystem
+from repro.experiments.tables import format_table
+from repro.network import grid_network
+from repro.service import BatchingObfuscationService, poisson_arrivals
+from repro.workloads import hotspot_queries, requests_from_queries
+
+
+def main() -> None:
+    city = grid_network(30, 30, perturbation=0.1, seed=47)
+    queries = hotspot_queries(city, 40, num_hotspots=2, seed=47)
+    arrival_rate = 2.0  # requests per second
+
+    rows = []
+    for window in (0.5, 1.0, 2.0, 4.0, 8.0):
+        system = OpaqueSystem(city, mode="shared", seed=47)
+        service = BatchingObfuscationService(system, window=window)
+        requests = requests_from_queries(queries, ProtectionSetting(3, 3))
+        arrivals = poisson_arrivals(requests, rate=arrival_rate, seed=47)
+        _results, report = service.run(arrivals)
+        rows.append(
+            {
+                "window_s": window,
+                "mean_latency_s": report.mean_latency,
+                "p95_latency_s": report.p95_latency,
+                "mean_breach": report.mean_breach,
+                "queries_to_server": report.obfuscated_queries,
+                "settled_nodes": report.server_settled_nodes,
+            }
+        )
+
+    print(f"40 requests, Poisson arrivals at {arrival_rate}/s, shared mode, "
+          f"f_S = f_T = 3\n")
+    print(format_table(
+        ["window_s", "mean_latency_s", "p95_latency_s", "mean_breach",
+         "queries_to_server", "settled_nodes"],
+        rows,
+    ))
+    print(
+        "\nReading: every doubling of the window roughly doubles latency but "
+        "gathers\nmore co-travellers per shared query — breach probability "
+        "falls an order of\nmagnitude across the sweep while server work "
+        "shrinks. Pick the window your\nlatency budget allows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""The commuter problem: repeated queries and sticky decoys (E12).
+
+Section II of the paper warns that "the server can accumulate all the
+path queries received to learn where individuals travel".  Bob asks for
+the same home-to-office directions every morning.  Even though each query
+is obfuscated with f_S = f_T = 4 (breach 1/16 per query), a server that
+can link his sessions intersects the candidate sets across mornings:
+
+* with fresh random decoys, the intersection collapses onto Bob's true
+  trip within a couple of days;
+* with sticky decoys (deterministic per query), every morning shows the
+  server the exact same candidate sets — nothing to intersect.
+
+Run:  python examples/commuter_linkage.py
+"""
+
+from __future__ import annotations
+
+from repro import ClientRequest, PathQuery, ProtectionSetting
+from repro.core.attacks import LinkageAttack
+from repro.core.obfuscator import PathQueryObfuscator
+from repro.network import grid_network
+
+
+def main() -> None:
+    city = grid_network(25, 25, perturbation=0.1, seed=13)
+    bob = ClientRequest(
+        "bob", PathQuery(52, 571), ProtectionSetting(f_s=4, f_t=4)
+    )
+    attack = LinkageAttack()
+    print("Bob commutes 52 -> 571 daily, obfuscated at f_S = f_T = 4 "
+          "(per-query breach 1/16).\n")
+
+    print(f"{'day':>3}  {'fresh decoys':>14}  {'sticky decoys':>14}")
+    fresh_obs, sticky_obs = [], []
+    fresh_obfuscator = PathQueryObfuscator(city, seed=13)
+    sticky_obfuscator = PathQueryObfuscator(city, seed=13)
+    for day in range(1, 8):
+        fresh_obs.append(fresh_obfuscator.obfuscate_independent(bob).query)
+        sticky_obs.append(
+            sticky_obfuscator.obfuscate_independent(bob, sticky_key="bob").query
+        )
+        fresh = attack.intersect(fresh_obs)
+        sticky = attack.intersect(sticky_obs)
+
+        def fmt(outcome):
+            label = f"1/{round(1 / outcome.breach_probability)}"
+            return f"{label:>10}{' !' if outcome.exposed else '  '}"
+
+        print(f"{day:>3}  {fmt(fresh):>14}  {fmt(sticky):>14}")
+
+    fresh = attack.intersect(fresh_obs)
+    print(f"\nAfter a week of fresh decoys the server's candidate set is "
+          f"{sorted(fresh.candidate_sources)} -> "
+          f"{sorted(fresh.candidate_destinations)}"
+          f"{'  — Bob is fully identified.' if fresh.exposed else '.'}")
+    print("With sticky decoys the server never learns more than it did on "
+          "day one.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Every privacy mechanism on the same workload (Figure 2 as a program).
+
+Runs direct querying, the landmark approach, spatial cloaking, plain
+fake-query obfuscation, and OPAQUE over one workload and prints the
+result-quality / privacy / overhead scorecard — the paper's Section II
+comparison with numbers attached.
+
+Run:  python examples/mechanism_shootout.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    CloakingMechanism,
+    DirectMechanism,
+    LandmarkMechanism,
+    OpaqueMechanism,
+    PlainObfuscationMechanism,
+)
+from repro.core.query import ProtectionSetting
+from repro.experiments.tables import format_table
+from repro.network import grid_network
+from repro.workloads import (
+    distance_bounded_queries,
+    requests_from_queries,
+    uniform_queries,
+)
+
+
+def main() -> None:
+    city = grid_network(30, 30, perturbation=0.1, seed=31)
+    queries = distance_bounded_queries(city, 15, 6.0, 14.0, seed=31)
+    requests = requests_from_queries(queries, ProtectionSetting(3, 3))
+    landmarks = [q.source for q in uniform_queries(city, 10, seed=99)]
+
+    mechanisms = [
+        DirectMechanism(city),
+        LandmarkMechanism(city, landmarks),
+        CloakingMechanism(city, cell_size=4.0, seed=31),
+        PlainObfuscationMechanism(city, num_fakes=8, seed=31),
+        OpaqueMechanism(city, seed=31),
+    ]
+
+    rows = []
+    for mechanism in mechanisms:
+        outcomes = [mechanism.answer(r) for r in requests]
+        n = len(outcomes)
+        displacements = [
+            o.endpoint_displacement
+            for o in outcomes
+            if o.endpoint_displacement != float("inf")
+        ]
+        rows.append(
+            {
+                "mechanism": mechanism.name,
+                "exact": f"{sum(o.exact for o in outcomes)}/{n}",
+                "displacement": (
+                    sum(displacements) / len(displacements) if displacements else float("inf")
+                ),
+                "breach": sum(o.breach for o in outcomes) / n,
+                "settled": sum(o.server_stats.settled_nodes for o in outcomes),
+                "bytes": sum(o.traffic_bytes for o in outcomes),
+            }
+        )
+
+    print("15 queries, protection f_S=f_T=3 (plain obfuscation: 8 fakes "
+          "for matched 1/9 anonymity)\n")
+    print(format_table(
+        ["mechanism", "exact", "displacement", "breach", "settled", "bytes"], rows
+    ))
+    print(
+        "\nReading: direct is exact but fully exposed; landmark/cloaking are "
+        "private\nbut answer the wrong question; plain obfuscation and OPAQUE "
+        "are both exact and\nprivate — OPAQUE just pays far less for it."
+    )
+
+
+if __name__ == "__main__":
+    main()

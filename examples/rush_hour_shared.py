@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Shared obfuscated path queries at rush hour (Section III-C / IV).
+
+Sixteen commuters in the same part of town request directions within one
+obfuscation window.  The obfuscator clusters them and issues shared
+obfuscated path queries, so each commuter hides among the others' *real*
+endpoints.  The example compares server load, per-user privacy and
+collusion resistance against the independent variant.
+
+Run:  python examples/rush_hour_shared.py
+"""
+
+from __future__ import annotations
+
+from repro import OpaqueSystem
+from repro.core.attacks import CollusionAttack
+from repro.core.query import ProtectionSetting
+from repro.network import grid_network
+from repro.workloads import hotspot_queries, requests_from_queries
+
+
+def main() -> None:
+    city = grid_network(40, 40, perturbation=0.1, seed=23)
+    # Commuters live all over town; most head to a couple of hotspots
+    # (the business district, the stadium).
+    queries = hotspot_queries(city, 16, num_hotspots=2, seed=23)
+    setting = ProtectionSetting(f_s=3, f_t=3)
+
+    print(f"{len(queries)} concurrent requests, protection f_S=f_T=3\n")
+    summary = {}
+    for mode in ("independent", "shared"):
+        system = OpaqueSystem(
+            city,
+            mode=mode,
+            max_source_diameter=20.0,
+            max_destination_diameter=20.0,
+            seed=23,
+        )
+        requests = requests_from_queries(queries, setting)
+        system.submit(requests)
+        report = system.last_report
+        summary[mode] = report
+        print(f"== {mode} obfuscation ==")
+        print(f"  obfuscated queries sent to server: {len(report.records)}")
+        print(f"  server settled nodes:              {report.server_stats.settled_nodes}")
+        print(f"  candidate paths computed:          {report.candidate_paths}")
+        print(f"  mean per-user breach:              {report.mean_breach:.4f}")
+
+        # Collusion: the server recruits two participants of the largest
+        # record and also knows the obfuscator's decoy dictionary.
+        record = max(report.records, key=lambda r: len(r.requests))
+        victim = record.requests[0]
+        colluders = [r.user for r in record.requests[1:3]]
+        outcome = CollusionAttack(
+            colluding_users=colluders, knows_fake_pool=True
+        ).attack(record, victim)
+        print(f"  collusion ({len(colluders)} colluders + fake pool known): "
+              f"victim breach {outcome.breach_probability:.4f}"
+              f"{'  ** EXPOSED **' if outcome.exposed else ''}\n")
+
+    indep = summary["independent"]
+    shared = summary["shared"]
+    saving = 1 - shared.server_stats.settled_nodes / indep.server_stats.settled_nodes
+    print(f"Shared obfuscation served the same 16 commuters with "
+          f"{saving:.0%} less search work and "
+          f"{indep.mean_breach / shared.mean_breach:.1f}x lower breach probability.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package, so PEP 660 editable
+installs fail; `pip install -e . --no-build-isolation` falls back to this
+file via `--no-use-pep517` when needed. All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""Reproduction of *OPAQUE: Protecting Path Privacy in Directions Search*.
+
+Lee, Lee, Leong & Zheng, ICDE 2009 (DOI 10.1109/ICDE.2009.218).
+
+The library implements the full OPAQUE system — obfuscated path queries,
+the trusted obfuscator, the server-side multi-source multi-destination
+query processor, the candidate result path filter — plus the road-network
+and storage substrates it runs on, the location-privacy baselines the
+paper compares against, and an experiment suite reproducing every
+quantitative claim.
+
+Quickstart
+----------
+>>> from repro import OpaqueSystem, ClientRequest, PathQuery, ProtectionSetting
+>>> from repro.network import grid_network
+>>> net = grid_network(20, 20, seed=1)
+>>> system = OpaqueSystem(net, mode="shared")
+>>> request = ClientRequest("alice", PathQuery(0, 399), ProtectionSetting(3, 3))
+>>> paths = system.submit([request])
+>>> paths["alice"].distance > 0
+True
+"""
+
+from repro.core.query import (
+    ClientRequest,
+    ObfuscatedPathQuery,
+    PathQuery,
+    ProtectionSetting,
+)
+from repro.core.privacy import breach_probability, privacy_report
+from repro.core.obfuscator import ObfuscationRecord, PathQueryObfuscator
+from repro.core.server import DirectionsServer
+from repro.core.filter import CandidateResultPathFilter
+from repro.core.system import OpaqueSystem, SessionReport
+from repro.network.graph import RoadNetwork
+from repro.search.result import PathResult, SearchStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PathQuery",
+    "ObfuscatedPathQuery",
+    "ProtectionSetting",
+    "ClientRequest",
+    "breach_probability",
+    "privacy_report",
+    "PathQueryObfuscator",
+    "ObfuscationRecord",
+    "DirectionsServer",
+    "CandidateResultPathFilter",
+    "OpaqueSystem",
+    "SessionReport",
+    "RoadNetwork",
+    "PathResult",
+    "SearchStats",
+    "__version__",
+]

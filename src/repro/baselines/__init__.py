@@ -1,0 +1,25 @@
+"""Location-privacy baselines the paper compares against (Section II).
+
+Each baseline implements the common :class:`PrivacyMechanism` interface so
+experiment E3 can put them all in one table: direct querying (no
+protection), the landmark approach [3,4], spatial cloaking [5-7], and
+plain fake-query obfuscation [8].  OPAQUE itself is adapted to the same
+interface by :class:`OpaqueMechanism`.
+"""
+
+from repro.baselines.base import MechanismOutcome, PrivacyMechanism
+from repro.baselines.direct import DirectMechanism
+from repro.baselines.landmark import LandmarkMechanism
+from repro.baselines.cloaking import CloakingMechanism
+from repro.baselines.plain_obfuscation import PlainObfuscationMechanism
+from repro.baselines.opaque_adapter import OpaqueMechanism
+
+__all__ = [
+    "PrivacyMechanism",
+    "MechanismOutcome",
+    "DirectMechanism",
+    "LandmarkMechanism",
+    "CloakingMechanism",
+    "PlainObfuscationMechanism",
+    "OpaqueMechanism",
+]

@@ -1,0 +1,108 @@
+"""Common interface and scoring for privacy mechanisms.
+
+A :class:`PrivacyMechanism` answers one client request using some privacy
+technique and reports a :class:`MechanismOutcome` with the three axes the
+paper's Section II comparison turns on:
+
+* **result quality** — is the returned path the user's true shortest path
+  (``exact``), and if not, how far off are its endpoints
+  (``endpoint_displacement``) and its cost (``distance_error``)?
+* **privacy** — ``breach`` is the probability the server identifies the
+  true ``(s, t)`` pair from what it observed;
+* **overhead** — server search cost, number of candidate paths computed,
+  and bytes across the server link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.query import ClientRequest
+from repro.network.graph import RoadNetwork
+from repro.search.dijkstra import dijkstra_path
+from repro.search.result import PathResult, SearchStats
+
+__all__ = ["MechanismOutcome", "PrivacyMechanism"]
+
+
+@dataclass(slots=True)
+class MechanismOutcome:
+    """Scorecard of one mechanism answering one request."""
+
+    mechanism: str
+    user_path: PathResult | None
+    exact: bool
+    endpoint_displacement: float
+    distance_error: float
+    breach: float
+    server_stats: SearchStats = field(default_factory=SearchStats)
+    candidate_paths: int = 0
+    traffic_bytes: int = 0
+
+
+class PrivacyMechanism:
+    """Interface every baseline (and the OPAQUE adapter) implements.
+
+    Parameters
+    ----------
+    network:
+        The road network both the user and the server operate on.
+    """
+
+    #: short identifier used in experiment tables
+    name: str = "abstract"
+
+    def __init__(self, network: RoadNetwork) -> None:
+        self._network = network
+
+    @property
+    def network(self) -> RoadNetwork:
+        """The road network in use."""
+        return self._network
+
+    def answer(self, request: ClientRequest) -> MechanismOutcome:
+        """Answer ``request`` under this mechanism; see
+        :class:`MechanismOutcome`."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared scoring helpers
+    # ------------------------------------------------------------------
+    def _true_path(self, request: ClientRequest) -> PathResult:
+        """The ground-truth shortest path (scoring only; not server work)."""
+        return dijkstra_path(
+            self._network, request.query.source, request.query.destination
+        )
+
+    def _score(
+        self, request: ClientRequest, returned: PathResult | None
+    ) -> tuple[bool, float, float]:
+        """Compute ``(exact, endpoint_displacement, distance_error)``.
+
+        ``endpoint_displacement`` is the Euclidean gap between the true
+        endpoints and the returned path's endpoints — the "irrelevant
+        result" effect of Figure 2(b)/(c).  ``distance_error`` is the
+        returned path's cost minus the true shortest distance (0 when
+        exact; meaningless and reported as ``inf`` when the path does not
+        even connect the right endpoints).
+        """
+        truth = self._true_path(request)
+        if returned is None:
+            return False, float("inf"), float("inf")
+        displacement = self._network.euclidean_distance(
+            request.query.source, returned.source
+        ) + self._network.euclidean_distance(
+            request.query.destination, returned.destination
+        )
+        connects = (
+            returned.source == request.query.source
+            and returned.destination == request.query.destination
+        )
+        if not connects:
+            return False, displacement, float("inf")
+        distance_error = returned.distance - truth.distance
+        exact = abs(distance_error) <= 1e-9
+        return exact, displacement, max(distance_error, 0.0)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

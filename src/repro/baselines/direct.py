@@ -1,0 +1,42 @@
+"""Direct querying: no privacy protection at all.
+
+The client sends ``Q(s, t)`` verbatim (Figure 1).  Exact result, minimal
+cost, breach probability 1 — the lower-left corner of every
+privacy/overhead trade-off plot.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import MechanismOutcome, PrivacyMechanism
+from repro.core.protocol import NODE_ID_BYTES, PATH_HEADER_BYTES
+from repro.core.query import ClientRequest
+from repro.search.dijkstra import dijkstra_path
+from repro.search.result import SearchStats
+
+__all__ = ["DirectMechanism"]
+
+
+class DirectMechanism(PrivacyMechanism):
+    """Send the true query to the server unchanged."""
+
+    name = "direct"
+
+    def answer(self, request: ClientRequest) -> MechanismOutcome:
+        stats = SearchStats()
+        path = dijkstra_path(
+            self._network, request.query.source, request.query.destination,
+            stats=stats,
+        )
+        exact, displacement, distance_error = self._score(request, path)
+        traffic = 2 * NODE_ID_BYTES + PATH_HEADER_BYTES + NODE_ID_BYTES * len(path.nodes)
+        return MechanismOutcome(
+            mechanism=self.name,
+            user_path=path,
+            exact=exact,
+            endpoint_displacement=displacement,
+            distance_error=distance_error,
+            breach=1.0,
+            server_stats=stats,
+            candidate_paths=1,
+            traffic_bytes=traffic,
+        )

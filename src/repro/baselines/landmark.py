@@ -1,0 +1,85 @@
+"""Landmark approach [3, 4]: query between nearby public landmarks.
+
+The true source and destination are replaced by the nearest members of a
+public landmark set, so the server never sees the user's endpoints.  The
+cost is result relevance: "the retrieved result path cannot connect s_A to
+t_A" (Figure 2(b)) — the returned path links the two landmarks instead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.baselines.base import MechanismOutcome, PrivacyMechanism
+from repro.core.protocol import NODE_ID_BYTES, PATH_HEADER_BYTES
+from repro.core.query import ClientRequest
+from repro.exceptions import QueryError
+from repro.network.graph import NodeId, RoadNetwork
+from repro.search.dijkstra import dijkstra_path
+from repro.search.result import SearchStats
+
+__all__ = ["LandmarkMechanism"]
+
+
+class LandmarkMechanism(PrivacyMechanism):
+    """Replace both endpoints by their nearest landmarks.
+
+    Parameters
+    ----------
+    network:
+        The road network.
+    landmarks:
+        Public landmark node ids (monuments, stations...).  Must be
+        non-empty and all present in the network.
+    """
+
+    name = "landmark"
+
+    def __init__(self, network: RoadNetwork, landmarks: Sequence[NodeId]) -> None:
+        super().__init__(network)
+        if not landmarks:
+            raise QueryError("landmark mechanism needs at least one landmark")
+        for node in landmarks:
+            if node not in network:
+                raise QueryError(f"landmark {node!r} is not in the network")
+        self._landmarks = list(dict.fromkeys(landmarks))
+
+    @property
+    def landmarks(self) -> list[NodeId]:
+        """The public landmark set."""
+        return list(self._landmarks)
+
+    def _nearest_landmark(self, node: NodeId) -> NodeId:
+        return min(
+            self._landmarks,
+            key=lambda lm: (self._network.euclidean_distance(node, lm), repr(lm)),
+        )
+
+    def answer(self, request: ClientRequest) -> MechanismOutcome:
+        s_prime = self._nearest_landmark(request.query.source)
+        t_prime = self._nearest_landmark(request.query.destination)
+        stats = SearchStats()
+        if s_prime == t_prime:
+            # Both endpoints snap to the same landmark; the server has
+            # nothing to compute and the user gets nothing useful.
+            path = None
+        else:
+            path = dijkstra_path(self._network, s_prime, t_prime, stats=stats)
+        exact, displacement, distance_error = self._score(request, path)
+        traffic = 2 * NODE_ID_BYTES
+        if path is not None:
+            traffic += PATH_HEADER_BYTES + NODE_ID_BYTES * len(path.nodes)
+        # The server cannot see the true pair at all; exact-pair breach is
+        # zero.  (It still learns the user is near the landmarks, a coarser
+        # leak outside Definition 2's scope.)
+        return MechanismOutcome(
+            mechanism=self.name,
+            user_path=path,
+            exact=exact,
+            endpoint_displacement=displacement,
+            distance_error=distance_error,
+            breach=0.0,
+            server_stats=stats,
+            candidate_paths=0 if path is None else 1,
+            traffic_bytes=traffic,
+        )

@@ -1,0 +1,201 @@
+"""Command-line interface: generate maps, route, protect queries, run experiments.
+
+Usage (also via ``python -m repro``):
+
+    repro generate grid --width 20 --height 20 -o city.txt
+    repro summarize city.txt
+    repro route city.txt 21 352 --engine astar
+    repro route city.txt 21 352 --avoid-highways
+    repro protect city.txt 21 352 --f-s 3 --f-t 3
+    repro experiment E1 E4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.privacy import breach_probability
+from repro.core.query import ClientRequest, PathQuery, ProtectionSetting
+from repro.core.system import OpaqueSystem
+from repro.exceptions import ReproError
+from repro.network.generators import (
+    grid_network,
+    random_geometric_network,
+    ring_radial_network,
+    tiger_like_network,
+)
+from repro.network.io import read_network, write_network
+from repro.network.metrics import summarize_network
+from repro.network.views import avoid_fast_roads
+from repro.search.astar import astar_path
+from repro.search.bidirectional import bidirectional_dijkstra_path
+from repro.search.dijkstra import dijkstra_path
+from repro.search.result import SearchStats
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OPAQUE path-privacy reproduction toolkit (ICDE 2009)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic road network")
+    gen.add_argument(
+        "topology", choices=["grid", "geometric", "ring-radial", "tiger"]
+    )
+    gen.add_argument("--width", type=int, default=20, help="grid width")
+    gen.add_argument("--height", type=int, default=20, help="grid height")
+    gen.add_argument("--nodes", type=int, default=500, help="geometric node count")
+    gen.add_argument("--radius", type=float, default=0.08, help="geometric radius")
+    gen.add_argument("--rings", type=int, default=6)
+    gen.add_argument("--spokes", type=int, default=12)
+    gen.add_argument("--blocks", type=int, default=4)
+    gen.add_argument("--block-size", type=int, default=5)
+    gen.add_argument("--perturbation", type=float, default=0.1)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--output", required=True, help="output map file")
+
+    summ = sub.add_parser("summarize", help="print structure stats of a map file")
+    summ.add_argument("network", help="map file from 'generate'")
+
+    route = sub.add_parser("route", help="unprotected shortest-path query")
+    route.add_argument("network")
+    route.add_argument("source", type=int)
+    route.add_argument("destination", type=int)
+    route.add_argument(
+        "--engine",
+        choices=["dijkstra", "astar", "bidirectional"],
+        default="dijkstra",
+    )
+    route.add_argument(
+        "--avoid-highways",
+        action="store_true",
+        help="exclude roads faster than local streets",
+    )
+
+    protect = sub.add_parser("protect", help="OPAQUE-protected path query")
+    protect.add_argument("network")
+    protect.add_argument("source", type=int)
+    protect.add_argument("destination", type=int)
+    protect.add_argument("--f-s", type=int, default=3, help="source set size")
+    protect.add_argument("--f-t", type=int, default=3, help="destination set size")
+    protect.add_argument("--seed", type=int, default=0)
+
+    exp = sub.add_parser("experiment", help="run experiments (E1..E10)")
+    exp.add_argument("ids", nargs="+", help="experiment ids, e.g. E1 E4")
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.topology == "grid":
+        net = grid_network(
+            args.width, args.height, perturbation=args.perturbation, seed=args.seed
+        )
+    elif args.topology == "geometric":
+        net = random_geometric_network(args.nodes, args.radius, seed=args.seed)
+    elif args.topology == "ring-radial":
+        net = ring_radial_network(args.rings, args.spokes, seed=args.seed)
+    else:
+        net = tiger_like_network(
+            blocks=args.blocks,
+            block_size=args.block_size,
+            perturbation=args.perturbation,
+            seed=args.seed,
+        )
+    write_network(net, args.output)
+    print(f"wrote {net.num_nodes} nodes, {net.num_edges} edges to {args.output}")
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    net = read_network(args.network)
+    summary = summarize_network(net)
+    print(f"nodes:            {summary.num_nodes}")
+    print(f"edges:            {summary.num_edges}")
+    print(f"components:       {summary.num_components}")
+    print(f"average degree:   {summary.average_degree:.2f}")
+    print(f"max degree:       {summary.max_degree}")
+    print(f"avg edge weight:  {summary.average_edge_weight:.3f}")
+    print(f"road-like:        {'yes' if summary.is_road_like else 'no'}")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    net = read_network(args.network)
+    searchable = avoid_fast_roads(net) if args.avoid_highways else net
+    stats = SearchStats()
+    if args.engine == "astar":
+        path = astar_path(searchable, args.source, args.destination, stats=stats)
+    elif args.engine == "bidirectional":
+        path = bidirectional_dijkstra_path(
+            searchable, args.source, args.destination, stats=stats
+        )
+    else:
+        path = dijkstra_path(searchable, args.source, args.destination, stats=stats)
+    print(f"distance: {path.distance:.4f} over {path.num_edges} segments")
+    print(f"route: {' '.join(str(n) for n in path.nodes)}")
+    print(f"settled nodes: {stats.settled_nodes}")
+    return 0
+
+
+def _cmd_protect(args: argparse.Namespace) -> int:
+    net = read_network(args.network)
+    system = OpaqueSystem(net, mode="independent", seed=args.seed)
+    request = ClientRequest(
+        "cli-user",
+        PathQuery(args.source, args.destination),
+        ProtectionSetting(args.f_s, args.f_t),
+    )
+    paths = system.submit([request])
+    path = paths["cli-user"]
+    report = system.last_report
+    assert report is not None
+    record = report.records[0]
+    print(f"distance: {path.distance:.4f} over {path.num_edges} segments")
+    print(f"route: {' '.join(str(n) for n in path.nodes)}")
+    print(f"server saw S = {record.query.sources}")
+    print(f"server saw T = {record.query.destinations}")
+    print(f"breach probability: {breach_probability(record.query):.4f}")
+    print(f"server settled nodes: {report.server_stats.settled_nodes}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import run_all
+
+    for result in run_all([eid.upper() for eid in args.ids]):
+        print(result)
+        print()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "summarize": _cmd_summarize,
+        "route": _cmd_route,
+        "protect": _cmd_protect,
+        "experiment": _cmd_experiment,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

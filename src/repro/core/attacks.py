@@ -1,0 +1,310 @@
+"""Adversary models against obfuscated path queries.
+
+Two attacks from the paper's threat discussion:
+
+* :class:`ServerAdversary` — the semi-trusted server guessing the true
+  ``(s, t)`` pair inside an observed ``Q(S, T)``, optionally armed with
+  endpoint-popularity priors from public information.  Definition 2's
+  breach probability is this adversary's success rate under uniform
+  priors; :func:`empirical_breach_rate` verifies that equality empirically
+  (experiment E1).
+
+* :class:`CollusionAttack` — the server colluding with additional parties
+  (Section III-C motivates shared queries "to enhance privacy protection
+  against collusion attacks").  Two collusion channels are modelled:
+
+  - *participant collusion*: hidden users of a shared query reveal their
+    own true endpoints, shrinking everyone else's anonymity sets;
+  - *fake-pool compromise*: the adversary learns which endpoints the
+    obfuscator fabricated (e.g. by compromising its decoy dictionary or
+    RNG state).  Against an *independent* query this is fatal — every
+    non-true endpoint is a fake, so stripping them reveals ``(s, t)``
+    exactly.  Against a *shared* query the other members' real endpoints
+    survive the stripping and the victim still hides among them.  This
+    asymmetry is the paper's argument for the shared variant.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.obfuscator import ObfuscationRecord
+from repro.core.privacy import pair_posterior
+from repro.core.query import ClientRequest, ObfuscatedPathQuery
+from repro.exceptions import QueryError
+from repro.network.graph import NodeId
+
+__all__ = [
+    "ServerAdversary",
+    "CollusionAttack",
+    "CollusionOutcome",
+    "LinkageAttack",
+    "LinkageOutcome",
+    "empirical_breach_rate",
+]
+
+
+class ServerAdversary:
+    """The semi-trusted server trying to identify the true path query.
+
+    Parameters
+    ----------
+    source_prior, destination_prior:
+        Optional endpoint-popularity priors (public-information side
+        channel).  ``None`` means uniform — the Definition 2 adversary.
+    seed:
+        RNG seed for tie-breaking and sampling guesses.
+    """
+
+    def __init__(
+        self,
+        source_prior: Mapping[NodeId, float] | None = None,
+        destination_prior: Mapping[NodeId, float] | None = None,
+        seed: int = 0,
+    ) -> None:
+        self._source_prior = source_prior
+        self._destination_prior = destination_prior
+        self._rng = random.Random(seed)
+
+    def posterior(
+        self, observed: ObfuscatedPathQuery
+    ) -> dict[tuple[NodeId, NodeId], float]:
+        """Posterior over candidate pairs given the observation and priors."""
+        return pair_posterior(observed, self._source_prior, self._destination_prior)
+
+    def guess(self, observed: ObfuscatedPathQuery) -> tuple[NodeId, NodeId]:
+        """Sample one guess from the posterior.
+
+        Sampling (rather than arg-max) makes the long-run success rate
+        equal the true pair's posterior mass, which is the quantity
+        Definition 2 bounds.
+        """
+        posterior = self.posterior(observed)
+        pairs = list(posterior)
+        weights = [posterior[p] for p in pairs]
+        return self._rng.choices(pairs, weights=weights)[0]
+
+    def best_guess(self, observed: ObfuscatedPathQuery) -> tuple[NodeId, NodeId]:
+        """Deterministic maximum-posterior guess (ties broken by pair order)."""
+        posterior = self.posterior(observed)
+        return max(posterior, key=lambda pair: (posterior[pair], pairs_key(pair)))
+
+
+def pairs_key(pair: tuple[NodeId, NodeId]) -> tuple[str, str]:
+    """Stable tie-break key for pairs with heterogeneous node id types."""
+    return (repr(pair[0]), repr(pair[1]))
+
+
+def empirical_breach_rate(
+    records: Sequence[ObfuscationRecord],
+    adversary: ServerAdversary | None = None,
+    trials_per_record: int = 1,
+) -> float:
+    """Fraction of adversary guesses that hit a hidden true query.
+
+    For each record the adversary observes only ``Q(S, T)`` and guesses;
+    a guess counts as a breach when it equals the true ``(s, t)`` of *any*
+    request hidden in the record.
+
+    Parameters
+    ----------
+    records:
+        Ground-truth obfuscation records (their ``query`` is the
+        observation, their ``requests`` the secrets).
+    adversary:
+        Defaults to the uniform Definition 2 adversary.
+    trials_per_record:
+        Guesses per record; more trials tighten the estimate.
+    """
+    if not records:
+        raise QueryError("need at least one record to measure breach rate")
+    if trials_per_record < 1:
+        raise ValueError("trials_per_record must be >= 1")
+    if adversary is None:
+        adversary = ServerAdversary()
+    hits = 0
+    total = 0
+    for record in records:
+        true_pairs = {r.query.as_pair() for r in record.requests}
+        for _ in range(trials_per_record):
+            total += 1
+            if adversary.guess(record.query) in true_pairs:
+                hits += 1
+    return hits / total
+
+
+@dataclass(frozen=True, slots=True)
+class LinkageOutcome:
+    """Result of intersecting a linked sequence of observations.
+
+    Attributes
+    ----------
+    candidate_sources, candidate_destinations:
+        Endpoints present in *every* linked observation.
+    breach_probability:
+        ``1 / (|cand_S| x |cand_T|)`` after the intersection.
+    observations:
+        How many linked queries were intersected.
+    """
+
+    candidate_sources: frozenset[NodeId]
+    candidate_destinations: frozenset[NodeId]
+    breach_probability: float
+    observations: int
+
+    @property
+    def exposed(self) -> bool:
+        """Whether the intersection isolated a single (s, t) pair."""
+        return (
+            len(self.candidate_sources) == 1
+            and len(self.candidate_destinations) == 1
+        )
+
+
+class LinkageAttack:
+    """Intersection attack over a user's repeated obfuscated queries.
+
+    Section II: "the server can accumulate all the path queries received
+    to learn where individuals travel".  If the server can *link* the
+    obfuscated queries of one recurring trip (by timing, session, or
+    network metadata), the true endpoints appear in every observation
+    while independently re-drawn fakes churn — intersecting the source
+    sets and destination sets across observations rapidly isolates the
+    true pair.
+
+    The countermeasure is deterministic decoys:
+    ``PathQueryObfuscator.obfuscate_independent(request, sticky_key=...)``
+    re-issues the *same* fakes for the same query, making the intersection
+    a fixpoint at the Definition 2 anonymity.
+    """
+
+    def intersect(
+        self, observations: Sequence[ObfuscatedPathQuery]
+    ) -> LinkageOutcome:
+        """Intersect candidate sets across linked observations.
+
+        Raises
+        ------
+        QueryError
+            On an empty sequence, or if the intersection is empty (the
+            observations cannot belong to one recurring query).
+        """
+        if not observations:
+            raise QueryError("linkage attack needs at least one observation")
+        sources = set(observations[0].source_set)
+        destinations = set(observations[0].destination_set)
+        for observed in observations[1:]:
+            sources &= observed.source_set
+            destinations &= observed.destination_set
+        if not sources or not destinations:
+            raise QueryError(
+                "intersection is empty; observations are not one recurring query"
+            )
+        return LinkageOutcome(
+            candidate_sources=frozenset(sources),
+            candidate_destinations=frozenset(destinations),
+            breach_probability=1.0 / (len(sources) * len(destinations)),
+            observations=len(observations),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CollusionOutcome:
+    """Result of a collusion attack against one victim.
+
+    Attributes
+    ----------
+    candidate_sources, candidate_destinations:
+        Endpoints the adversary could not eliminate.
+    breach_probability:
+        Chance a uniform guess over the surviving pairs hits the victim's
+        true query: ``1 / (|cand_S| x |cand_T|)``.
+    exposed:
+        ``True`` when the surviving sets are singletons — the victim's
+        query is fully revealed.
+    """
+
+    candidate_sources: frozenset[NodeId]
+    candidate_destinations: frozenset[NodeId]
+    breach_probability: float
+    exposed: bool
+
+
+class CollusionAttack:
+    """Server + colluding parties against one victim request.
+
+    Parameters
+    ----------
+    colluding_users:
+        User ids (hidden participants of the same shared query) who share
+        their own true endpoints with the server.
+    knows_fake_pool:
+        Whether the adversary can recognize the obfuscator's fabricated
+        endpoints (compromised decoy dictionary / RNG state).
+    """
+
+    def __init__(
+        self,
+        colluding_users: Sequence[str] = (),
+        knows_fake_pool: bool = False,
+    ) -> None:
+        self._colluders = frozenset(colluding_users)
+        self._knows_fake_pool = knows_fake_pool
+
+    @property
+    def colluding_users(self) -> frozenset[str]:
+        """Ids of the colluding participants."""
+        return self._colluders
+
+    def attack(
+        self, record: ObfuscationRecord, victim: ClientRequest
+    ) -> CollusionOutcome:
+        """Eliminate endpoints the collusion exposes; score what survives.
+
+        Elimination rules:
+
+        * every colluder reveals its own true source and destination —
+          those leave the victim's anonymity sets *unless* the victim
+          shares the endpoint (a shared node still hides the victim);
+        * with ``knows_fake_pool`` all fabricated endpoints are removed.
+
+        The victim's own endpoints always survive (they are real and not
+        the colluders').
+
+        Raises
+        ------
+        QueryError
+            If ``victim`` is not hidden inside ``record`` or is itself a
+            colluder (a colluder has no privacy left to measure).
+        """
+        if victim not in record.requests:
+            raise QueryError("victim request is not part of this record")
+        if victim.user in self._colluders:
+            raise QueryError("victim cannot be one of the colluders")
+
+        sources = set(record.query.sources)
+        destinations = set(record.query.destinations)
+        if self._knows_fake_pool:
+            sources -= record.fake_sources
+            destinations -= record.fake_destinations
+        victim_s = victim.query.source
+        victim_t = victim.query.destination
+        for request in record.requests:
+            if request.user not in self._colluders:
+                continue
+            if request.query.source != victim_s:
+                sources.discard(request.query.source)
+            if request.query.destination != victim_t:
+                destinations.discard(request.query.destination)
+        # The victim's endpoints are real; they can never be eliminated.
+        sources.add(victim_s)
+        destinations.add(victim_t)
+        breach = 1.0 / (len(sources) * len(destinations))
+        return CollusionOutcome(
+            candidate_sources=frozenset(sources),
+            candidate_destinations=frozenset(destinations),
+            breach_probability=breach,
+            exposed=len(sources) == 1 and len(destinations) == 1,
+        )

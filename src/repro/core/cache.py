@@ -1,0 +1,156 @@
+"""Obfuscator-side result path cache.
+
+Every obfuscated query makes the server compute |S| x |T| candidate
+paths; all but a handful answer nobody.  But the obfuscator *sees* them
+all — and may legitimately retain them, because candidate paths contain no
+user attribution.  Caching them means a later request whose (s, t) pair
+was already computed as somebody's decoy can be answered without
+contacting the server at all: zero marginal server cost and zero marginal
+exposure (the server never learns the query happened).
+
+:class:`PathCache` is a bounded LRU over (source, destination) pairs; an
+undirected network lets a hit on (t, s) serve (s, t) reversed.
+:class:`CachingOpaqueSystem` drops it in front of
+:class:`~repro.core.system.OpaqueSystem`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Sequence
+
+from repro.core.query import ClientRequest
+from repro.core.system import OpaqueSystem
+from repro.network.graph import NodeId
+from repro.search.result import PathResult
+
+__all__ = ["PathCache", "CachingOpaqueSystem"]
+
+
+class PathCache:
+    """Bounded LRU cache of shortest paths keyed by (source, destination).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum cached paths; 0 disables caching.
+    symmetric:
+        When ``True`` (undirected networks) a stored path also answers the
+        reversed pair, returned reversed.
+    """
+
+    def __init__(self, capacity: int = 4096, symmetric: bool = True) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self._capacity = capacity
+        self._symmetric = symmetric
+        self._paths: OrderedDict[tuple[NodeId, NodeId], PathResult] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached paths."""
+        return self._capacity
+
+    def get(self, source: NodeId, destination: NodeId) -> PathResult | None:
+        """Return the cached path for the pair, or ``None``.
+
+        Counts a hit/miss and refreshes LRU recency on hit.
+        """
+        key = (source, destination)
+        path = self._paths.get(key)
+        if path is not None:
+            self._paths.move_to_end(key)
+            self.hits += 1
+            return path
+        if self._symmetric:
+            reverse = self._paths.get((destination, source))
+            if reverse is not None:
+                self._paths.move_to_end((destination, source))
+                self.hits += 1
+                return PathResult(
+                    source=source,
+                    destination=destination,
+                    nodes=tuple(reversed(reverse.nodes)),
+                    distance=reverse.distance,
+                )
+        self.misses += 1
+        return None
+
+    def put(self, path: PathResult) -> None:
+        """Insert ``path`` (evicting the LRU entry when full)."""
+        if self._capacity == 0:
+            return
+        key = (path.source, path.destination)
+        if key in self._paths:
+            self._paths.move_to_end(key)
+        self._paths[key] = path
+        if len(self._paths) > self._capacity:
+            self._paths.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and zero the counters."""
+        self._paths.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when never used)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CachingOpaqueSystem:
+    """OPAQUE deployment with a candidate-path cache at the obfuscator.
+
+    Wraps an :class:`OpaqueSystem`: requests whose true pair is cached are
+    answered locally; the rest go through the normal pipeline, after which
+    *every* returned candidate path (decoys included) is ingested into the
+    cache.
+
+    Parameters
+    ----------
+    system:
+        The wrapped deployment.
+    cache:
+        Optional preconfigured :class:`PathCache`; defaults to a symmetric
+        4096-entry cache (matching the system's undirected default).
+    """
+
+    def __init__(self, system: OpaqueSystem, cache: PathCache | None = None) -> None:
+        self.system = system
+        self.cache = cache if cache is not None else PathCache()
+        #: requests answered without contacting the server, cumulative
+        self.locally_answered = 0
+
+    def submit(self, requests: Sequence[ClientRequest]) -> dict[str, PathResult]:
+        """Answer a batch, serving cached pairs locally.
+
+        Returns the same ``{user: PathResult}`` mapping as
+        :meth:`OpaqueSystem.submit`.
+        """
+        results: dict[str, PathResult] = {}
+        remaining: list[ClientRequest] = []
+        for request in requests:
+            cached = self.cache.get(request.query.source, request.query.destination)
+            if cached is not None:
+                results[request.user] = cached
+                self.locally_answered += 1
+            else:
+                remaining.append(request)
+        if remaining:
+            results.update(self.system.submit(remaining))
+            report = self.system.last_report
+            if report is not None:
+                # The obfuscator legitimately holds every candidate path
+                # (they carry no user attribution); keep them all so later
+                # requests matching a decoy pair never reach the server.
+                for path in report.candidate_results:
+                    if path.num_edges > 0:
+                        self.cache.put(path)
+        return results

@@ -1,0 +1,153 @@
+"""Path query clustering for shared obfuscation (Section IV).
+
+The obfuscator's first step "partitions the received queries into disjoint
+query sets"; each cluster then becomes one shared obfuscated path query.
+Good clusters group queries whose sources are geographically close *and*
+whose destinations are close: the union endpoint sets then span a small
+area, keeping the shared SSMD trees cheap (Lemma 1) while every member
+hides among the others' real endpoints.
+
+We implement greedy diameter-bounded clustering: requests are scanned in
+arrival order and joined to the first cluster whose source-side and
+destination-side Euclidean diameters stay within the bounds; otherwise a
+new cluster opens.  Greedy is O(n * clusters), deterministic, and — because
+the obfuscator is an online component — respects arrival order, unlike
+k-means-style passes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.query import ClientRequest
+from repro.network.graph import NodeId, RoadNetwork
+
+__all__ = ["QueryCluster", "cluster_requests"]
+
+
+@dataclass(slots=True)
+class QueryCluster:
+    """A group of requests destined for one shared obfuscated query."""
+
+    requests: list[ClientRequest] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of member requests."""
+        return len(self.requests)
+
+    @property
+    def source_nodes(self) -> list[NodeId]:
+        """Distinct true sources in arrival order."""
+        seen: set[NodeId] = set()
+        out: list[NodeId] = []
+        for r in self.requests:
+            s = r.query.source
+            if s not in seen:
+                seen.add(s)
+                out.append(s)
+        return out
+
+    @property
+    def destination_nodes(self) -> list[NodeId]:
+        """Distinct true destinations in arrival order."""
+        seen: set[NodeId] = set()
+        out: list[NodeId] = []
+        for r in self.requests:
+            t = r.query.destination
+            if t not in seen:
+                seen.add(t)
+                out.append(t)
+        return out
+
+    @property
+    def max_f_s(self) -> int:
+        """Strongest source-side protection requested by any member."""
+        return max(r.setting.f_s for r in self.requests)
+
+    @property
+    def max_f_t(self) -> int:
+        """Strongest destination-side protection requested by any member."""
+        return max(r.setting.f_t for r in self.requests)
+
+    def source_diameter(self, network: RoadNetwork) -> float:
+        """Largest Euclidean gap between member sources."""
+        return _diameter(self.source_nodes, network)
+
+    def destination_diameter(self, network: RoadNetwork) -> float:
+        """Largest Euclidean gap between member destinations."""
+        return _diameter(self.destination_nodes, network)
+
+
+def _diameter(nodes: Sequence[NodeId], network: RoadNetwork) -> float:
+    best = 0.0
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1 :]:
+            best = max(best, network.euclidean_distance(u, v))
+    return best
+
+
+def cluster_requests(
+    requests: Sequence[ClientRequest],
+    network: RoadNetwork,
+    max_source_diameter: float,
+    max_destination_diameter: float,
+    max_cluster_size: int | None = None,
+) -> list[QueryCluster]:
+    """Greedy diameter-bounded clustering of requests.
+
+    Parameters
+    ----------
+    requests:
+        Requests in arrival order (preserved inside clusters).
+    max_source_diameter, max_destination_diameter:
+        Euclidean bounds a cluster's true sources / destinations must fit
+        in.  ``float('inf')`` puts everything in one cluster.
+    max_cluster_size:
+        Optional cap on members per cluster (server-side fairness knob).
+
+    Returns
+    -------
+    list[QueryCluster]
+        Disjoint clusters covering all requests; at least one cluster per
+        request in the worst case.
+    """
+    if max_source_diameter < 0 or max_destination_diameter < 0:
+        raise ValueError("diameter bounds must be non-negative")
+    if max_cluster_size is not None and max_cluster_size < 1:
+        raise ValueError("max_cluster_size must be >= 1")
+    clusters: list[QueryCluster] = []
+    for request in requests:
+        placed = False
+        for cluster in clusters:
+            if max_cluster_size is not None and cluster.size >= max_cluster_size:
+                continue
+            if _fits(cluster, request, network, max_source_diameter,
+                     max_destination_diameter):
+                cluster.requests.append(request)
+                placed = True
+                break
+        if not placed:
+            clusters.append(QueryCluster(requests=[request]))
+    return clusters
+
+
+def _fits(
+    cluster: QueryCluster,
+    request: ClientRequest,
+    network: RoadNetwork,
+    max_source_diameter: float,
+    max_destination_diameter: float,
+) -> bool:
+    s = request.query.source
+    t = request.query.destination
+    for member in cluster.requests:
+        if network.euclidean_distance(member.query.source, s) > max_source_diameter:
+            return False
+        if (
+            network.euclidean_distance(member.query.destination, t)
+            > max_destination_diameter
+        ):
+            return False
+    return True

@@ -1,0 +1,91 @@
+"""Candidate result path filter (the obfuscator's second half, Figure 6).
+
+The server returns |S| x |T| candidate paths; the filter screens them,
+hands each client exactly the path answering its true query, and discards
+the satisfied request from the obfuscator's pending table "for sake of
+security" (Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.obfuscator import ObfuscationRecord, PathQueryObfuscator
+from repro.core.server import ServerResponse
+from repro.exceptions import ProtocolError
+from repro.search.result import PathResult
+
+__all__ = ["FilteredResults", "CandidateResultPathFilter"]
+
+
+@dataclass(frozen=True, slots=True)
+class FilteredResults:
+    """Per-user results extracted from one server response.
+
+    Attributes
+    ----------
+    paths_by_user:
+        ``{user: PathResult}`` — each user's true path.
+    discarded_paths:
+        Candidate paths that answered no real request (pure decoy work).
+    """
+
+    paths_by_user: dict[str, PathResult]
+    discarded_paths: int
+
+
+class CandidateResultPathFilter:
+    """Maps candidate result paths back to the hidden client requests.
+
+    Parameters
+    ----------
+    obfuscator:
+        The obfuscator owning the pending-record table; satisfied records
+        are discarded from it after filtering.
+    verifier:
+        Optional :class:`~repro.core.verification.CandidatePathVerifier`;
+        when set, every response is verified against the obfuscator's map
+        before any path reaches a client (malicious-server defense).
+    """
+
+    def __init__(self, obfuscator: PathQueryObfuscator, verifier=None) -> None:
+        self._obfuscator = obfuscator
+        self._verifier = verifier
+
+    def extract(
+        self, record: ObfuscationRecord, response: ServerResponse
+    ) -> FilteredResults:
+        """Screen ``response`` for the requests hidden in ``record``.
+
+        Raises
+        ------
+        ProtocolError
+            If the response answers a different query than the record's,
+            is missing the candidate path for some hidden request, or
+            fails verification — each indicates a corrupted, mismatched
+            or tampered exchange.
+        """
+        if response.query != record.query:
+            raise ProtocolError(
+                f"response answers a different query than record "
+                f"{record.record_id}"
+            )
+        if self._verifier is not None:
+            self._verifier.verify_response(response)
+        paths_by_user: dict[str, PathResult] = {}
+        for request in record.requests:
+            pair = request.query.as_pair()
+            try:
+                path = response.candidates.paths[pair]
+            except KeyError:
+                raise ProtocolError(
+                    f"server response is missing candidate path for pair {pair!r}"
+                ) from None
+            paths_by_user[request.user] = path
+        self._obfuscator.discard(record.record_id)
+        discarded = response.num_paths - len(
+            {r.query.as_pair() for r in record.requests}
+        )
+        return FilteredResults(
+            paths_by_user=paths_by_user, discarded_paths=discarded
+        )

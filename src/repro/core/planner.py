@@ -1,0 +1,152 @@
+"""Protection planning: choosing (f_S, f_T) for a breach target.
+
+Section III-B closes with: "we balance the power of path privacy
+protection and the processing cost by setting appropriate |S| and |T|".
+Lemma 1 makes the two sides asymmetric — each extra *source* costs a whole
+spanning tree, while extra *destinations* are nearly free once the tree
+must reach the furthest one.  So for a fixed anonymity product
+``f_S x f_T`` (fixed breach), the cheapest split loads the destination
+side.
+
+:func:`plan_protection` enumerates the candidate splits meeting a breach
+target, prices each with the Lemma 1 estimator over a trial obfuscation
+(no graph searches — Euclidean radii only), and returns them cheapest
+first.  Experiment E11 validates the predicted ordering against measured
+server cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.endpoints import FakeEndpointStrategy
+from repro.core.obfuscator import PathQueryObfuscator
+from repro.core.query import ClientRequest, PathQuery, ProtectionSetting
+from repro.exceptions import ObfuscationError, QueryError
+from repro.network.graph import RoadNetwork
+from repro.search.cost_model import lemma1_cost_estimate
+
+__all__ = ["ProtectionPlan", "plan_protection", "candidate_splits"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProtectionPlan:
+    """One candidate (f_S, f_T) split with its predicted price.
+
+    Attributes
+    ----------
+    setting:
+        The protection setting this plan realizes.
+    breach:
+        ``1/(f_S * f_T)``.
+    predicted_cost:
+        Lemma 1 estimate (Euclidean proxy, area units) of evaluating the
+        trial obfuscated query this split produced.
+    """
+
+    setting: ProtectionSetting
+    breach: float
+    predicted_cost: float
+
+
+def candidate_splits(
+    max_breach: float,
+    min_f_s: int = 1,
+    min_f_t: int = 1,
+    max_side: int = 16,
+) -> list[tuple[int, int]]:
+    """All (f_s, f_t) pairs meeting ``1/(f_s*f_t) <= max_breach``.
+
+    Only *minimal* products are returned: for each ``f_s`` the smallest
+    ``f_t`` that reaches the target (larger products only cost more).
+
+    Raises
+    ------
+    QueryError
+        If the target is unreachable within ``max_side`` per side, or the
+        arguments are out of range.
+    """
+    if not 0 < max_breach <= 1:
+        raise QueryError("max_breach must be in (0, 1]")
+    if min_f_s < 1 or min_f_t < 1:
+        raise QueryError("minimum sizes must be >= 1")
+    if max_side < max(min_f_s, min_f_t):
+        raise QueryError("max_side is below the minimum sizes")
+    needed = math.ceil(1.0 / max_breach - 1e-9)
+    splits: list[tuple[int, int]] = []
+    for f_s in range(min_f_s, max_side + 1):
+        f_t = max(min_f_t, math.ceil(needed / f_s))
+        if f_t <= max_side:
+            splits.append((f_s, f_t))
+    if not splits:
+        raise QueryError(
+            f"no (f_s, f_t) within max_side={max_side} reaches breach "
+            f"{max_breach}"
+        )
+    return splits
+
+
+def plan_protection(
+    network: RoadNetwork,
+    query: PathQuery,
+    max_breach: float,
+    strategy: FakeEndpointStrategy | None = None,
+    min_f_s: int = 1,
+    min_f_t: int = 1,
+    max_side: int = 16,
+    seed: int = 0,
+) -> list[ProtectionPlan]:
+    """Rank protection settings meeting ``max_breach``, cheapest first.
+
+    Each candidate split is realized as a trial obfuscation of ``query``
+    (using ``strategy``, default compact) and priced with the Lemma 1
+    Euclidean-proxy estimator — no shortest-path searches are run, so
+    planning is cheap enough to do per request.
+
+    Returns
+    -------
+    list[ProtectionPlan]
+        Sorted by predicted cost (ties: stronger protection first, then
+        smaller ``f_s``).  ``plans[0].setting`` is the recommendation.
+
+    Raises
+    ------
+    QueryError
+        If no split can reach the target.
+    ObfuscationError
+        If the map is too small to realize some split (that split is
+        skipped; raised only when *every* split fails).
+    """
+    splits = candidate_splits(
+        max_breach, min_f_s=min_f_s, min_f_t=min_f_t, max_side=max_side
+    )
+    plans: list[ProtectionPlan] = []
+    last_error: ObfuscationError | None = None
+    for f_s, f_t in splits:
+        setting = ProtectionSetting(f_s, f_t)
+        obfuscator = PathQueryObfuscator(network, strategy=strategy, seed=seed)
+        request = ClientRequest("planner", query, setting)
+        try:
+            record = obfuscator.obfuscate_independent(request)
+        except ObfuscationError as exc:
+            last_error = exc
+            continue
+        cost = lemma1_cost_estimate(
+            network,
+            list(record.query.sources),
+            list(record.query.destinations),
+            use_network_distance=False,
+        )
+        plans.append(
+            ProtectionPlan(
+                setting=setting,
+                breach=setting.target_breach,
+                predicted_cost=cost,
+            )
+        )
+    if not plans:
+        assert last_error is not None
+        raise last_error
+    plans.sort(key=lambda p: (p.predicted_cost, p.breach, p.setting.f_s))
+    return plans

@@ -1,0 +1,205 @@
+"""Privacy metrics: breach probability and prior-aware refinements.
+
+Definition 2 of the paper sets the breach probability of ``Q(S, T)`` at
+``1 / (|S| x |T|)`` — the chance a uniformly guessing server picks the true
+pair.  Real adversaries are rarely uniform: with public information (voter
+lists, yellow pages) they hold priors over which endpoints are plausible
+sources/destinations.  :func:`pair_posterior` and :func:`posterior_breach`
+quantify protection against such adversaries, and
+:func:`posterior_entropy_bits` gives the information-theoretic view used in
+experiment E7.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.query import ObfuscatedPathQuery, PathQuery
+from repro.exceptions import QueryError
+from repro.network.graph import NodeId
+
+__all__ = [
+    "breach_probability",
+    "pair_posterior",
+    "posterior_breach",
+    "posterior_entropy_bits",
+    "PrivacyReport",
+    "route_exposure",
+]
+
+
+def breach_probability(query: ObfuscatedPathQuery) -> float:
+    """Definition 2: ``1 / (|S| x |T|)`` for a uniform-guessing adversary."""
+    return 1.0 / query.num_pairs
+
+
+def pair_posterior(
+    query: ObfuscatedPathQuery,
+    source_prior: Mapping[NodeId, float] | None = None,
+    destination_prior: Mapping[NodeId, float] | None = None,
+) -> dict[tuple[NodeId, NodeId], float]:
+    """Adversary's posterior over the candidate ``(s, t)`` pairs.
+
+    The adversary assumes the true source and destination were drawn
+    independently from its priors, so the posterior of each candidate pair
+    is proportional to ``source_prior[s] * destination_prior[t]``.  Missing
+    or ``None`` priors default to uniform weight 1.  All-zero weight sets
+    fall back to uniform (the adversary has ruled everything out, which
+    contradicts observing the query; uniform is the sane recovery).
+
+    Returns
+    -------
+    dict
+        ``{(s, t): probability}`` summing to 1.
+    """
+    weights: dict[tuple[NodeId, NodeId], float] = {}
+    for s in query.sources:
+        ws = 1.0 if source_prior is None else max(float(source_prior.get(s, 0.0)), 0.0)
+        for t in query.destinations:
+            wt = (
+                1.0
+                if destination_prior is None
+                else max(float(destination_prior.get(t, 0.0)), 0.0)
+            )
+            weights[(s, t)] = ws * wt
+    total = sum(weights.values())
+    if total <= 0.0:
+        uniform = 1.0 / len(weights)
+        return {pair: uniform for pair in weights}
+    return {pair: w / total for pair, w in weights.items()}
+
+
+def posterior_breach(
+    query: ObfuscatedPathQuery,
+    true_query: PathQuery,
+    source_prior: Mapping[NodeId, float] | None = None,
+    destination_prior: Mapping[NodeId, float] | None = None,
+) -> float:
+    """Posterior probability the adversary assigns to the *true* pair.
+
+    This is the prior-aware generalization of Definition 2: with uniform
+    priors it equals ``1/(|S| x |T|)``; with skewed priors it exposes how
+    implausible fakes weaken the obfuscation.
+
+    Raises
+    ------
+    QueryError
+        If ``true_query`` is not covered by ``query`` (the obfuscation
+        would be broken outright).
+    """
+    if not query.covers(true_query):
+        raise QueryError("true query is not covered by the obfuscated query")
+    posterior = pair_posterior(query, source_prior, destination_prior)
+    return posterior[true_query.as_pair()]
+
+
+def posterior_entropy_bits(
+    query: ObfuscatedPathQuery,
+    source_prior: Mapping[NodeId, float] | None = None,
+    destination_prior: Mapping[NodeId, float] | None = None,
+) -> float:
+    """Shannon entropy (bits) of the adversary's pair posterior.
+
+    ``log2(|S| x |T|)`` under uniform priors; lower values mean the
+    adversary can concentrate its guesses.
+    """
+    posterior = pair_posterior(query, source_prior, destination_prior)
+    entropy = 0.0
+    for p in posterior.values():
+        if p > 0.0:
+            entropy -= p * math.log2(p)
+    return entropy
+
+
+@dataclass(frozen=True, slots=True)
+class PrivacyReport:
+    """Bundle of privacy metrics for one protected query.
+
+    Attributes
+    ----------
+    uniform_breach:
+        Definition 2 value ``1/(|S| x |T|)``.
+    posterior_breach:
+        True-pair posterior under the adversary's priors (equals
+        ``uniform_breach`` when priors are uniform).
+    max_posterior:
+        The adversary's best single-guess confidence over all candidate
+        pairs — an upper bound on any guessing attack's success rate.
+    entropy_bits:
+        Posterior entropy.
+    anonymity_pairs:
+        ``|S| x |T|``.
+    """
+
+    uniform_breach: float
+    posterior_breach: float
+    max_posterior: float
+    entropy_bits: float
+    anonymity_pairs: int
+
+
+def route_exposure(true_path, candidate_paths) -> float:
+    """Fraction of the true route's edges the adversary would bet on.
+
+    Endpoint anonymity is not the whole story: "a user is very likely to
+    take the returned path" (Section III-B), so a server can attack the
+    *route* instead of the endpoints.  Each edge of the true path is
+    scored by the fraction of candidate result paths containing it (either
+    direction) — the adversary's confidence that a traveller drawn from
+    the candidate set traverses that road segment.  The exposure is the
+    mean over the true path's edges:
+
+    * 1.0 — every candidate shares the whole true route (obfuscation
+      hides the endpoints but not the journey);
+    * 1/(number of candidates) — the true route is shared with no decoy
+      (the endpoint anonymity carries over to the route).
+
+    Parameters
+    ----------
+    true_path:
+        The user's :class:`~repro.search.result.PathResult`.
+    candidate_paths:
+        All candidate result paths of the obfuscated query (including the
+        true one).
+
+    Raises
+    ------
+    QueryError
+        If either input is empty or the true path has no edges.
+    """
+    candidates = list(candidate_paths)
+    if not candidates:
+        raise QueryError("route exposure needs at least one candidate path")
+    true_edges = [frozenset(edge) for edge in true_path.edges()]
+    if not true_edges:
+        raise QueryError("route exposure of a zero-edge path is undefined")
+    candidate_edge_sets = [
+        {frozenset(edge) for edge in path.edges()} for path in candidates
+    ]
+    total = 0.0
+    for edge in true_edges:
+        total += sum(edge in edges for edges in candidate_edge_sets) / len(
+            candidate_edge_sets
+        )
+    return total / len(true_edges)
+
+
+def privacy_report(
+    query: ObfuscatedPathQuery,
+    true_query: PathQuery,
+    source_prior: Mapping[NodeId, float] | None = None,
+    destination_prior: Mapping[NodeId, float] | None = None,
+) -> PrivacyReport:
+    """Compute the full :class:`PrivacyReport` for a protected query."""
+    posterior = pair_posterior(query, source_prior, destination_prior)
+    if not query.covers(true_query):
+        raise QueryError("true query is not covered by the obfuscated query")
+    return PrivacyReport(
+        uniform_breach=breach_probability(query),
+        posterior_breach=posterior[true_query.as_pair()],
+        max_posterior=max(posterior.values()),
+        entropy_bits=posterior_entropy_bits(query, source_prior, destination_prior),
+        anonymity_pairs=query.num_pairs,
+    )

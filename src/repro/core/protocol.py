@@ -1,0 +1,108 @@
+"""Message-level accounting for the client-obfuscator-server protocol.
+
+The paper's efficiency concern is two-sided: server processing *and*
+network resources ("clients retrieve additional paths for the fake
+queries, which are redundant, resulting in overconsumption of server and
+network resources", Section II).  This module prices each protocol message
+with a simple byte model so experiments can report traffic alongside
+search cost:
+
+* node id — 8 bytes;
+* request header (user id, protection setting) — 16 bytes;
+* a path — 8 bytes per node plus an 8-byte length/distance header.
+
+Absolute numbers are nominal; comparisons between mechanisms are what the
+experiments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.query import ClientRequest, ObfuscatedPathQuery
+from repro.search.result import PathResult
+
+__all__ = [
+    "NODE_ID_BYTES",
+    "REQUEST_HEADER_BYTES",
+    "PATH_HEADER_BYTES",
+    "estimate_message_bytes",
+    "TrafficLog",
+]
+
+NODE_ID_BYTES = 8
+REQUEST_HEADER_BYTES = 16
+PATH_HEADER_BYTES = 8
+
+
+def estimate_message_bytes(payload) -> int:
+    """Nominal wire size of one protocol payload.
+
+    Accepts a :class:`ClientRequest`, :class:`ObfuscatedPathQuery`,
+    :class:`PathResult`, or a list of any of these.
+
+    Raises
+    ------
+    TypeError
+        For unpriceable payload types.
+    """
+    if isinstance(payload, list):
+        return sum(estimate_message_bytes(item) for item in payload)
+    if isinstance(payload, ClientRequest):
+        return REQUEST_HEADER_BYTES + 2 * NODE_ID_BYTES
+    if isinstance(payload, ObfuscatedPathQuery):
+        return NODE_ID_BYTES * (len(payload.sources) + len(payload.destinations))
+    if isinstance(payload, PathResult):
+        return PATH_HEADER_BYTES + NODE_ID_BYTES * len(payload.nodes)
+    raise TypeError(f"cannot price payload of type {type(payload).__name__}")
+
+
+@dataclass(slots=True)
+class TrafficLog:
+    """Byte totals per protocol leg, accumulated over a session.
+
+    Legs follow Figure 6: client -> obfuscator (requests), obfuscator ->
+    server (obfuscated queries), server -> obfuscator (candidate paths),
+    obfuscator -> client (final results).
+    """
+
+    client_to_obfuscator: int = 0
+    obfuscator_to_server: int = 0
+    server_to_obfuscator: int = 0
+    obfuscator_to_client: int = 0
+    messages: int = 0
+
+    def record(self, leg: str, payload) -> int:
+        """Price ``payload`` and add it to ``leg``; returns the byte count.
+
+        ``leg`` is one of ``"request"``, ``"query"``, ``"candidates"``,
+        ``"result"``.
+        """
+        size = estimate_message_bytes(payload)
+        if leg == "request":
+            self.client_to_obfuscator += size
+        elif leg == "query":
+            self.obfuscator_to_server += size
+        elif leg == "candidates":
+            self.server_to_obfuscator += size
+        elif leg == "result":
+            self.obfuscator_to_client += size
+        else:
+            raise ValueError(f"unknown protocol leg {leg!r}")
+        self.messages += 1
+        return size
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes across all four legs."""
+        return (
+            self.client_to_obfuscator
+            + self.obfuscator_to_server
+            + self.server_to_obfuscator
+            + self.obfuscator_to_client
+        )
+
+    @property
+    def server_side_bytes(self) -> int:
+        """Bytes crossing the obfuscator-server link (the expensive WAN leg)."""
+        return self.obfuscator_to_server + self.server_to_obfuscator

@@ -1,0 +1,148 @@
+"""Path queries and obfuscated path queries (Definitions 1 of the paper).
+
+A :class:`PathQuery` is the user's true intent ``Q(s, t)``.  An
+:class:`ObfuscatedPathQuery` is the server-visible ``Q(S, T)`` with
+``s in S`` and ``t in T``; it stands for the whole cross product of path
+queries, which is what makes it private.  :class:`ProtectionSetting`
+carries a user's requested obfuscation power ``(f_S, f_T)`` and
+:class:`ClientRequest` is the tuple ``<u, (s, t), f_S, f_T>`` each client
+sends to the obfuscator (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryError
+from repro.network.graph import NodeId
+
+__all__ = ["PathQuery", "ProtectionSetting", "ClientRequest", "ObfuscatedPathQuery"]
+
+
+@dataclass(frozen=True, slots=True)
+class PathQuery:
+    """A true path query ``Q(s, t)``.
+
+    Raises
+    ------
+    QueryError
+        If the source equals the destination (there is nothing to route).
+    """
+
+    source: NodeId
+    destination: NodeId
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise QueryError(
+                f"source and destination coincide: {self.source!r}"
+            )
+
+    def as_pair(self) -> tuple[NodeId, NodeId]:
+        """The ``(s, t)`` tuple."""
+        return (self.source, self.destination)
+
+
+@dataclass(frozen=True, slots=True)
+class ProtectionSetting:
+    """A user's desired obfuscation power ``(f_S, f_T)``.
+
+    ``f_s`` and ``f_t`` are the requested sizes of the server-visible
+    source and destination sets.  ``(1, 1)`` means no protection.
+    """
+
+    f_s: int = 2
+    f_t: int = 2
+
+    def __post_init__(self) -> None:
+        if self.f_s < 1 or self.f_t < 1:
+            raise QueryError(f"protection sizes must be >= 1, got {self}")
+
+    @property
+    def target_breach(self) -> float:
+        """Breach probability this setting is asking for: ``1/(f_S * f_T)``."""
+        return 1.0 / (self.f_s * self.f_t)
+
+
+@dataclass(frozen=True, slots=True)
+class ClientRequest:
+    """The request tuple ``<u, (s, t), f_S, f_T>`` sent to the obfuscator."""
+
+    user: str
+    query: PathQuery
+    setting: ProtectionSetting = field(default_factory=ProtectionSetting)
+
+    def __post_init__(self) -> None:
+        if not self.user:
+            raise QueryError("request needs a non-empty user id")
+
+
+@dataclass(frozen=True, slots=True)
+class ObfuscatedPathQuery:
+    """The server-visible query ``Q(S, T)`` (Definition 1).
+
+    Invariants: both sets are non-empty and duplicate-free.  Endpoints are
+    stored as tuples to keep a deterministic wire order; membership tests
+    use precomputed frozensets.
+    """
+
+    sources: tuple[NodeId, ...]
+    destinations: tuple[NodeId, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sources or not self.destinations:
+            raise QueryError("obfuscated query needs non-empty S and T")
+        if len(set(self.sources)) != len(self.sources):
+            raise QueryError("duplicate entries in S")
+        if len(set(self.destinations)) != len(self.destinations):
+            raise QueryError("duplicate entries in T")
+
+    @property
+    def source_set(self) -> frozenset[NodeId]:
+        """``S`` as a frozenset."""
+        return frozenset(self.sources)
+
+    @property
+    def destination_set(self) -> frozenset[NodeId]:
+        """``T`` as a frozenset."""
+        return frozenset(self.destinations)
+
+    @property
+    def num_pairs(self) -> int:
+        """``|S| x |T|`` — how many path queries this stands for."""
+        return len(self.sources) * len(self.destinations)
+
+    def covers(self, query: PathQuery) -> bool:
+        """Whether ``query`` is one of the represented path queries."""
+        return (
+            query.source in self.source_set
+            and query.destination in self.destination_set
+        )
+
+    def pairs(self) -> list[tuple[NodeId, NodeId]]:
+        """All ``(s, t)`` pairs in deterministic order."""
+        return [(s, t) for s in self.sources for t in self.destinations]
+
+    def expand(self) -> list[PathQuery]:
+        """The represented path queries, skipping degenerate ``s == t`` pairs.
+
+        A pair whose source equals its destination can arise when the same
+        node appears in both S and T (allowed — it is just another decoy);
+        the server still returns a trivial path for it, but it is not a
+        meaningful :class:`PathQuery`.
+        """
+        out: list[PathQuery] = []
+        for s, t in self.pairs():
+            if s != t:
+                out.append(PathQuery(s, t))
+        return out
+
+    def satisfies(self, setting: ProtectionSetting) -> bool:
+        """Whether the set sizes meet a protection setting's ``(f_S, f_T)``."""
+        return len(self.sources) >= setting.f_s and len(self.destinations) >= setting.f_t
+
+    def __repr__(self) -> str:
+        return (
+            f"ObfuscatedPathQuery(|S|={len(self.sources)}, "
+            f"|T|={len(self.destinations)})"
+        )

@@ -1,0 +1,159 @@
+"""JSON wire format for protocol payloads.
+
+The client-obfuscator and obfuscator-server links of Figure 5 carry four
+payload kinds: client requests, obfuscated path queries, result paths,
+and candidate-path batches.  This module gives each a stable JSON
+encoding so the components can actually be deployed across processes,
+and so tests can inject corrupted messages.
+
+Node ids must be JSON-representable scalars (int or str); the encoder
+rejects anything else rather than silently coercing.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.query import (
+    ClientRequest,
+    ObfuscatedPathQuery,
+    PathQuery,
+    ProtectionSetting,
+)
+from repro.exceptions import ProtocolError
+from repro.search.result import PathResult
+
+__all__ = [
+    "encode_request",
+    "decode_request",
+    "encode_obfuscated_query",
+    "decode_obfuscated_query",
+    "encode_path",
+    "decode_path",
+    "encode_candidate_batch",
+    "decode_candidate_batch",
+]
+
+_SCALARS = (int, str)
+
+
+def _check_node(node) -> None:
+    if isinstance(node, bool) or not isinstance(node, _SCALARS):
+        raise ProtocolError(
+            f"node id {node!r} is not JSON-wire-safe (need int or str)"
+        )
+
+
+def encode_request(request: ClientRequest) -> str:
+    """Serialize a client request to a JSON string."""
+    _check_node(request.query.source)
+    _check_node(request.query.destination)
+    return json.dumps(
+        {
+            "kind": "request",
+            "user": request.user,
+            "source": request.query.source,
+            "destination": request.query.destination,
+            "f_s": request.setting.f_s,
+            "f_t": request.setting.f_t,
+        }
+    )
+
+
+def decode_request(text: str) -> ClientRequest:
+    """Parse a client request; raises :class:`ProtocolError` on bad input."""
+    payload = _load(text, "request")
+    try:
+        return ClientRequest(
+            user=payload["user"],
+            query=PathQuery(payload["source"], payload["destination"]),
+            setting=ProtectionSetting(payload["f_s"], payload["f_t"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(f"malformed request payload: {exc}") from exc
+
+
+def encode_obfuscated_query(query: ObfuscatedPathQuery) -> str:
+    """Serialize an obfuscated path query to a JSON string."""
+    for node in query.sources + query.destinations:
+        _check_node(node)
+    return json.dumps(
+        {
+            "kind": "obfuscated_query",
+            "sources": list(query.sources),
+            "destinations": list(query.destinations),
+        }
+    )
+
+
+def decode_obfuscated_query(text: str) -> ObfuscatedPathQuery:
+    """Parse an obfuscated path query."""
+    payload = _load(text, "obfuscated_query")
+    try:
+        return ObfuscatedPathQuery(
+            tuple(payload["sources"]), tuple(payload["destinations"])
+        )
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(f"malformed obfuscated query payload: {exc}") from exc
+
+
+def encode_path(path: PathResult) -> str:
+    """Serialize a result path to a JSON string."""
+    for node in path.nodes:
+        _check_node(node)
+    return json.dumps(
+        {
+            "kind": "path",
+            "nodes": list(path.nodes),
+            "distance": path.distance,
+        }
+    )
+
+
+def decode_path(text: str) -> PathResult:
+    """Parse a result path."""
+    payload = _load(text, "path")
+    try:
+        nodes = tuple(payload["nodes"])
+        return PathResult(
+            source=nodes[0],
+            destination=nodes[-1],
+            nodes=nodes,
+            distance=float(payload["distance"]),
+        )
+    except (KeyError, TypeError, IndexError, ValueError) as exc:
+        raise ProtocolError(f"malformed path payload: {exc}") from exc
+
+
+def encode_candidate_batch(paths: list[PathResult]) -> str:
+    """Serialize the server's candidate-path batch."""
+    return json.dumps(
+        {
+            "kind": "candidates",
+            "paths": [json.loads(encode_path(p)) for p in paths],
+        }
+    )
+
+
+def decode_candidate_batch(text: str) -> list[PathResult]:
+    """Parse a candidate-path batch."""
+    payload = _load(text, "candidates")
+    try:
+        return [decode_path(json.dumps(item)) for item in payload["paths"]]
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(f"malformed candidate batch payload: {exc}") from exc
+
+
+def _load(text: str, expected_kind: str) -> dict:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"payload is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("payload must be a JSON object")
+    kind = payload.get("kind")
+    if kind != expected_kind:
+        raise ProtocolError(
+            f"expected payload kind {expected_kind!r}, got {kind!r}"
+        )
+    return payload

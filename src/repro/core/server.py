@@ -1,0 +1,130 @@
+"""The directions search server with its obfuscated path query processor.
+
+The server is semi-trusted: it answers queries honestly but may analyze
+everything it sees.  Accordingly :class:`DirectionsServer` does two things:
+
+* evaluates obfuscated path queries with a pluggable MSMD strategy over a
+  (optionally paged) road network, returning every candidate path, and
+* logs every query it observes (``observed_queries``), which is exactly
+  the adversary's view used by :mod:`repro.core.attacks`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.query import ObfuscatedPathQuery
+from repro.network.graph import RoadNetwork
+from repro.network.storage import PagedNetwork
+from repro.search.multi import (
+    MSMDResult,
+    MultiSourceMultiDestProcessor,
+    SharedTreeProcessor,
+)
+from repro.search.result import SearchStats
+
+__all__ = ["ServerResponse", "DirectionsServer"]
+
+
+@dataclass(frozen=True, slots=True)
+class ServerResponse:
+    """What the server returns for one obfuscated path query."""
+
+    query: ObfuscatedPathQuery
+    candidates: MSMDResult
+
+    @property
+    def num_paths(self) -> int:
+        """Number of candidate result paths (|S| x |T|)."""
+        return self.candidates.num_paths
+
+
+@dataclass(slots=True)
+class ServerCounters:
+    """Cumulative server-side load counters."""
+
+    queries_served: int = 0
+    paths_returned: int = 0
+    stats: SearchStats = field(default_factory=SearchStats)
+
+
+class DirectionsServer:
+    """Directions search server running an MSMD processor.
+
+    Parameters
+    ----------
+    network:
+        The server's sophisticated road map.
+    processor:
+        MSMD evaluation strategy (defaults to the paper's
+        :class:`~repro.search.multi.SharedTreeProcessor`).
+    paged:
+        When ``True`` the map is wrapped in a
+        :class:`~repro.network.storage.PagedNetwork` so responses carry
+        page-fault counts (the paper's I/O cost).
+    page_capacity, buffer_capacity:
+        Storage-simulator knobs, used only when ``paged``.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        processor: MultiSourceMultiDestProcessor | None = None,
+        paged: bool = False,
+        page_capacity: int = 64,
+        buffer_capacity: int = 32,
+    ) -> None:
+        self._base_network = network
+        if paged:
+            self._network = PagedNetwork(
+                network,
+                page_capacity=page_capacity,
+                buffer_capacity=buffer_capacity,
+            )
+        else:
+            self._network = network
+        self._processor = (
+            processor if processor is not None else SharedTreeProcessor()
+        )
+        #: the adversary's view: every Q(S, T) this server ever saw
+        self.observed_queries: list[ObfuscatedPathQuery] = []
+        #: cumulative load counters
+        self.counters = ServerCounters()
+
+    @property
+    def processor(self) -> MultiSourceMultiDestProcessor:
+        """The MSMD strategy in use."""
+        return self._processor
+
+    @property
+    def network(self):
+        """The (possibly paged) network queries run against."""
+        return self._network
+
+    def answer(self, query: ObfuscatedPathQuery) -> ServerResponse:
+        """Evaluate ``Q(S, T)`` and return all candidate result paths.
+
+        Each call resets the paged network's buffer pool first (when
+        paging is on) so per-query page-fault counts are comparable.
+        """
+        self.observed_queries.append(query)
+        if isinstance(self._network, PagedNetwork):
+            self._network.reset_io()
+        result = self._processor.process(
+            self._network, list(query.sources), list(query.destinations)
+        )
+        self.counters.queries_served += 1
+        self.counters.paths_returned += result.num_paths
+        self.counters.stats.merge(result.stats)
+        return ServerResponse(query=query, candidates=result)
+
+    def reset_counters(self) -> None:
+        """Zero the cumulative counters and forget observed queries."""
+        self.observed_queries.clear()
+        self.counters = ServerCounters()
+
+    def __repr__(self) -> str:
+        return (
+            f"DirectionsServer(processor={self._processor.name!r}, "
+            f"network={self._network!r})"
+        )

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the OPAQUE reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a road network (unknown node, bad edge...)."""
+
+
+class UnknownNodeError(GraphError):
+    """A node id was referenced that does not exist in the network."""
+
+    def __init__(self, node_id: object) -> None:
+        super().__init__(f"unknown node: {node_id!r}")
+        self.node_id = node_id
+
+
+class DuplicateNodeError(GraphError):
+    """A node id was added twice to the same network."""
+
+    def __init__(self, node_id: object) -> None:
+        super().__init__(f"duplicate node: {node_id!r}")
+        self.node_id = node_id
+
+
+class EdgeError(GraphError):
+    """An edge is invalid (negative weight, self loop, missing endpoint)."""
+
+
+class NoPathError(ReproError):
+    """No path exists between the requested source and destination."""
+
+    def __init__(self, source: object, destination: object) -> None:
+        super().__init__(f"no path from {source!r} to {destination!r}")
+        self.source = source
+        self.destination = destination
+
+
+class QueryError(ReproError):
+    """A path query or obfuscated path query is malformed."""
+
+
+class ObfuscationError(ReproError):
+    """The obfuscator could not honor a protection setting."""
+
+
+class ProtocolError(ReproError):
+    """A message arrived out of order or referenced an unknown request."""
+
+
+class StorageError(ReproError):
+    """The page store or buffer pool was used incorrectly."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration is invalid or a run failed."""

@@ -1,0 +1,39 @@
+"""Experiment suite reproducing the paper's quantitative claims.
+
+One module per experiment (see DESIGN.md section 3 for the index); each
+exposes a ``Config`` dataclass and ``run(config=None) -> ExperimentResult``.
+``run_all`` executes the whole suite, which is what EXPERIMENTS.md records.
+"""
+
+from repro.experiments.harness import ExperimentResult, run_all
+from repro.experiments import (
+    e1_breach,
+    e2_processing_cost,
+    e3_mechanism_comparison,
+    e4_independent_vs_shared,
+    e5_collusion,
+    e6_scalability,
+    e7_endpoint_strategies,
+    e8_clustering,
+    e9_cost_model,
+    e10_batching_window,
+    e11_protection_sizing,
+    e12_linkage,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "run_all",
+    "e1_breach",
+    "e2_processing_cost",
+    "e3_mechanism_comparison",
+    "e4_independent_vs_shared",
+    "e5_collusion",
+    "e6_scalability",
+    "e7_endpoint_strategies",
+    "e8_clustering",
+    "e9_cost_model",
+    "e10_batching_window",
+    "e11_protection_sizing",
+    "e12_linkage",
+]

@@ -1,0 +1,86 @@
+"""E1 — Breach probability vs. obfuscation power (Definition 2).
+
+For each protection setting ``(f_S, f_T)`` we obfuscate a workload of
+queries independently and let the Definition 2 adversary (uniform guess
+over the candidate pairs) attack each obfuscated query many times.  The
+empirical breach rate must match the analytic ``1/(f_S * f_T)`` — the
+paper's running example is ``1/(2*3) = 1/6``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.attacks import empirical_breach_rate
+from repro.core.obfuscator import PathQueryObfuscator
+from repro.core.privacy import breach_probability
+from repro.core.query import ProtectionSetting
+from repro.experiments.harness import ExperimentResult
+from repro.network.generators import grid_network
+from repro.workloads.queries import requests_from_queries, uniform_queries
+
+__all__ = ["Config", "run"]
+
+
+@dataclass(slots=True)
+class Config:
+    """E1 parameters."""
+
+    grid_width: int = 30
+    grid_height: int = 30
+    num_queries: int = 20
+    settings: list[tuple[int, int]] = field(
+        default_factory=lambda: [(1, 1), (2, 2), (2, 3), (3, 3), (4, 4), (5, 5)]
+    )
+    trials_per_record: int = 200
+    seed: int = 1
+
+
+def run(config: Config | None = None) -> ExperimentResult:
+    """Run E1 and return its table."""
+    if config is None:
+        config = Config()
+    network = grid_network(
+        config.grid_width, config.grid_height, perturbation=0.1, seed=config.seed
+    )
+    queries = uniform_queries(network, config.num_queries, seed=config.seed)
+    result = ExperimentResult(
+        experiment_id="E1",
+        title="Breach probability vs. obfuscation power (f_S, f_T)",
+        columns=[
+            "f_s",
+            "f_t",
+            "pairs",
+            "analytic_breach",
+            "empirical_breach",
+            "abs_error",
+        ],
+        expectation=(
+            "empirical ~= 1/(f_S*f_T); monotonically decreasing in both sizes "
+            "(paper example: f=(2,3) -> 1/6)"
+        ),
+    )
+    for f_s, f_t in config.settings:
+        setting = ProtectionSetting(f_s, f_t)
+        requests = requests_from_queries(queries, setting)
+        obfuscator = PathQueryObfuscator(network, seed=config.seed)
+        records = [obfuscator.obfuscate_independent(r) for r in requests]
+        analytic = sum(breach_probability(r.query) for r in records) / len(records)
+        empirical = empirical_breach_rate(
+            records, trials_per_record=config.trials_per_record
+        )
+        result.rows.append(
+            {
+                "f_s": f_s,
+                "f_t": f_t,
+                "pairs": f_s * f_t,
+                "analytic_breach": analytic,
+                "empirical_breach": empirical,
+                "abs_error": abs(analytic - empirical),
+            }
+        )
+    return result
+
+
+if __name__ == "__main__":
+    print(run())

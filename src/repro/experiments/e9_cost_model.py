@@ -1,0 +1,108 @@
+"""E9 — Validating the O(||s,t||^2) point-query cost model (Section III-B).
+
+The paper estimates a Dijkstra search's cost as the area of the disc its
+spanning tree covers: ``O(||s,t||^2)``.  We sample queries across distance
+bands, measure settled nodes per query, and check that (a) cost grows
+superlinearly with distance and (b) a least-squares fit of
+``settled = a * distance^2`` explains most of the variance (high R^2 on
+grid-like networks, where node density is uniform).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.harness import ExperimentResult
+from repro.network.generators import grid_network
+from repro.search.dijkstra import dijkstra_path
+from repro.search.result import SearchStats
+from repro.workloads.queries import distance_bounded_queries
+
+__all__ = ["Config", "run"]
+
+
+@dataclass(slots=True)
+class Config:
+    """E9 parameters."""
+
+    grid_width: int = 50
+    grid_height: int = 50
+    queries_per_band: int = 10
+    distance_bands: list[tuple[float, float]] = field(
+        default_factory=lambda: [(2, 4), (4, 8), (8, 12), (12, 18), (18, 26), (26, 34)]
+    )
+    seed: int = 9
+
+
+def _quadratic_fit(
+    distances: list[float], costs: list[float]
+) -> tuple[float, float]:
+    """Least-squares fit of ``cost = a * d^2``; returns ``(a, r_squared)``."""
+    xs = [d * d for d in distances]
+    sxx = sum(x * x for x in xs)
+    sxy = sum(x * y for x, y in zip(xs, costs))
+    a = sxy / sxx if sxx > 0 else 0.0
+    mean_cost = sum(costs) / len(costs)
+    ss_tot = sum((y - mean_cost) ** 2 for y in costs)
+    ss_res = sum((y - a * x) ** 2 for x, y in zip(xs, costs))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return a, r_squared
+
+
+def run(config: Config | None = None) -> ExperimentResult:
+    """Run E9 and return its table."""
+    if config is None:
+        config = Config()
+    network = grid_network(
+        config.grid_width, config.grid_height, perturbation=0.1, seed=config.seed
+    )
+    result = ExperimentResult(
+        experiment_id="E9",
+        title="Point-query cost vs. ||s,t||^2 (Lemma 1's building block)",
+        columns=[
+            "band",
+            "mean_distance",
+            "mean_settled",
+            "settled_per_d2",
+        ],
+        expectation=(
+            "settled nodes grow ~quadratically with network distance; the "
+            "per-d^2 ratio is roughly constant across bands (uniform node "
+            "density); overall R^2 of the quadratic fit is high"
+        ),
+    )
+    all_distances: list[float] = []
+    all_costs: list[float] = []
+    for lo, hi in config.distance_bands:
+        queries = distance_bounded_queries(
+            network, config.queries_per_band, lo, hi, seed=config.seed
+        )
+        band_distances: list[float] = []
+        band_costs: list[float] = []
+        for query in queries:
+            stats = SearchStats()
+            path = dijkstra_path(network, query.source, query.destination, stats=stats)
+            band_distances.append(path.distance)
+            band_costs.append(stats.settled_nodes)
+        all_distances.extend(band_distances)
+        all_costs.extend(band_costs)
+        mean_d = sum(band_distances) / len(band_distances)
+        mean_c = sum(band_costs) / len(band_costs)
+        result.rows.append(
+            {
+                "band": f"[{lo}, {hi}]",
+                "mean_distance": mean_d,
+                "mean_settled": mean_c,
+                "settled_per_d2": mean_c / (mean_d * mean_d),
+            }
+        )
+    a, r_squared = _quadratic_fit(all_distances, all_costs)
+    result.notes = (
+        f"quadratic fit settled = {a:.4f} * d^2 with R^2 = {r_squared:.4f} "
+        f"over {len(all_costs)} queries"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run())

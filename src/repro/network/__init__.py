@@ -1,0 +1,43 @@
+"""Road-network substrate: graphs, generators, spatial index, page storage.
+
+This subpackage provides everything OPAQUE needs from the "map" side of the
+system: an in-memory weighted road network (:class:`RoadNetwork`), seeded
+synthetic network generators standing in for TIGER/Line data, a grid spatial
+index for nearest-node lookups, and a CCAM-style page store that lets search
+algorithms account for disk I/O the way the paper's cost model assumes.
+"""
+
+from repro.network.graph import RoadNetwork
+from repro.network.generators import (
+    grid_network,
+    one_way_grid_network,
+    random_geometric_network,
+    ring_radial_network,
+    tiger_like_network,
+)
+from repro.network.spatial import GridSpatialIndex
+from repro.network.storage import IOCounter, LRUBufferPool, PagedNetwork, PageStore
+from repro.network.io import read_network, write_network
+from repro.network.metrics import NetworkSummary, summarize_network
+from repro.network.views import FilteredView, ReverseView, avoid_fast_roads
+
+__all__ = [
+    "RoadNetwork",
+    "grid_network",
+    "one_way_grid_network",
+    "random_geometric_network",
+    "ring_radial_network",
+    "tiger_like_network",
+    "GridSpatialIndex",
+    "PageStore",
+    "PagedNetwork",
+    "LRUBufferPool",
+    "IOCounter",
+    "read_network",
+    "write_network",
+    "NetworkSummary",
+    "summarize_network",
+    "FilteredView",
+    "ReverseView",
+    "avoid_fast_roads",
+]

@@ -1,0 +1,83 @@
+"""Descriptive statistics for road networks.
+
+Used by tests and benchmarks to verify that the synthetic generators have
+road-like structure (low average degree, short edges, one component) before
+any experiment trusts them.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.network.graph import RoadNetwork
+
+__all__ = ["NetworkSummary", "summarize_network"]
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkSummary:
+    """Snapshot of a network's structure."""
+
+    num_nodes: int
+    num_edges: int
+    num_components: int
+    average_degree: float
+    max_degree: int
+    average_edge_weight: float
+    max_edge_weight: float
+    bounding_box: tuple[float, float, float, float]
+
+    @property
+    def is_road_like(self) -> bool:
+        """Heuristic check: sparse, low-degree, connected.
+
+        Real road networks have average degree around 2–4 and a single
+        component; generators should satisfy this.
+        """
+        return (
+            self.num_components == 1
+            and self.average_degree <= 8.0
+            and self.max_degree <= 16
+        )
+
+
+def summarize_network(network: RoadNetwork) -> NetworkSummary:
+    """Compute a :class:`NetworkSummary` for ``network``."""
+    if network.num_nodes == 0:
+        raise ValueError("cannot summarize an empty network")
+    degrees = [network.degree(n) for n in network.nodes()]
+    weights = [w for _u, _v, w in network.edges()]
+    return NetworkSummary(
+        num_nodes=network.num_nodes,
+        num_edges=network.num_edges,
+        num_components=len(network.connected_components()),
+        average_degree=sum(degrees) / len(degrees),
+        max_degree=max(degrees),
+        average_edge_weight=(sum(weights) / len(weights)) if weights else 0.0,
+        max_edge_weight=max(weights) if weights else 0.0,
+        bounding_box=network.bounding_box(),
+    )
+
+
+def sample_network_diameter(
+    network: RoadNetwork, samples: int = 16, seed: int = 0
+) -> float:
+    """Estimate the Euclidean diameter by sampling node pairs.
+
+    This is a geometric (not graph-distance) diameter — enough for sizing
+    obfuscation radii in workload generators.
+    """
+    nodes = list(network.nodes())
+    if len(nodes) < 2:
+        return 0.0
+    rng = random.Random(seed)
+    best = 0.0
+    for _ in range(samples):
+        u = rng.choice(nodes)
+        v = rng.choice(nodes)
+        best = max(best, network.euclidean_distance(u, v))
+    # Also check the bounding box corners as an upper-bound anchor.
+    min_x, min_y, max_x, max_y = network.bounding_box()
+    return max(best, math.hypot(max_x - min_x, max_y - min_y) * 0.5)

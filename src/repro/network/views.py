@@ -1,0 +1,148 @@
+"""Read-only network views: reversed edges and filtered subnetworks.
+
+Views wrap a network with the same read interface the search algorithms
+use, without copying it:
+
+* :class:`ReverseView` flips every edge of a directed network — the
+  backward half of point-to-point searches and destination-side SSMD trees
+  on one-way road networks.
+* :class:`FilteredView` hides edges failing a predicate — the paper's
+  "additional specified conditions (e.g., avoid highways)" (Section I).
+  :func:`avoid_fast_roads` builds the avoid-highways predicate for the
+  travel-time networks produced by
+  :func:`repro.network.generators.tiger_like_network`.
+
+Views compose: ``ReverseView(FilteredView(net, pred))`` is valid.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.network.graph import NodeId, Point
+
+EdgePredicate = Callable[[NodeId, NodeId, float], bool]
+
+__all__ = ["ReverseView", "FilteredView", "avoid_fast_roads"]
+
+
+class _ViewBase:
+    """Shared plumbing: delegate the non-adjacency read interface."""
+
+    def __init__(self, network) -> None:
+        self._network = network
+
+    @property
+    def base(self):
+        """The wrapped network."""
+        return self._network
+
+    @property
+    def num_nodes(self) -> int:
+        return self._network.num_nodes
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._network
+
+    def __len__(self) -> int:
+        return len(self._network)
+
+    def nodes(self) -> Iterator[NodeId]:
+        return self._network.nodes()
+
+    def position(self, node: NodeId) -> Point:
+        return self._network.position(node)
+
+    def euclidean_distance(self, u: NodeId, v: NodeId) -> float:
+        return self._network.euclidean_distance(u, v)
+
+
+class ReverseView(_ViewBase):
+    """The wrapped network with every edge direction flipped.
+
+    On undirected networks this is the identity (adjacency is symmetric
+    already); it exists so algorithms can uniformly ask for "the backward
+    graph".  The reverse adjacency is materialized lazily on first use and
+    then cached — O(E) once, O(1) per lookup after.
+    """
+
+    def __init__(self, network) -> None:
+        super().__init__(network)
+        self._reverse: dict[NodeId, dict[NodeId, float]] | None = None
+
+    @property
+    def directed(self) -> bool:
+        return getattr(self._network, "directed", False)
+
+    def _build(self) -> dict[NodeId, dict[NodeId, float]]:
+        reverse: dict[NodeId, dict[NodeId, float]] = {
+            node: {} for node in self._network.nodes()
+        }
+        for u in self._network.nodes():
+            for v, w in self._network.neighbors(u).items():
+                reverse[v][u] = w
+        return reverse
+
+    def neighbors(self, node: NodeId) -> dict[NodeId, float]:
+        """Incoming edges of ``node`` in the wrapped network."""
+        if not self.directed:
+            return self._network.neighbors(node)
+        if self._reverse is None:
+            self._reverse = self._build()
+        return self._reverse[node]
+
+
+class FilteredView(_ViewBase):
+    """The wrapped network restricted to edges passing ``predicate``.
+
+    Parameters
+    ----------
+    network:
+        Any network-like object.
+    predicate:
+        ``predicate(u, v, weight) -> bool``; edges where it returns
+        ``False`` become invisible to searches.  Nodes are never hidden —
+        an isolated node simply has no usable edges, and searches report
+        :class:`~repro.exceptions.NoPathError` naturally.
+
+    Notes
+    -----
+    Filtering happens per adjacency access (no copy), so the same view is
+    valid even if the predicate captures mutable state — but deterministic
+    predicates are strongly recommended for reproducibility.
+    """
+
+    def __init__(self, network, predicate: EdgePredicate) -> None:
+        super().__init__(network)
+        self._predicate = predicate
+
+    @property
+    def directed(self) -> bool:
+        return getattr(self._network, "directed", False)
+
+    def neighbors(self, node: NodeId) -> dict[NodeId, float]:
+        """Outgoing edges of ``node`` that pass the predicate."""
+        return {
+            v: w
+            for v, w in self._network.neighbors(node).items()
+            if self._predicate(node, v, w)
+        }
+
+
+def avoid_fast_roads(network, speed_threshold: float = 1.0) -> FilteredView:
+    """View of ``network`` without roads faster than ``speed_threshold``.
+
+    A road's speed is its Euclidean length divided by its traversal cost;
+    on the TIGER-like generator local streets have speed 1 and arterials
+    ``arterial_speedup`` > 1, so the default threshold hides exactly the
+    arterials — the paper's "avoid highways" condition.
+    """
+    epsilon = 1e-9
+
+    def keep(u: NodeId, v: NodeId, weight: float) -> bool:
+        if weight <= 0:
+            return True
+        speed = network.euclidean_distance(u, v) / weight
+        return speed <= speed_threshold + epsilon
+
+    return FilteredView(network, keep)

@@ -1,0 +1,51 @@
+"""Shortest-path search algorithms and the OPAQUE server-side processors.
+
+Point-to-point searches (Dijkstra, A*, bidirectional Dijkstra), the
+single-source multi-destination (SSMD) primitive the paper's server builds
+on, the multi-source multi-destination (MSMD) processors that evaluate
+obfuscated path queries, and the Lemma 1 analytic cost model.
+"""
+
+from repro.search.result import PathResult, SearchStats
+from repro.search.dijkstra import (
+    dijkstra_path,
+    dijkstra_sssp,
+    dijkstra_to_many,
+)
+from repro.search.astar import astar_path, euclidean_heuristic
+from repro.search.bidirectional import bidirectional_dijkstra_path
+from repro.search.multi import (
+    MSMDResult,
+    MultiSourceMultiDestProcessor,
+    NaivePairwiseProcessor,
+    SharedTreeProcessor,
+    SideSelectingProcessor,
+    get_processor,
+)
+from repro.search.cost_model import (
+    lemma1_cost_estimate,
+    point_query_cost_estimate,
+)
+from repro.search.alt import LandmarkIndex, alt_path, select_landmarks_farthest
+
+__all__ = [
+    "PathResult",
+    "SearchStats",
+    "dijkstra_path",
+    "dijkstra_sssp",
+    "dijkstra_to_many",
+    "astar_path",
+    "euclidean_heuristic",
+    "bidirectional_dijkstra_path",
+    "MSMDResult",
+    "MultiSourceMultiDestProcessor",
+    "NaivePairwiseProcessor",
+    "SharedTreeProcessor",
+    "SideSelectingProcessor",
+    "get_processor",
+    "lemma1_cost_estimate",
+    "point_query_cost_estimate",
+    "LandmarkIndex",
+    "alt_path",
+    "select_landmarks_farthest",
+]

@@ -1,0 +1,200 @@
+"""ALT: A* with landmark lower bounds (Goldberg & Harrelson).
+
+The directions servers the paper targets (GoogleMap, MapQuest...) do not
+run plain Dijkstra; they precompute auxiliary structures.  ALT is the
+classic goal-directed technique compatible with our cost accounting: pick
+a few landmark nodes, precompute shortest distances from each, and use the
+triangle inequality
+
+    d(n, t)  >=  | d(L, t) - d(L, n) |        for every landmark L
+
+as an admissible A* heuristic that is usually much tighter than Euclidean
+distance (it "knows" about obstacles and travel-time weights).  We use it
+as the server's fast point-to-point engine ablation in the search
+benchmarks.
+
+Directed networks are supported: the index keeps forward distances
+``d(L -> v)`` plus backward distances ``d(v -> L)`` (computed on the
+reverse adjacency) and takes the max of both triangle-inequality bounds,
+the standard directed-ALT construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import GraphError, UnknownNodeError
+from repro.network.graph import NodeId
+from repro.search.astar import astar_path
+from repro.search.dijkstra import dijkstra_sssp
+from repro.search.result import PathResult, SearchStats
+
+__all__ = ["LandmarkIndex", "alt_path", "select_landmarks_farthest"]
+
+
+def select_landmarks_farthest(
+    network, count: int, seed_node: NodeId | None = None
+) -> list[NodeId]:
+    """Farthest-point landmark selection.
+
+    Start from an arbitrary node, repeatedly add the node maximizing the
+    network distance to the nearest already-chosen landmark.  Classic ALT
+    practice: pushes landmarks to the periphery where their bounds are
+    tightest.
+
+    Parameters
+    ----------
+    count:
+        Number of landmarks (>= 1).
+    seed_node:
+        Starting node; defaults to the first node in iteration order.
+        The seed itself is *not* kept as a landmark (it is usually
+        central, hence useless) unless ``count`` exceeds what farthest
+        selection can produce.
+    """
+    if count < 1:
+        raise ValueError("need at least one landmark")
+    if network.num_nodes == 0:
+        raise GraphError("cannot select landmarks on an empty network")
+    if seed_node is None:
+        seed_node = next(network.nodes())
+    elif seed_node not in network:
+        raise UnknownNodeError(seed_node)
+
+    distances, _pred = dijkstra_sssp(network, seed_node)
+    first = max(distances, key=lambda n: (distances[n], repr(n)))
+    landmarks = [first]
+    min_dist = dict(dijkstra_sssp(network, first)[0])
+    while len(landmarks) < count:
+        candidate = max(min_dist, key=lambda n: (min_dist[n], repr(n)))
+        if candidate in landmarks or min_dist[candidate] <= 0:
+            break  # network exhausted (fewer distinct extremes than count)
+        landmarks.append(candidate)
+        for node, dist in dijkstra_sssp(network, candidate)[0].items():
+            if dist < min_dist.get(node, float("inf")):
+                min_dist[node] = dist
+    return landmarks
+
+
+class LandmarkIndex:
+    """Precomputed landmark distances powering the ALT heuristic.
+
+    Parameters
+    ----------
+    network:
+        Network to index (directed or undirected).
+    num_landmarks:
+        Landmarks to select (farthest-point strategy over forward
+        distances).
+    landmarks:
+        Explicit landmark nodes; overrides ``num_landmarks``.
+
+    Notes
+    -----
+    Preprocessing runs one full Dijkstra per landmark (two on directed
+    networks, forward plus reverse) — O(L * E log N) — and stores O(L * N)
+    distances; queries then get an admissible, consistent heuristic in
+    O(L) per node.
+    """
+
+    def __init__(
+        self,
+        network,
+        num_landmarks: int = 4,
+        landmarks: Sequence[NodeId] | None = None,
+    ) -> None:
+        self._network = network
+        if landmarks is None:
+            chosen = select_landmarks_farthest(network, num_landmarks)
+        else:
+            chosen = list(dict.fromkeys(landmarks))
+            if not chosen:
+                raise ValueError("need at least one landmark")
+            for node in chosen:
+                if node not in network:
+                    raise UnknownNodeError(node)
+        self._landmarks = chosen
+        # Forward tables: d(L -> v).
+        self._forward: dict[NodeId, dict[NodeId, float]] = {
+            lm: dict(dijkstra_sssp(network, lm)[0]) for lm in chosen
+        }
+        if getattr(network, "directed", False):
+            from repro.network.views import ReverseView
+
+            backward_net = ReverseView(network)
+            # Backward tables: d(v -> L), via SSSP on the reverse graph.
+            self._backward: dict[NodeId, dict[NodeId, float]] = {
+                lm: dict(dijkstra_sssp(backward_net, lm)[0]) for lm in chosen
+            }
+        else:
+            self._backward = self._forward
+
+    @property
+    def landmarks(self) -> list[NodeId]:
+        """The landmark nodes."""
+        return list(self._landmarks)
+
+    def heuristic_for(self, destination: NodeId):
+        """Admissible heuristic ``h(n) >= 0`` lower-bounding d(n, dest).
+
+        Uses both triangle-inequality bounds per landmark:
+        ``d(L->t) - d(L->n)`` (forward table) and ``d(n->L) - d(t->L)``
+        (backward table).  Unreachable nodes (absent from a table) get a
+        conservative 0 contribution from that landmark.
+        """
+        if destination not in self._network:
+            raise UnknownNodeError(destination)
+        anchors = [
+            (
+                self._forward[lm],
+                self._forward[lm].get(destination),
+                self._backward[lm],
+                self._backward[lm].get(destination),
+            )
+            for lm in self._landmarks
+        ]
+
+        def heuristic(node: NodeId) -> float:
+            best = 0.0
+            for forward, fwd_t, backward, bwd_t in anchors:
+                if fwd_t is not None:
+                    fwd_n = forward.get(node)
+                    if fwd_n is not None and fwd_t - fwd_n > best:
+                        best = fwd_t - fwd_n
+                if bwd_t is not None:
+                    bwd_n = backward.get(node)
+                    if bwd_n is not None and bwd_n - bwd_t > best:
+                        best = bwd_n - bwd_t
+            return best
+
+        return heuristic
+
+    def lower_bound(self, u: NodeId, v: NodeId) -> float:
+        """Landmark lower bound on the network distance d(u, v)."""
+        return self.heuristic_for(v)(u)
+
+
+def alt_path(
+    network,
+    source: NodeId,
+    destination: NodeId,
+    index: LandmarkIndex,
+    stats: SearchStats | None = None,
+) -> PathResult:
+    """Point-to-point shortest path via A* with the ALT heuristic.
+
+    Exactness follows from the heuristic's admissibility (triangle
+    inequality on true network distances).
+
+    Raises
+    ------
+    NoPathError
+        If ``destination`` is unreachable.
+    """
+    return astar_path(
+        network,
+        source,
+        destination,
+        heuristic=index.heuristic_for(destination),
+        stats=stats,
+    )

@@ -1,0 +1,118 @@
+"""A* point-to-point search with a Euclidean heuristic.
+
+The paper cites A* [2] as one of the "well-known shortest path algorithms"
+a directions server may run.  We provide it with a scaled Euclidean
+heuristic: on networks whose weights are Euclidean lengths the scale is 1
+and the heuristic is admissible; on travel-time networks (e.g.
+:func:`repro.network.generators.tiger_like_network`) the caller passes the
+best speed so the heuristic stays a lower bound.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.exceptions import NoPathError, UnknownNodeError
+from repro.network.graph import NodeId
+from repro.search.heap import AddressableHeap
+from repro.search.result import PathResult, SearchStats, reconstruct_path
+
+__all__ = ["astar_path", "euclidean_heuristic", "zero_heuristic"]
+
+Heuristic = Callable[[NodeId], float]
+
+
+def euclidean_heuristic(network, destination: NodeId, scale: float = 1.0) -> Heuristic:
+    """Heuristic ``h(n) = scale * euclid(n, destination)``.
+
+    ``scale`` must satisfy ``weight(u, v) >= scale * euclid(u, v)`` on every
+    edge for admissibility.  Use ``scale = 1 / max_speed`` on travel-time
+    networks whose fastest roads cover ``max_speed`` distance per cost unit.
+    """
+    if scale < 0:
+        raise ValueError("heuristic scale must be non-negative")
+    dest_point = network.position(destination)
+
+    def heuristic(node: NodeId) -> float:
+        return scale * network.position(node).distance_to(dest_point)
+
+    return heuristic
+
+
+def zero_heuristic(_node: NodeId) -> float:
+    """Degenerate heuristic turning A* into Dijkstra (testing aid)."""
+    return 0.0
+
+
+def astar_path(
+    network,
+    source: NodeId,
+    destination: NodeId,
+    heuristic: Heuristic | None = None,
+    stats: SearchStats | None = None,
+) -> PathResult:
+    """Shortest path from ``source`` to ``destination`` via A*.
+
+    Parameters
+    ----------
+    heuristic:
+        Callable mapping a node to a lower bound on its remaining distance.
+        Defaults to the unit-scale Euclidean heuristic, which is admissible
+        whenever edge weights are at least the Euclidean gap they span.
+    stats:
+        Optional cost accumulator (settled nodes, relaxations, page I/O
+        when ``network`` is a :class:`~repro.network.storage.PagedNetwork`).
+
+    Raises
+    ------
+    NoPathError
+        If ``destination`` is unreachable from ``source``.
+    """
+    if source not in network:
+        raise UnknownNodeError(source)
+    if destination not in network:
+        raise UnknownNodeError(destination)
+    if stats is None:
+        stats = SearchStats()
+    if heuristic is None:
+        heuristic = euclidean_heuristic(network, destination)
+    io = getattr(network, "io", None)
+    io_before = (io.page_faults, io.distinct_pages) if io is not None else (0, 0)
+
+    if source == destination:
+        return PathResult(source, destination, (source,), 0.0)
+
+    g_score: dict[NodeId, float] = {source: 0.0}
+    predecessors: dict[NodeId, NodeId] = {}
+    settled: set[NodeId] = set()
+    heap: AddressableHeap[NodeId] = AddressableHeap()
+    heap.push(source, heuristic(source))
+    stats.heap_pushes += 1
+
+    result: PathResult | None = None
+    while heap:
+        node, _f = heap.pop()
+        dist = g_score[node]
+        settled.add(node)
+        stats.settled_nodes += 1
+        stats.max_settled_distance = max(stats.max_settled_distance, dist)
+        if node == destination:
+            result = reconstruct_path(predecessors, source, destination, dist)
+            break
+        for neighbor, weight in network.neighbors(node).items():
+            if neighbor in settled:
+                continue
+            stats.relaxed_edges += 1
+            candidate = dist + weight
+            if candidate < g_score.get(neighbor, float("inf")):
+                g_score[neighbor] = candidate
+                predecessors[neighbor] = node
+                if heap.push_or_decrease(neighbor, candidate + heuristic(neighbor)):
+                    stats.heap_pushes += 1
+
+    if io is not None:
+        stats.page_faults += io.page_faults - io_before[0]
+        stats.pages_touched += io.distinct_pages - io_before[1]
+    if result is None:
+        raise NoPathError(source, destination)
+    return result

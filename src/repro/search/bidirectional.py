@@ -1,0 +1,117 @@
+"""Bidirectional Dijkstra for point-to-point queries.
+
+Used as the fast point-to-point engine inside the naive pairwise processor
+ablation: when the server refuses to share spanning trees, bidirectional
+search is the best it can do per pair.  Directed networks are supported:
+the backward frontier expands over the reverse adjacency
+(:class:`~repro.network.views.ReverseView`).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import NoPathError, UnknownNodeError
+from repro.network.graph import NodeId
+from repro.search.heap import AddressableHeap
+from repro.search.result import PathResult, SearchStats
+
+__all__ = ["bidirectional_dijkstra_path"]
+
+
+def bidirectional_dijkstra_path(
+    network,
+    source: NodeId,
+    destination: NodeId,
+    stats: SearchStats | None = None,
+) -> PathResult:
+    """Shortest path via simultaneous forward and backward Dijkstra.
+
+    The two frontiers alternate expansions; the search stops when the sum
+    of the two frontier minima reaches the best connecting distance seen,
+    the classic stopping rule that guarantees optimality.  On directed
+    networks the backward frontier follows edges in reverse.
+
+    Raises
+    ------
+    NoPathError
+        If no path exists.
+    """
+    if source not in network:
+        raise UnknownNodeError(source)
+    if destination not in network:
+        raise UnknownNodeError(destination)
+    if stats is None:
+        stats = SearchStats()
+    io = getattr(network, "io", None)
+    io_before = (io.page_faults, io.distinct_pages) if io is not None else (0, 0)
+
+    if source == destination:
+        return PathResult(source, destination, (source,), 0.0)
+
+    if getattr(network, "directed", False):
+        from repro.network.views import ReverseView
+
+        sides = (network, ReverseView(network))
+    else:
+        sides = (network, network)
+
+    # Index 0 = forward from source, 1 = backward from destination.
+    dist: list[dict[NodeId, float]] = [{source: 0.0}, {destination: 0.0}]
+    pred: list[dict[NodeId, NodeId]] = [{}, {}]
+    settled: list[set[NodeId]] = [set(), set()]
+    heaps: list[AddressableHeap[NodeId]] = [AddressableHeap(), AddressableHeap()]
+    heaps[0].push(source, 0.0)
+    heaps[1].push(destination, 0.0)
+    stats.heap_pushes += 2
+
+    best_total = float("inf")
+    meeting_node: NodeId | None = None
+
+    while heaps[0] and heaps[1]:
+        _key0, min0 = heaps[0].peek()
+        _key1, min1 = heaps[1].peek()
+        if min0 + min1 >= best_total:
+            break
+        side = 0 if min0 <= min1 else 1
+        node, d = heaps[side].pop()
+        settled[side].add(node)
+        stats.settled_nodes += 1
+        stats.max_settled_distance = max(stats.max_settled_distance, d)
+        for neighbor, weight in sides[side].neighbors(node).items():
+            if neighbor in settled[side]:
+                continue
+            stats.relaxed_edges += 1
+            candidate = d + weight
+            if candidate < dist[side].get(neighbor, float("inf")):
+                dist[side][neighbor] = candidate
+                pred[side][neighbor] = node
+                if heaps[side].push_or_decrease(neighbor, candidate):
+                    stats.heap_pushes += 1
+            other = 1 - side
+            if neighbor in dist[other]:
+                total = dist[side][neighbor] + dist[other][neighbor]
+                if total < best_total:
+                    best_total = total
+                    meeting_node = neighbor
+
+    if io is not None:
+        stats.page_faults += io.page_faults - io_before[0]
+        stats.pages_touched += io.distinct_pages - io_before[1]
+    if meeting_node is None:
+        raise NoPathError(source, destination)
+
+    forward_half: list[NodeId] = [meeting_node]
+    node = meeting_node
+    while node != source:
+        node = pred[0][node]
+        forward_half.append(node)
+    forward_half.reverse()
+    node = meeting_node
+    while node != destination:
+        node = pred[1][node]
+        forward_half.append(node)
+    return PathResult(
+        source=source,
+        destination=destination,
+        nodes=tuple(forward_half),
+        distance=best_total,
+    )

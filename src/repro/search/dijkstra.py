@@ -1,0 +1,201 @@
+"""Dijkstra's algorithm: point-to-point, multi-destination, and full SSSP.
+
+The single-source multi-destination variant (:func:`dijkstra_to_many`) is
+the primitive the paper's server-side processor builds on: "Dijkstra's
+algorithm is extensible to search paths from a single source to multiple
+destinations by forming a spanning tree until all the destinations are
+reached" (Section III-B).  Its cost is bounded by the furthest destination,
+which is exactly the quantity Lemma 1 sums over sources.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.exceptions import NoPathError, UnknownNodeError
+from repro.network.graph import NodeId
+from repro.search.heap import AddressableHeap
+from repro.search.result import PathResult, SearchStats, reconstruct_path
+
+__all__ = ["dijkstra_path", "dijkstra_to_many", "dijkstra_sssp"]
+
+
+def _io_snapshot(network) -> tuple[int, int]:
+    io = getattr(network, "io", None)
+    if io is None:
+        return 0, 0
+    return io.page_faults, io.distinct_pages
+
+
+def _io_delta(network, stats: SearchStats, before: tuple[int, int]) -> None:
+    io = getattr(network, "io", None)
+    if io is None:
+        return
+    stats.page_faults += io.page_faults - before[0]
+    stats.pages_touched += io.distinct_pages - before[1]
+
+
+def _check_node(network, node: NodeId) -> None:
+    if node not in network:
+        raise UnknownNodeError(node)
+
+
+def dijkstra_path(
+    network,
+    source: NodeId,
+    destination: NodeId,
+    stats: SearchStats | None = None,
+) -> PathResult:
+    """Shortest path from ``source`` to ``destination``.
+
+    Terminates as soon as the destination is settled (standard early exit).
+
+    Parameters
+    ----------
+    network:
+        Any object with the :class:`~repro.network.graph.RoadNetwork` read
+        interface (including :class:`~repro.network.storage.PagedNetwork`).
+    stats:
+        Optional accumulator for cost counters.
+
+    Raises
+    ------
+    NoPathError
+        If the destination is unreachable.
+    UnknownNodeError
+        If either endpoint is missing from the network.
+    """
+    results = dijkstra_to_many(network, source, [destination], stats=stats)
+    return results[destination]
+
+
+def dijkstra_to_many(
+    network,
+    source: NodeId,
+    destinations: Iterable[NodeId],
+    stats: SearchStats | None = None,
+    strict: bool = True,
+) -> dict[NodeId, PathResult]:
+    """Shortest paths from one source to several destinations (SSMD).
+
+    Grows a single spanning tree from ``source`` and stops once every
+    destination is settled, so the cost is ``O(max_t ||source, t||^2)`` on a
+    planar network — the paper's key server-side optimization.
+
+    Parameters
+    ----------
+    destinations:
+        Target nodes; duplicates are tolerated.
+    strict:
+        When ``True`` (default) an unreachable destination raises
+        :class:`NoPathError`; otherwise it is omitted from the result.
+
+    Returns
+    -------
+    dict
+        ``{destination: PathResult}`` with one entry per (reachable)
+        destination.  The trivial path is returned when a destination
+        equals the source.
+    """
+    _check_node(network, source)
+    targets = set(destinations)
+    for node in targets:
+        _check_node(network, node)
+    if stats is None:
+        stats = SearchStats()
+    io_before = _io_snapshot(network)
+
+    results: dict[NodeId, PathResult] = {}
+    remaining = set(targets)
+    if source in remaining:
+        results[source] = PathResult(source, source, (source,), 0.0)
+        remaining.discard(source)
+
+    distances: dict[NodeId, float] = {source: 0.0}
+    predecessors: dict[NodeId, NodeId] = {}
+    settled: set[NodeId] = set()
+    heap: AddressableHeap[NodeId] = AddressableHeap()
+    heap.push(source, 0.0)
+    stats.heap_pushes += 1
+
+    while heap and remaining:
+        node, dist = heap.pop()
+        settled.add(node)
+        stats.settled_nodes += 1
+        stats.max_settled_distance = max(stats.max_settled_distance, dist)
+        if node in remaining:
+            remaining.discard(node)
+            results[node] = reconstruct_path(predecessors, source, node, dist)
+            if not remaining:
+                break
+        for neighbor, weight in network.neighbors(node).items():
+            if neighbor in settled:
+                continue
+            stats.relaxed_edges += 1
+            candidate = dist + weight
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                predecessors[neighbor] = node
+                if heap.push_or_decrease(neighbor, candidate):
+                    stats.heap_pushes += 1
+
+    _io_delta(network, stats, io_before)
+    if strict and remaining:
+        missing = next(iter(remaining))
+        raise NoPathError(source, missing)
+    return results
+
+
+def dijkstra_sssp(
+    network,
+    source: NodeId,
+    stats: SearchStats | None = None,
+    max_distance: float | None = None,
+) -> tuple[dict[NodeId, float], dict[NodeId, NodeId]]:
+    """Full single-source shortest-path tree (optionally radius-bounded).
+
+    Parameters
+    ----------
+    max_distance:
+        When given, exploration stops at nodes beyond this distance; the
+        returned maps cover the ball of that radius around ``source``.
+
+    Returns
+    -------
+    (distances, predecessors)
+        ``distances[n]`` is the shortest distance to each settled node;
+        ``predecessors`` lets callers rebuild any path with
+        :func:`repro.search.result.reconstruct_path`.
+    """
+    _check_node(network, source)
+    if stats is None:
+        stats = SearchStats()
+    io_before = _io_snapshot(network)
+
+    distances: dict[NodeId, float] = {source: 0.0}
+    final: dict[NodeId, float] = {}
+    predecessors: dict[NodeId, NodeId] = {}
+    heap: AddressableHeap[NodeId] = AddressableHeap()
+    heap.push(source, 0.0)
+    stats.heap_pushes += 1
+
+    while heap:
+        node, dist = heap.pop()
+        if max_distance is not None and dist > max_distance:
+            break
+        final[node] = dist
+        stats.settled_nodes += 1
+        stats.max_settled_distance = max(stats.max_settled_distance, dist)
+        for neighbor, weight in network.neighbors(node).items():
+            if neighbor in final:
+                continue
+            stats.relaxed_edges += 1
+            candidate = dist + weight
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                predecessors[neighbor] = node
+                if heap.push_or_decrease(neighbor, candidate):
+                    stats.heap_pushes += 1
+
+    _io_delta(network, stats, io_before)
+    return final, predecessors

@@ -1,0 +1,220 @@
+"""Multi-source multi-destination (MSMD) processors for obfuscated queries.
+
+An obfuscated path query ``Q(S, T)`` stands for the |S| x |T| path queries
+``{Q(s, t) : s in S, t in T}`` and the server must answer all of them (it
+cannot know which is real).  This module provides the server-side
+evaluation strategies:
+
+* :class:`NaivePairwiseProcessor` — one independent point-to-point search
+  per (s, t) pair; the strawman whose cost grows with |S| x |T|.
+* :class:`SharedTreeProcessor` — one single-source multi-destination
+  Dijkstra tree per source (the paper's design); cost
+  ``O(sum_s max_t ||s,t||^2)`` per Lemma 1.
+* :class:`SideSelectingProcessor` — shared trees grown from whichever side
+  of the query is smaller (valid on undirected networks), an ablation
+  showing the |S| vs |T| asymmetry in Lemma 1.
+
+All processors return the same :class:`MSMDResult` so experiments can swap
+them freely.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryError
+from repro.network.graph import NodeId
+from repro.search.bidirectional import bidirectional_dijkstra_path
+from repro.search.dijkstra import dijkstra_path, dijkstra_to_many
+from repro.search.result import PathResult, SearchStats
+
+__all__ = [
+    "MSMDResult",
+    "MultiSourceMultiDestProcessor",
+    "NaivePairwiseProcessor",
+    "SharedTreeProcessor",
+    "SideSelectingProcessor",
+    "get_processor",
+]
+
+
+@dataclass(slots=True)
+class MSMDResult:
+    """All candidate result paths of one obfuscated path query.
+
+    Attributes
+    ----------
+    paths:
+        ``{(s, t): PathResult}`` for every pair in S x T.
+    stats:
+        Aggregate search cost over the whole evaluation.
+    searches:
+        Number of distinct graph searches performed (trees grown for the
+        shared strategies, pairs for the naive one).
+    """
+
+    paths: dict[tuple[NodeId, NodeId], PathResult] = field(default_factory=dict)
+    stats: SearchStats = field(default_factory=SearchStats)
+    searches: int = 0
+
+    def path_for(self, source: NodeId, destination: NodeId) -> PathResult:
+        """The candidate path answering ``Q(source, destination)``.
+
+        Raises
+        ------
+        KeyError
+            If the pair was not part of the evaluated query.
+        """
+        return self.paths[(source, destination)]
+
+    @property
+    def num_paths(self) -> int:
+        """Number of candidate paths (|S| x |T|)."""
+        return len(self.paths)
+
+
+def _validate(sources: Sequence[NodeId], destinations: Sequence[NodeId]) -> None:
+    if not sources:
+        raise QueryError("obfuscated query needs at least one source")
+    if not destinations:
+        raise QueryError("obfuscated query needs at least one destination")
+    if len(set(sources)) != len(sources):
+        raise QueryError("duplicate sources in obfuscated query")
+    if len(set(destinations)) != len(destinations):
+        raise QueryError("duplicate destinations in obfuscated query")
+
+
+class MultiSourceMultiDestProcessor:
+    """Interface of every MSMD evaluation strategy.
+
+    Subclasses implement :meth:`process`, answering every pair of
+    ``sources x destinations`` over ``network``.
+    """
+
+    #: short identifier used by experiment configs and :func:`get_processor`
+    name: str = "abstract"
+
+    def process(
+        self,
+        network,
+        sources: Sequence[NodeId],
+        destinations: Sequence[NodeId],
+    ) -> MSMDResult:
+        """Evaluate the obfuscated query; see :class:`MSMDResult`."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class NaivePairwiseProcessor(MultiSourceMultiDestProcessor):
+    """One independent point-to-point search per (s, t) pair.
+
+    Parameters
+    ----------
+    engine:
+        ``"dijkstra"`` (default) or ``"bidirectional"`` — which
+        point-to-point algorithm answers each pair.
+    """
+
+    name = "naive"
+
+    def __init__(self, engine: str = "dijkstra") -> None:
+        if engine not in ("dijkstra", "bidirectional"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self._engine = engine
+
+    def process(self, network, sources, destinations) -> MSMDResult:
+        _validate(sources, destinations)
+        result = MSMDResult()
+        for s in sources:
+            for t in destinations:
+                stats = SearchStats()
+                if self._engine == "bidirectional":
+                    path = bidirectional_dijkstra_path(network, s, t, stats=stats)
+                else:
+                    path = dijkstra_path(network, s, t, stats=stats)
+                result.paths[(s, t)] = path
+                result.stats.merge(stats)
+                result.searches += 1
+        return result
+
+
+class SharedTreeProcessor(MultiSourceMultiDestProcessor):
+    """One SSMD spanning tree per source — the paper's processor.
+
+    For each ``s in S`` a single Dijkstra tree is grown until all of ``T``
+    is settled, so the per-source cost is bounded by the furthest
+    destination (Lemma 1) instead of paying once per destination.
+    """
+
+    name = "shared"
+
+    def process(self, network, sources, destinations) -> MSMDResult:
+        _validate(sources, destinations)
+        result = MSMDResult()
+        for s in sources:
+            stats = SearchStats()
+            paths = dijkstra_to_many(network, s, destinations, stats=stats)
+            for t in destinations:
+                result.paths[(s, t)] = paths[t]
+            result.stats.merge(stats)
+            result.searches += 1
+        return result
+
+
+class SideSelectingProcessor(MultiSourceMultiDestProcessor):
+    """Shared trees grown from the smaller of S and T.
+
+    When |T| < |S| it is cheaper to grow |T| trees from the destinations
+    and reverse the resulting paths.  On undirected networks the reversed
+    tree is grown on the network itself; on directed networks it is grown
+    on the reverse adjacency (:class:`~repro.network.views.ReverseView`),
+    so one-way streets are honored exactly.
+    """
+
+    name = "side-selecting"
+
+    def process(self, network, sources, destinations) -> MSMDResult:
+        _validate(sources, destinations)
+        if len(destinations) >= len(sources):
+            return SharedTreeProcessor().process(network, sources, destinations)
+        if getattr(network, "directed", False):
+            from repro.network.views import ReverseView
+
+            backward = ReverseView(network)
+        else:
+            backward = network
+        swapped = SharedTreeProcessor().process(backward, destinations, sources)
+        result = MSMDResult(stats=swapped.stats, searches=swapped.searches)
+        for (t, s), path in swapped.paths.items():
+            result.paths[(s, t)] = PathResult(
+                source=s,
+                destination=t,
+                nodes=tuple(reversed(path.nodes)),
+                distance=path.distance,
+            )
+        return result
+
+
+_PROCESSORS: dict[str, type[MultiSourceMultiDestProcessor]] = {
+    NaivePairwiseProcessor.name: NaivePairwiseProcessor,
+    SharedTreeProcessor.name: SharedTreeProcessor,
+    SideSelectingProcessor.name: SideSelectingProcessor,
+}
+
+
+def get_processor(name: str) -> MultiSourceMultiDestProcessor:
+    """Instantiate a processor by its ``name`` attribute.
+
+    Raises
+    ------
+    KeyError
+        For unknown names; the message lists the valid ones.
+    """
+    try:
+        return _PROCESSORS[name]()
+    except KeyError:
+        valid = ", ".join(sorted(_PROCESSORS))
+        raise KeyError(f"unknown processor {name!r}; valid: {valid}") from None

@@ -1,0 +1,140 @@
+"""Search results and cost accounting.
+
+Every search algorithm in this package returns :class:`PathResult` objects
+and fills in a :class:`SearchStats`, which is the unit of measurement the
+experiments use (settled nodes approximates computational cost; page faults
+come from :class:`~repro.network.storage.PagedNetwork` when one is used).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.graph import NodeId
+
+__all__ = ["SearchStats", "PathResult", "reconstruct_path"]
+
+
+@dataclass(slots=True)
+class SearchStats:
+    """Cost counters for one search invocation.
+
+    Attributes
+    ----------
+    settled_nodes:
+        Nodes whose final distance was fixed (spanning-tree size; the
+        paper's computational-cost proxy).
+    relaxed_edges:
+        Edge relaxations attempted.
+    heap_pushes:
+        Priority-queue insertions.
+    page_faults:
+        Physical page reads, when the search ran over a
+        :class:`~repro.network.storage.PagedNetwork` (else 0).
+    pages_touched:
+        Distinct pages accessed (ditto).
+    max_settled_distance:
+        Radius of the spanning tree — the paper bounds cost by the square
+        of this quantity.
+    """
+
+    settled_nodes: int = 0
+    relaxed_edges: int = 0
+    heap_pushes: int = 0
+    page_faults: int = 0
+    pages_touched: int = 0
+    max_settled_distance: float = 0.0
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate ``other`` into this counter (for multi-search totals)."""
+        self.settled_nodes += other.settled_nodes
+        self.relaxed_edges += other.relaxed_edges
+        self.heap_pushes += other.heap_pushes
+        self.page_faults += other.page_faults
+        self.pages_touched += other.pages_touched
+        self.max_settled_distance = max(
+            self.max_settled_distance, other.max_settled_distance
+        )
+
+    def copy(self) -> "SearchStats":
+        """Independent copy."""
+        return SearchStats(
+            settled_nodes=self.settled_nodes,
+            relaxed_edges=self.relaxed_edges,
+            heap_pushes=self.heap_pushes,
+            page_faults=self.page_faults,
+            pages_touched=self.pages_touched,
+            max_settled_distance=self.max_settled_distance,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PathResult:
+    """A shortest path and its total cost.
+
+    Attributes
+    ----------
+    source, destination:
+        Query endpoints.
+    nodes:
+        Node sequence from ``source`` to ``destination`` inclusive.
+    distance:
+        Sum of edge weights along ``nodes``.
+    """
+
+    source: NodeId
+    destination: NodeId
+    nodes: tuple[NodeId, ...]
+    distance: float
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("a path must contain at least one node")
+        if self.nodes[0] != self.source or self.nodes[-1] != self.destination:
+            raise ValueError("path endpoints do not match source/destination")
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges on the path."""
+        return len(self.nodes) - 1
+
+    def edges(self) -> list[tuple[NodeId, NodeId]]:
+        """Edge list ``[(n0, n1), (n1, n2), ...]``."""
+        return list(zip(self.nodes, self.nodes[1:]))
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass(slots=True)
+class _SearchTree:
+    """Internal: predecessor tree shared by the Dijkstra variants."""
+
+    predecessors: dict[NodeId, NodeId] = field(default_factory=dict)
+    distances: dict[NodeId, float] = field(default_factory=dict)
+
+
+def reconstruct_path(
+    predecessors: dict[NodeId, NodeId],
+    source: NodeId,
+    destination: NodeId,
+    distance: float,
+) -> PathResult:
+    """Build a :class:`PathResult` by walking ``predecessors`` backwards.
+
+    ``predecessors`` maps each settled node to the node it was reached
+    from; ``source`` must be reachable by that walk or ``KeyError`` surfaces
+    (callers only invoke this after the destination was settled).
+    """
+    sequence = [destination]
+    node = destination
+    while node != source:
+        node = predecessors[node]
+        sequence.append(node)
+    sequence.reverse()
+    return PathResult(
+        source=source,
+        destination=destination,
+        nodes=tuple(sequence),
+        distance=distance,
+    )

@@ -1,0 +1,23 @@
+"""Online obfuscation service: timed arrivals and windowed batching.
+
+The paper's obfuscator is an online middle tier: requests arrive over
+time, and shared obfuscated path queries only exist if several requests
+are *in hand* simultaneously (Section IV's clustering step).  This
+subpackage models that dimension — the batching window is a new knob
+trading response latency against shared-query privacy and amortized
+server cost (experiment E10).
+"""
+
+from repro.service.simulator import (
+    BatchingObfuscationService,
+    ServiceReport,
+    TimedRequest,
+    poisson_arrivals,
+)
+
+__all__ = [
+    "TimedRequest",
+    "BatchingObfuscationService",
+    "ServiceReport",
+    "poisson_arrivals",
+]

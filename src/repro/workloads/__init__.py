@@ -1,0 +1,25 @@
+"""Query workload generators for the experiments.
+
+Seeded generators producing the path-query mixes the paper's scenarios
+imply: uniform trips, distance-bounded trips, and the motivating
+"residents visiting a few sensitive destinations" hotspot workload, plus
+an endpoint-popularity map for prior-aware adversaries.
+"""
+
+from repro.workloads.queries import (
+    distance_bounded_queries,
+    hotspot_queries,
+    popularity_map,
+    popularity_weighted_queries,
+    requests_from_queries,
+    uniform_queries,
+)
+
+__all__ = [
+    "uniform_queries",
+    "distance_bounded_queries",
+    "hotspot_queries",
+    "popularity_map",
+    "popularity_weighted_queries",
+    "requests_from_queries",
+]

@@ -1,0 +1,177 @@
+"""Unit tests for repro.baselines (all privacy mechanisms)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    CloakingMechanism,
+    DirectMechanism,
+    LandmarkMechanism,
+    OpaqueMechanism,
+    PlainObfuscationMechanism,
+)
+from repro.core.query import ClientRequest, PathQuery, ProtectionSetting
+from repro.exceptions import QueryError
+from repro.network.generators import grid_network
+from repro.search.dijkstra import dijkstra_path
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_network(15, 15, perturbation=0.1, seed=141)
+
+
+@pytest.fixture(scope="module")
+def req(net):
+    return ClientRequest("alice", PathQuery(3, 207), ProtectionSetting(3, 3))
+
+
+class TestDirectMechanism:
+    def test_exact_result(self, net, req):
+        outcome = DirectMechanism(net).answer(req)
+        assert outcome.exact
+        assert outcome.endpoint_displacement == 0.0
+        assert outcome.distance_error == 0.0
+        truth = dijkstra_path(net, 3, 207)
+        assert outcome.user_path.distance == pytest.approx(truth.distance)
+
+    def test_breach_is_one(self, net, req):
+        assert DirectMechanism(net).answer(req).breach == 1.0
+
+    def test_minimal_candidates(self, net, req):
+        outcome = DirectMechanism(net).answer(req)
+        assert outcome.candidate_paths == 1
+
+
+class TestLandmarkMechanism:
+    def test_result_connects_landmarks_not_user(self, net, req):
+        landmarks = [50, 170]
+        outcome = LandmarkMechanism(net, landmarks).answer(req)
+        assert not outcome.exact
+        assert outcome.user_path.source in landmarks
+        assert outcome.user_path.destination in landmarks
+        assert outcome.endpoint_displacement > 0
+
+    def test_breach_is_zero(self, net, req):
+        outcome = LandmarkMechanism(net, [50, 170]).answer(req)
+        assert outcome.breach == 0.0
+
+    def test_same_landmark_for_both_endpoints(self, net):
+        # One landmark only: both endpoints snap to it, nothing to route.
+        outcome = LandmarkMechanism(net, [100]).answer(
+            ClientRequest("bob", PathQuery(0, 224))
+        )
+        assert outcome.user_path is None
+        assert outcome.endpoint_displacement == float("inf")
+
+    def test_empty_landmarks_rejected(self, net):
+        with pytest.raises(QueryError):
+            LandmarkMechanism(net, [])
+
+    def test_unknown_landmark_rejected(self, net):
+        with pytest.raises(QueryError):
+            LandmarkMechanism(net, [99999])
+
+    def test_landmarks_deduplicated(self, net):
+        mechanism = LandmarkMechanism(net, [50, 50, 170])
+        assert mechanism.landmarks == [50, 170]
+
+
+class TestCloakingMechanism:
+    def test_result_usually_displaced(self, net):
+        mechanism = CloakingMechanism(net, cell_size=4.0, seed=1)
+        displaced = 0
+        for i in range(10):
+            outcome = mechanism.answer(
+                ClientRequest(f"u{i}", PathQuery(i, 210 + i))
+            )
+            if outcome.endpoint_displacement > 0:
+                displaced += 1
+        assert displaced >= 5
+
+    def test_breach_reflects_cell_population(self, net, req):
+        coarse = CloakingMechanism(net, cell_size=6.0, seed=1).answer(req)
+        fine = CloakingMechanism(net, cell_size=1.01, seed=1).answer(req)
+        assert coarse.breach < fine.breach
+
+    def test_breach_bounded(self, net, req):
+        outcome = CloakingMechanism(net, cell_size=4.0, seed=1).answer(req)
+        assert 0 < outcome.breach <= 1.0
+
+    def test_deterministic_given_seed(self, net, req):
+        a = CloakingMechanism(net, cell_size=4.0, seed=9).answer(req)
+        b = CloakingMechanism(net, cell_size=4.0, seed=9).answer(req)
+        assert a.breach == b.breach
+        assert (a.user_path is None) == (b.user_path is None)
+
+
+class TestPlainObfuscationMechanism:
+    def test_exact_result(self, net, req):
+        outcome = PlainObfuscationMechanism(net, num_fakes=4, seed=2).answer(req)
+        assert outcome.exact
+        assert outcome.distance_error == 0.0
+
+    def test_breach_is_one_over_query_count(self, net, req):
+        outcome = PlainObfuscationMechanism(net, num_fakes=4, seed=2).answer(req)
+        assert outcome.breach == pytest.approx(1 / 5)
+
+    def test_cost_scales_with_fakes(self, net, req):
+        cheap = PlainObfuscationMechanism(net, num_fakes=1, seed=2).answer(req)
+        costly = PlainObfuscationMechanism(net, num_fakes=8, seed=2).answer(req)
+        assert costly.server_stats.settled_nodes > cheap.server_stats.settled_nodes
+        assert costly.candidate_paths == 9
+
+    def test_zero_fakes_equals_direct_semantics(self, net, req):
+        outcome = PlainObfuscationMechanism(net, num_fakes=0, seed=2).answer(req)
+        assert outcome.breach == 1.0
+        assert outcome.exact
+
+    def test_negative_fakes_rejected(self, net):
+        with pytest.raises(ValueError):
+            PlainObfuscationMechanism(net, num_fakes=-1)
+
+
+class TestOpaqueMechanism:
+    def test_exact_result(self, net, req):
+        outcome = OpaqueMechanism(net, seed=3).answer(req)
+        assert outcome.exact
+        assert outcome.endpoint_displacement == 0.0
+
+    def test_breach_matches_setting(self, net, req):
+        outcome = OpaqueMechanism(net, seed=3).answer(req)
+        assert outcome.breach == pytest.approx(1 / 9)
+
+    def test_cheaper_than_plain_obfuscation_at_equal_anonymity(self, net, req):
+        """The paper's core efficiency claim at matched anonymity (9 pairs)."""
+        opaque = OpaqueMechanism(net, seed=3).answer(req)
+        plain = PlainObfuscationMechanism(net, num_fakes=8, seed=3).answer(req)
+        assert opaque.breach == pytest.approx(plain.breach)
+        assert opaque.server_stats.settled_nodes < plain.server_stats.settled_nodes
+
+
+class TestCrossMechanismInvariants:
+    def test_all_report_nonnegative_costs(self, net, req):
+        mechanisms = [
+            DirectMechanism(net),
+            LandmarkMechanism(net, [50, 170]),
+            CloakingMechanism(net, seed=1),
+            PlainObfuscationMechanism(net, seed=1),
+            OpaqueMechanism(net, seed=1),
+        ]
+        for mechanism in mechanisms:
+            outcome = mechanism.answer(req)
+            assert outcome.server_stats.settled_nodes >= 0
+            assert outcome.traffic_bytes >= 0
+            assert 0.0 <= outcome.breach <= 1.0
+            assert outcome.mechanism == mechanism.name
+
+    def test_exact_mechanisms_have_zero_displacement(self, net, req):
+        for mechanism in (
+            DirectMechanism(net),
+            PlainObfuscationMechanism(net, seed=1),
+            OpaqueMechanism(net, seed=1),
+        ):
+            outcome = mechanism.answer(req)
+            assert outcome.exact
+            assert outcome.endpoint_displacement == 0.0

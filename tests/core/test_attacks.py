@@ -1,0 +1,173 @@
+"""Unit tests for repro.core.attacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attacks import (
+    CollusionAttack,
+    ServerAdversary,
+    empirical_breach_rate,
+)
+from repro.core.obfuscator import PathQueryObfuscator
+from repro.core.query import (
+    ClientRequest,
+    ObfuscatedPathQuery,
+    PathQuery,
+    ProtectionSetting,
+)
+from repro.exceptions import QueryError
+from repro.network.generators import grid_network
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_network(15, 15, perturbation=0.1, seed=121)
+
+
+def request(user, s, t, f_s=4, f_t=4):
+    return ClientRequest(user, PathQuery(s, t), ProtectionSetting(f_s, f_t))
+
+
+class TestServerAdversary:
+    def test_guess_is_candidate_pair(self):
+        adversary = ServerAdversary(seed=1)
+        q = ObfuscatedPathQuery((1, 2), (3, 4))
+        for _ in range(20):
+            assert adversary.guess(q) in set(q.pairs())
+
+    def test_uniform_success_rate_matches_definition_2(self, net):
+        obfuscator = PathQueryObfuscator(net, seed=2)
+        records = [
+            obfuscator.obfuscate_independent(request(f"u{i}", i, 200 + i, 2, 3))
+            for i in range(10)
+        ]
+        rate = empirical_breach_rate(records, trials_per_record=400)
+        assert rate == pytest.approx(1 / 6, abs=0.03)
+
+    def test_prior_aware_adversary_beats_uniform(self, net):
+        """If fakes are known-implausible, the prior-aware adversary wins
+        far more often than 1/(|S||T|)."""
+        obfuscator = PathQueryObfuscator(net, seed=3)
+        records = [
+            obfuscator.obfuscate_independent(request(f"u{i}", i, 200 + i, 3, 3))
+            for i in range(8)
+        ]
+        prior_s: dict = {}
+        prior_t: dict = {}
+        for record in records:
+            true = record.requests[0].query
+            for s in record.query.sources:
+                prior_s[s] = 100.0 if s == true.source else 0.01
+            for t in record.query.destinations:
+                prior_t[t] = 100.0 if t == true.destination else 0.01
+        adversary = ServerAdversary(prior_s, prior_t, seed=4)
+        rate = empirical_breach_rate(records, adversary, trials_per_record=100)
+        assert rate > 0.9
+
+    def test_best_guess_is_argmax(self):
+        adversary = ServerAdversary({1: 5.0, 2: 1.0}, {3: 4.0, 4: 1.0})
+        q = ObfuscatedPathQuery((1, 2), (3, 4))
+        assert adversary.best_guess(q) == (1, 3)
+
+    def test_posterior_sums_to_one(self):
+        adversary = ServerAdversary({1: 2.0, 2: 3.0})
+        q = ObfuscatedPathQuery((1, 2), (3, 4))
+        assert sum(adversary.posterior(q).values()) == pytest.approx(1.0)
+
+
+class TestEmpiricalBreachRate:
+    def test_empty_records_rejected(self):
+        with pytest.raises(QueryError):
+            empirical_breach_rate([])
+
+    def test_invalid_trials_rejected(self, net):
+        obfuscator = PathQueryObfuscator(net, seed=5)
+        record = obfuscator.obfuscate_independent(request("a", 0, 140))
+        with pytest.raises(ValueError):
+            empirical_breach_rate([record], trials_per_record=0)
+
+    def test_unprotected_record_always_breached(self, net):
+        obfuscator = PathQueryObfuscator(net, seed=5)
+        record = obfuscator.obfuscate_independent(request("a", 0, 140, 1, 1))
+        assert empirical_breach_rate([record], trials_per_record=10) == 1.0
+
+
+class TestCollusionAttack:
+    def test_fake_pool_compromise_exposes_independent_query(self, net):
+        obfuscator = PathQueryObfuscator(net, seed=6)
+        victim = request("alice", 0, 140)
+        record = obfuscator.obfuscate_independent(victim)
+        outcome = CollusionAttack(knows_fake_pool=True).attack(record, victim)
+        assert outcome.exposed
+        assert outcome.breach_probability == 1.0
+
+    def test_fake_pool_compromise_leaves_shared_anonymity(self, net):
+        obfuscator = PathQueryObfuscator(net, seed=6)
+        requests = [request(f"u{i}", i, 200 + i) for i in range(4)]
+        record = obfuscator.obfuscate_shared(requests)
+        outcome = CollusionAttack(knows_fake_pool=True).attack(record, requests[0])
+        assert not outcome.exposed
+        assert outcome.breach_probability == pytest.approx(1 / 16)
+
+    def test_colluders_shrink_shared_anonymity(self, net):
+        obfuscator = PathQueryObfuscator(net, seed=7)
+        requests = [request(f"u{i}", i, 200 + i) for i in range(4)]
+        record = obfuscator.obfuscate_shared(requests)
+        attack = CollusionAttack(
+            colluding_users=["u1", "u2"], knows_fake_pool=True
+        )
+        outcome = attack.attack(record, requests[0])
+        assert outcome.breach_probability == pytest.approx(1 / 4)  # (4-2)^2
+
+    def test_all_others_colluding_exposes_victim(self, net):
+        obfuscator = PathQueryObfuscator(net, seed=7)
+        requests = [request(f"u{i}", i, 200 + i) for i in range(3)]
+        record = obfuscator.obfuscate_shared(requests)
+        attack = CollusionAttack(
+            colluding_users=["u1", "u2"], knows_fake_pool=True
+        )
+        outcome = attack.attack(record, requests[0])
+        assert outcome.exposed
+
+    def test_without_fake_pool_collusion_still_bounded_by_fakes(self, net):
+        obfuscator = PathQueryObfuscator(net, seed=8)
+        requests = [request(f"u{i}", i, 200 + i, 6, 6) for i in range(3)]
+        record = obfuscator.obfuscate_shared(requests)
+        attack = CollusionAttack(colluding_users=["u1", "u2"], knows_fake_pool=False)
+        outcome = attack.attack(record, requests[0])
+        # Fakes (3 per side to reach f=6) are not strippable; anonymity
+        # remains 1 victim + 3 fakes on each side.
+        assert outcome.breach_probability == pytest.approx(1 / 16)
+        assert not outcome.exposed
+
+    def test_shared_endpoint_with_colluder_survives(self, net):
+        """A colluder whose destination equals the victim's must not
+        eliminate that endpoint."""
+        obfuscator = PathQueryObfuscator(net, seed=9)
+        victim = request("alice", 0, 140)
+        colluder = request("carl", 5, 140)  # same destination
+        record = obfuscator.obfuscate_shared([victim, colluder])
+        attack = CollusionAttack(colluding_users=["carl"], knows_fake_pool=True)
+        outcome = attack.attack(record, victim)
+        assert 140 in outcome.candidate_destinations
+
+    def test_victim_not_in_record_rejected(self, net):
+        obfuscator = PathQueryObfuscator(net, seed=10)
+        record = obfuscator.obfuscate_independent(request("alice", 0, 140))
+        with pytest.raises(QueryError):
+            CollusionAttack().attack(record, request("mallory", 1, 141))
+
+    def test_victim_cannot_be_colluder(self, net):
+        obfuscator = PathQueryObfuscator(net, seed=10)
+        requests = [request("alice", 0, 140), request("bob", 1, 141)]
+        record = obfuscator.obfuscate_shared(requests)
+        with pytest.raises(QueryError):
+            CollusionAttack(colluding_users=["alice"]).attack(record, requests[0])
+
+    def test_no_collusion_no_pool_equals_definition_2(self, net):
+        obfuscator = PathQueryObfuscator(net, seed=11)
+        victim = request("alice", 0, 140, 3, 3)
+        record = obfuscator.obfuscate_independent(victim)
+        outcome = CollusionAttack().attack(record, victim)
+        assert outcome.breach_probability == pytest.approx(1 / 9)

@@ -1,0 +1,162 @@
+"""Unit tests for repro.core.cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import CachingOpaqueSystem, PathCache
+from repro.core.query import ClientRequest, PathQuery, ProtectionSetting
+from repro.core.system import OpaqueSystem
+from repro.network.generators import grid_network
+from repro.search.dijkstra import dijkstra_path
+from repro.search.result import PathResult
+
+
+def path(s, t, *mids, distance=1.0):
+    return PathResult(s, t, (s, *mids, t), distance)
+
+
+class TestPathCache:
+    def test_miss_then_hit(self):
+        cache = PathCache(capacity=4)
+        assert cache.get(1, 2) is None
+        cache.put(path(1, 2))
+        assert cache.get(1, 2) is not None
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_symmetric_hit_returns_reversed(self):
+        cache = PathCache(capacity=4, symmetric=True)
+        cache.put(path(1, 3, 2, distance=2.0))
+        reverse = cache.get(3, 1)
+        assert reverse is not None
+        assert reverse.nodes == (3, 2, 1)
+        assert reverse.distance == 2.0
+
+    def test_asymmetric_mode_ignores_reverse(self):
+        cache = PathCache(capacity=4, symmetric=False)
+        cache.put(path(1, 3, 2))
+        assert cache.get(3, 1) is None
+
+    def test_lru_eviction(self):
+        cache = PathCache(capacity=2)
+        cache.put(path(1, 2))
+        cache.put(path(3, 4))
+        cache.get(1, 2)  # refresh (1,2); (3,4) is now LRU
+        cache.put(path(5, 6))
+        assert cache.get(1, 2) is not None
+        assert cache.get(3, 4) is None
+
+    def test_zero_capacity_disables(self):
+        cache = PathCache(capacity=0)
+        cache.put(path(1, 2))
+        assert len(cache) == 0
+        assert cache.get(1, 2) is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PathCache(capacity=-1)
+
+    def test_reinsert_updates_entry(self):
+        cache = PathCache(capacity=2)
+        cache.put(path(1, 2, distance=5.0))
+        cache.put(path(1, 2, distance=3.0))
+        assert len(cache) == 1
+        assert cache.get(1, 2).distance == 3.0
+
+    def test_clear(self):
+        cache = PathCache(capacity=2)
+        cache.put(path(1, 2))
+        cache.get(1, 2)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hit_rate == 0.0
+
+    def test_hit_rate(self):
+        cache = PathCache(capacity=4)
+        cache.put(path(1, 2))
+        cache.get(1, 2)
+        cache.get(9, 9)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+
+class TestCachingOpaqueSystem:
+    @pytest.fixture()
+    def net(self):
+        return grid_network(15, 15, perturbation=0.1, seed=401)
+
+    @pytest.fixture()
+    def caching(self, net):
+        return CachingOpaqueSystem(OpaqueSystem(net, mode="independent", seed=1))
+
+    def test_results_identical_to_uncached(self, net, caching):
+        nodes = list(net.nodes())
+        requests = [
+            ClientRequest(f"u{i}", PathQuery(nodes[i], nodes[100 + i]),
+                          ProtectionSetting(3, 3))
+            for i in range(3)
+        ]
+        results = caching.submit(requests)
+        for request in requests:
+            truth = dijkstra_path(net, request.query.source, request.query.destination)
+            assert results[request.user].distance == pytest.approx(truth.distance)
+
+    def test_repeat_pair_answered_locally(self, net, caching):
+        nodes = list(net.nodes())
+        first = [ClientRequest("a", PathQuery(nodes[0], nodes[120]),
+                               ProtectionSetting(2, 2))]
+        caching.submit(first)
+        served_before = caching.system.server.counters.queries_served
+        again = [ClientRequest("b", PathQuery(nodes[0], nodes[120]))]
+        results = caching.submit(again)
+        assert caching.locally_answered == 1
+        assert caching.system.server.counters.queries_served == served_before
+        truth = dijkstra_path(net, nodes[0], nodes[120])
+        assert results["b"].distance == pytest.approx(truth.distance)
+
+    def test_decoy_pairs_are_cached_too(self, net, caching):
+        """A candidate computed as someone's decoy answers a later true
+        query without server contact."""
+        nodes = list(net.nodes())
+        caching.submit([
+            ClientRequest("a", PathQuery(nodes[0], nodes[120]),
+                          ProtectionSetting(3, 3))
+        ])
+        report = caching.system.last_report
+        decoy = next(
+            p for p in report.candidate_results
+            if p.num_edges > 0 and (p.source, p.destination) != (nodes[0], nodes[120])
+        )
+        served_before = caching.system.server.counters.queries_served
+        results = caching.submit([
+            ClientRequest("c", PathQuery(decoy.source, decoy.destination))
+        ])
+        assert caching.system.server.counters.queries_served == served_before
+        assert results["c"].distance == pytest.approx(decoy.distance)
+
+    def test_reverse_pair_served_on_undirected_network(self, net, caching):
+        nodes = list(net.nodes())
+        caching.submit([
+            ClientRequest("a", PathQuery(nodes[0], nodes[120]),
+                          ProtectionSetting(2, 2))
+        ])
+        served_before = caching.system.server.counters.queries_served
+        results = caching.submit([
+            ClientRequest("d", PathQuery(nodes[120], nodes[0]))
+        ])
+        assert caching.system.server.counters.queries_served == served_before
+        assert results["d"].source == nodes[120]
+        assert results["d"].destination == nodes[0]
+
+    def test_mixed_batch_splits_cleanly(self, net, caching):
+        nodes = list(net.nodes())
+        caching.submit([ClientRequest("a", PathQuery(nodes[0], nodes[120]),
+                                      ProtectionSetting(2, 2))])
+        mixed = [
+            ClientRequest("e", PathQuery(nodes[0], nodes[120])),   # cached
+            ClientRequest("f", PathQuery(nodes[5], nodes[130]),    # fresh
+                          ProtectionSetting(2, 2)),
+        ]
+        results = caching.submit(mixed)
+        assert set(results) == {"e", "f"}
+        assert caching.locally_answered == 1

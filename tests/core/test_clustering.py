@@ -1,0 +1,109 @@
+"""Unit tests for repro.core.clustering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clustering import QueryCluster, cluster_requests
+from repro.core.query import ClientRequest, PathQuery, ProtectionSetting
+from repro.network.generators import grid_network
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_network(20, 20, perturbation=0.0, seed=81)
+
+
+def request(user, s, t, f_s=2, f_t=2):
+    return ClientRequest(user, PathQuery(s, t), ProtectionSetting(f_s, f_t))
+
+
+class TestQueryCluster:
+    def test_distinct_endpoint_lists(self, net):
+        cluster = QueryCluster(
+            requests=[request("a", 0, 100), request("b", 0, 101), request("c", 1, 100)]
+        )
+        assert cluster.source_nodes == [0, 1]
+        assert cluster.destination_nodes == [100, 101]
+        assert cluster.size == 3
+
+    def test_max_protection_settings(self, net):
+        cluster = QueryCluster(
+            requests=[request("a", 0, 100, 2, 5), request("b", 1, 101, 4, 3)]
+        )
+        assert cluster.max_f_s == 4
+        assert cluster.max_f_t == 5
+
+    def test_diameters(self, net):
+        cluster = QueryCluster(requests=[request("a", 0, 100), request("b", 2, 100)])
+        assert cluster.source_diameter(net) == pytest.approx(
+            net.euclidean_distance(0, 2)
+        )
+        assert cluster.destination_diameter(net) == 0.0
+
+
+class TestClusterRequests:
+    def test_everything_in_one_cluster_with_infinite_bounds(self, net):
+        requests = [request(f"u{i}", i, 200 + i) for i in range(6)]
+        clusters = cluster_requests(requests, net, float("inf"), float("inf"))
+        assert len(clusters) == 1
+        assert clusters[0].size == 6
+
+    def test_zero_bound_isolates_distinct_endpoints(self, net):
+        requests = [request("a", 0, 100), request("b", 5, 105)]
+        clusters = cluster_requests(requests, net, 0.0, 0.0)
+        assert len(clusters) == 2
+
+    def test_zero_bound_groups_identical_endpoints(self, net):
+        requests = [request("a", 0, 100), request("b", 0, 100)]
+        clusters = cluster_requests(requests, net, 0.0, 0.0)
+        assert len(clusters) == 1
+
+    def test_diameter_bound_is_respected(self, net):
+        # Sources at x = 0, 3, 6 on the same row; bound 4 keeps 0&3 together.
+        requests = [request("a", 0, 100), request("b", 3, 100), request("c", 6, 100)]
+        clusters = cluster_requests(requests, net, 4.0, float("inf"))
+        for cluster in clusters:
+            assert cluster.source_diameter(net) <= 4.0
+        assert len(clusters) == 2
+
+    def test_both_sides_must_fit(self, net):
+        # Sources co-located but destinations far apart.
+        requests = [request("a", 0, 100), request("b", 1, 399)]
+        clusters = cluster_requests(requests, net, 5.0, 5.0)
+        assert len(clusters) == 2
+
+    def test_max_cluster_size_cap(self, net):
+        requests = [request(f"u{i}", i, 200 + i) for i in range(7)]
+        clusters = cluster_requests(
+            requests, net, float("inf"), float("inf"), max_cluster_size=3
+        )
+        assert [c.size for c in clusters] == [3, 3, 1]
+
+    def test_all_requests_covered_exactly_once(self, net):
+        requests = [request(f"u{i}", i * 2, 200 + i * 3) for i in range(10)]
+        clusters = cluster_requests(requests, net, 6.0, 6.0)
+        users = [r.user for c in clusters for r in c.requests]
+        assert sorted(users) == sorted(r.user for r in requests)
+
+    def test_arrival_order_preserved_within_cluster(self, net):
+        requests = [request("a", 0, 100), request("b", 1, 100), request("c", 0, 101)]
+        clusters = cluster_requests(requests, net, float("inf"), float("inf"))
+        assert [r.user for r in clusters[0].requests] == ["a", "b", "c"]
+
+    def test_empty_batch(self, net):
+        assert cluster_requests([], net, 1.0, 1.0) == []
+
+    def test_invalid_bounds_rejected(self, net):
+        with pytest.raises(ValueError):
+            cluster_requests([], net, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            cluster_requests([], net, 1.0, 1.0, max_cluster_size=0)
+
+    def test_deterministic(self, net):
+        requests = [request(f"u{i}", i * 3, 250 + i * 2) for i in range(12)]
+        a = cluster_requests(requests, net, 5.0, 5.0)
+        b = cluster_requests(requests, net, 5.0, 5.0)
+        assert [[r.user for r in c.requests] for c in a] == [
+            [r.user for r in c.requests] for c in b
+        ]

@@ -1,0 +1,85 @@
+"""Unit tests for repro.core.filter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.filter import CandidateResultPathFilter
+from repro.core.obfuscator import PathQueryObfuscator
+from repro.core.query import ClientRequest, ObfuscatedPathQuery, PathQuery, ProtectionSetting
+from repro.core.server import DirectionsServer
+from repro.exceptions import ProtocolError
+from repro.network.generators import grid_network
+from repro.search.dijkstra import dijkstra_path
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_network(12, 12, perturbation=0.1, seed=111)
+
+
+@pytest.fixture()
+def pipeline(net):
+    obfuscator = PathQueryObfuscator(net, seed=9)
+    server = DirectionsServer(net)
+    return obfuscator, server, CandidateResultPathFilter(obfuscator)
+
+
+def request(user, s, t, f_s=3, f_t=3):
+    return ClientRequest(user, PathQuery(s, t), ProtectionSetting(f_s, f_t))
+
+
+class TestExtraction:
+    def test_each_user_gets_their_true_path(self, net, pipeline):
+        obfuscator, server, path_filter = pipeline
+        requests = [request("alice", 0, 140), request("bob", 1, 141)]
+        record = obfuscator.obfuscate_shared(requests)
+        response = server.answer(record.query)
+        results = path_filter.extract(record, response)
+        for req in requests:
+            path = results.paths_by_user[req.user]
+            assert path.source == req.query.source
+            assert path.destination == req.query.destination
+            truth = dijkstra_path(net, req.query.source, req.query.destination)
+            assert path.distance == pytest.approx(truth.distance)
+
+    def test_satisfied_record_discarded_from_pending(self, pipeline):
+        obfuscator, server, path_filter = pipeline
+        record = obfuscator.obfuscate_independent(request("alice", 0, 140))
+        response = server.answer(record.query)
+        path_filter.extract(record, response)
+        assert record.record_id not in obfuscator.pending
+
+    def test_discarded_path_count(self, pipeline):
+        obfuscator, server, path_filter = pipeline
+        record = obfuscator.obfuscate_independent(request("alice", 0, 140, 3, 3))
+        response = server.answer(record.query)
+        results = path_filter.extract(record, response)
+        assert results.discarded_paths == 9 - 1
+
+    def test_shared_discard_accounts_for_distinct_pairs(self, pipeline):
+        obfuscator, server, path_filter = pipeline
+        requests = [request("a", 0, 140, 2, 2), request("b", 1, 141, 2, 2)]
+        record = obfuscator.obfuscate_shared(requests)
+        response = server.answer(record.query)
+        results = path_filter.extract(record, response)
+        assert results.discarded_paths == record.query.num_pairs - 2
+
+
+class TestMismatchDetection:
+    def test_wrong_response_query_rejected(self, net, pipeline):
+        obfuscator, server, path_filter = pipeline
+        record = obfuscator.obfuscate_independent(request("alice", 0, 140))
+        other = ObfuscatedPathQuery((5,), (77,))
+        response = server.answer(other)
+        with pytest.raises(ProtocolError):
+            path_filter.extract(record, response)
+
+    def test_missing_candidate_rejected(self, net, pipeline):
+        obfuscator, server, path_filter = pipeline
+        record = obfuscator.obfuscate_independent(request("alice", 0, 140))
+        response = server.answer(record.query)
+        # Corrupt the response: drop the true pair's path.
+        del response.candidates.paths[(0, 140)]
+        with pytest.raises(ProtocolError):
+            path_filter.extract(record, response)

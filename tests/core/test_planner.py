@@ -1,0 +1,115 @@
+"""Unit tests for repro.core.planner (protection sizing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planner import ProtectionPlan, candidate_splits, plan_protection
+from repro.core.query import PathQuery
+from repro.exceptions import ObfuscationError, QueryError
+from repro.network.generators import grid_network
+from repro.network.graph import RoadNetwork
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_network(25, 25, perturbation=0.1, seed=801)
+
+
+@pytest.fixture(scope="module")
+def query(net):
+    nodes = list(net.nodes())
+    return PathQuery(nodes[26], nodes[500])
+
+
+class TestCandidateSplits:
+    def test_all_splits_meet_target(self):
+        for f_s, f_t in candidate_splits(1 / 12):
+            assert f_s * f_t >= 12
+
+    def test_minimal_products_only(self):
+        splits = dict(candidate_splits(1 / 12))
+        assert splits[1] == 12
+        assert splits[2] == 6
+        assert splits[3] == 4
+        assert splits[4] == 3
+
+    def test_minimum_sides_respected(self):
+        splits = candidate_splits(1 / 9, min_f_s=2, min_f_t=2)
+        assert all(f_s >= 2 and f_t >= 2 for f_s, f_t in splits)
+
+    def test_trivial_target(self):
+        assert (1, 1) in candidate_splits(1.0)
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(QueryError):
+            candidate_splits(1 / 1000, max_side=4)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(QueryError):
+            candidate_splits(0.0)
+        with pytest.raises(QueryError):
+            candidate_splits(1.5)
+        with pytest.raises(QueryError):
+            candidate_splits(0.5, min_f_s=0)
+        with pytest.raises(QueryError):
+            candidate_splits(0.5, min_f_s=5, max_side=4)
+
+
+class TestPlanProtection:
+    def test_all_plans_meet_breach_target(self, net, query):
+        plans = plan_protection(net, query, max_breach=1 / 9)
+        assert plans
+        for plan in plans:
+            assert plan.breach <= 1 / 9 + 1e-12
+            assert isinstance(plan, ProtectionPlan)
+
+    def test_recommendation_is_destination_heavy(self, net, query):
+        """Lemma 1: sources are expensive, destinations nearly free — the
+        cheapest split must satisfy f_s <= f_t."""
+        plans = plan_protection(net, query, max_breach=1 / 12)
+        best = plans[0].setting
+        assert best.f_s <= best.f_t
+
+    def test_plans_sorted_by_predicted_cost(self, net, query):
+        plans = plan_protection(net, query, max_breach=1 / 12)
+        costs = [p.predicted_cost for p in plans]
+        assert costs == sorted(costs)
+
+    def test_min_sides_respected(self, net, query):
+        plans = plan_protection(net, query, max_breach=1 / 9, min_f_s=2, min_f_t=2)
+        for plan in plans:
+            assert plan.setting.f_s >= 2
+            assert plan.setting.f_t >= 2
+
+    def test_deterministic(self, net, query):
+        a = plan_protection(net, query, max_breach=1 / 9, seed=5)
+        b = plan_protection(net, query, max_breach=1 / 9, seed=5)
+        assert a == b
+
+    def test_tiny_map_raises_when_no_split_realizable(self):
+        tiny = RoadNetwork()
+        tiny.add_node(1, 0, 0)
+        tiny.add_node(2, 1, 0)
+        tiny.add_edge(1, 2)
+        with pytest.raises(ObfuscationError):
+            plan_protection(tiny, PathQuery(1, 2), max_breach=1 / 100)
+
+    def test_prediction_orders_like_measurement(self, net, query):
+        """The planner's cost ordering must agree with measured server
+        cost for extreme splits (source-heavy vs destination-heavy)."""
+        from repro.core.obfuscator import PathQueryObfuscator
+        from repro.core.query import ClientRequest, ProtectionSetting
+        from repro.search.multi import SharedTreeProcessor
+
+        measured = {}
+        for f_s, f_t in ((1, 12), (12, 1)):
+            obfuscator = PathQueryObfuscator(net, seed=3)
+            record = obfuscator.obfuscate_independent(
+                ClientRequest("u", query, ProtectionSetting(f_s, f_t))
+            )
+            out = SharedTreeProcessor().process(
+                net, list(record.query.sources), list(record.query.destinations)
+            )
+            measured[(f_s, f_t)] = out.stats.settled_nodes
+        assert measured[(1, 12)] < measured[(12, 1)]

@@ -1,0 +1,132 @@
+"""Unit tests for repro.core.privacy."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.privacy import (
+    breach_probability,
+    pair_posterior,
+    posterior_breach,
+    posterior_entropy_bits,
+    privacy_report,
+)
+from repro.core.query import ObfuscatedPathQuery, PathQuery
+from repro.exceptions import QueryError
+
+
+@pytest.fixture()
+def paper_query():
+    """The running example: |S| = 2, |T| = 3."""
+    return ObfuscatedPathQuery(("sA", "s1"), ("tA", "t1", "t2"))
+
+
+class TestBreachProbability:
+    def test_paper_example_is_one_sixth(self, paper_query):
+        assert breach_probability(paper_query) == pytest.approx(1 / 6)
+
+    def test_unprotected_query_is_one(self):
+        q = ObfuscatedPathQuery((1,), (2,))
+        assert breach_probability(q) == 1.0
+
+    def test_monotone_in_set_sizes(self):
+        small = ObfuscatedPathQuery((1, 2), (3, 4))
+        large = ObfuscatedPathQuery((1, 2, 5), (3, 4, 6))
+        assert breach_probability(large) < breach_probability(small)
+
+
+class TestPairPosterior:
+    def test_uniform_prior_is_uniform(self, paper_query):
+        posterior = pair_posterior(paper_query)
+        assert len(posterior) == 6
+        for p in posterior.values():
+            assert p == pytest.approx(1 / 6)
+
+    def test_sums_to_one_with_skewed_priors(self, paper_query):
+        source_prior = {"sA": 10.0, "s1": 1.0}
+        dest_prior = {"tA": 5.0, "t1": 1.0, "t2": 1.0}
+        posterior = pair_posterior(paper_query, source_prior, dest_prior)
+        assert sum(posterior.values()) == pytest.approx(1.0)
+
+    def test_skew_concentrates_on_popular_pair(self, paper_query):
+        source_prior = {"sA": 10.0, "s1": 1.0}
+        dest_prior = {"tA": 5.0, "t1": 1.0, "t2": 1.0}
+        posterior = pair_posterior(paper_query, source_prior, dest_prior)
+        assert max(posterior, key=posterior.get) == ("sA", "tA")
+
+    def test_missing_prior_entries_get_zero_weight(self, paper_query):
+        source_prior = {"sA": 1.0}  # s1 missing -> weight 0
+        posterior = pair_posterior(paper_query, source_prior, None)
+        for (s, _t), p in posterior.items():
+            if s == "s1":
+                assert p == 0.0
+
+    def test_all_zero_prior_falls_back_to_uniform(self, paper_query):
+        posterior = pair_posterior(paper_query, {"sA": 0.0, "s1": 0.0}, None)
+        for p in posterior.values():
+            assert p == pytest.approx(1 / 6)
+
+    def test_negative_weights_clamped(self, paper_query):
+        posterior = pair_posterior(paper_query, {"sA": -5.0, "s1": 1.0}, None)
+        for (s, _t), p in posterior.items():
+            if s == "sA":
+                assert p == 0.0
+
+
+class TestPosteriorBreach:
+    def test_uniform_equals_definition_2(self, paper_query):
+        true_query = PathQuery("sA", "tA")
+        assert posterior_breach(paper_query, true_query) == pytest.approx(1 / 6)
+
+    def test_uncovered_query_rejected(self, paper_query):
+        with pytest.raises(QueryError):
+            posterior_breach(paper_query, PathQuery("zz", "tA"))
+
+    def test_implausible_fakes_raise_breach(self, paper_query):
+        """When fakes have tiny prior weight, the true pair stands out."""
+        source_prior = {"sA": 10.0, "s1": 0.01}
+        dest_prior = {"tA": 10.0, "t1": 0.01, "t2": 0.01}
+        breach = posterior_breach(
+            paper_query, PathQuery("sA", "tA"), source_prior, dest_prior
+        )
+        assert breach > 0.9
+
+
+class TestEntropy:
+    def test_uniform_entropy_is_log2_pairs(self, paper_query):
+        assert posterior_entropy_bits(paper_query) == pytest.approx(math.log2(6))
+
+    def test_skew_lowers_entropy(self, paper_query):
+        skewed = posterior_entropy_bits(
+            paper_query, {"sA": 100.0, "s1": 1.0}, {"tA": 100.0, "t1": 1.0, "t2": 1.0}
+        )
+        assert skewed < math.log2(6)
+
+    def test_single_pair_entropy_zero(self):
+        q = ObfuscatedPathQuery((1,), (2,))
+        assert posterior_entropy_bits(q) == 0.0
+
+
+class TestPrivacyReport:
+    def test_report_fields_consistent(self, paper_query):
+        report = privacy_report(paper_query, PathQuery("sA", "tA"))
+        assert report.uniform_breach == pytest.approx(1 / 6)
+        assert report.posterior_breach == pytest.approx(1 / 6)
+        assert report.max_posterior == pytest.approx(1 / 6)
+        assert report.anonymity_pairs == 6
+        assert report.entropy_bits == pytest.approx(math.log2(6))
+
+    def test_max_posterior_bounds_posterior_breach(self, paper_query):
+        report = privacy_report(
+            paper_query,
+            PathQuery("sA", "tA"),
+            {"sA": 3.0, "s1": 1.0},
+            {"tA": 2.0, "t1": 1.0, "t2": 1.0},
+        )
+        assert report.posterior_breach <= report.max_posterior
+
+    def test_uncovered_query_rejected(self, paper_query):
+        with pytest.raises(QueryError):
+            privacy_report(paper_query, PathQuery("sA", "nope"))

@@ -1,0 +1,77 @@
+"""Unit tests for repro.core.protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import (
+    NODE_ID_BYTES,
+    PATH_HEADER_BYTES,
+    REQUEST_HEADER_BYTES,
+    TrafficLog,
+    estimate_message_bytes,
+)
+from repro.core.query import ClientRequest, ObfuscatedPathQuery, PathQuery
+from repro.search.result import PathResult
+
+
+class TestEstimateMessageBytes:
+    def test_request_size(self):
+        r = ClientRequest("alice", PathQuery(1, 2))
+        assert estimate_message_bytes(r) == REQUEST_HEADER_BYTES + 2 * NODE_ID_BYTES
+
+    def test_obfuscated_query_size_scales_with_sets(self):
+        q = ObfuscatedPathQuery((1, 2, 3), (4, 5))
+        assert estimate_message_bytes(q) == 5 * NODE_ID_BYTES
+
+    def test_path_size_scales_with_length(self):
+        p = PathResult(1, 3, (1, 2, 3), 2.0)
+        assert estimate_message_bytes(p) == PATH_HEADER_BYTES + 3 * NODE_ID_BYTES
+
+    def test_list_is_sum_of_items(self):
+        p = PathResult(1, 2, (1, 2), 1.0)
+        assert estimate_message_bytes([p, p]) == 2 * estimate_message_bytes(p)
+
+    def test_empty_list_is_zero(self):
+        assert estimate_message_bytes([]) == 0
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            estimate_message_bytes({"not": "priceable"})
+
+
+class TestTrafficLog:
+    def test_legs_accumulate_separately(self):
+        log = TrafficLog()
+        request = ClientRequest("alice", PathQuery(1, 2))
+        query = ObfuscatedPathQuery((1, 9), (2, 8))
+        path = PathResult(1, 2, (1, 5, 2), 2.0)
+        log.record("request", request)
+        log.record("query", query)
+        log.record("candidates", [path, path])
+        log.record("result", path)
+        assert log.client_to_obfuscator == estimate_message_bytes(request)
+        assert log.obfuscator_to_server == estimate_message_bytes(query)
+        assert log.server_to_obfuscator == 2 * estimate_message_bytes(path)
+        assert log.obfuscator_to_client == estimate_message_bytes(path)
+        assert log.messages == 4
+
+    def test_totals(self):
+        log = TrafficLog()
+        path = PathResult(1, 2, (1, 2), 1.0)
+        log.record("candidates", path)
+        log.record("query", ObfuscatedPathQuery((1,), (2,)))
+        assert log.total_bytes == log.server_side_bytes
+        assert log.server_side_bytes == (
+            log.obfuscator_to_server + log.server_to_obfuscator
+        )
+
+    def test_record_returns_size(self):
+        log = TrafficLog()
+        path = PathResult(1, 2, (1, 2), 1.0)
+        assert log.record("result", path) == estimate_message_bytes(path)
+
+    def test_unknown_leg_rejected(self):
+        log = TrafficLog()
+        with pytest.raises(ValueError):
+            log.record("carrier-pigeon", PathResult(1, 2, (1, 2), 1.0))

@@ -1,0 +1,114 @@
+"""Unit tests for repro.core.query."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import (
+    ClientRequest,
+    ObfuscatedPathQuery,
+    PathQuery,
+    ProtectionSetting,
+)
+from repro.exceptions import QueryError
+
+
+class TestPathQuery:
+    def test_construction_and_pair(self):
+        q = PathQuery(1, 2)
+        assert q.as_pair() == (1, 2)
+
+    def test_degenerate_query_rejected(self):
+        with pytest.raises(QueryError):
+            PathQuery(5, 5)
+
+    def test_hashable_and_equal(self):
+        assert PathQuery(1, 2) == PathQuery(1, 2)
+        assert len({PathQuery(1, 2), PathQuery(1, 2), PathQuery(2, 1)}) == 2
+
+
+class TestProtectionSetting:
+    def test_defaults(self):
+        setting = ProtectionSetting()
+        assert setting.f_s == 2
+        assert setting.f_t == 2
+
+    def test_target_breach(self):
+        assert ProtectionSetting(2, 3).target_breach == pytest.approx(1 / 6)
+
+    def test_no_protection_setting(self):
+        assert ProtectionSetting(1, 1).target_breach == 1.0
+
+    @pytest.mark.parametrize("f_s,f_t", [(0, 2), (2, 0), (-1, 3)])
+    def test_invalid_sizes_rejected(self, f_s, f_t):
+        with pytest.raises(QueryError):
+            ProtectionSetting(f_s, f_t)
+
+
+class TestClientRequest:
+    def test_construction(self):
+        r = ClientRequest("alice", PathQuery(1, 2), ProtectionSetting(3, 4))
+        assert r.user == "alice"
+        assert r.setting.f_s == 3
+
+    def test_default_setting(self):
+        r = ClientRequest("bob", PathQuery(1, 2))
+        assert r.setting == ProtectionSetting()
+
+    def test_empty_user_rejected(self):
+        with pytest.raises(QueryError):
+            ClientRequest("", PathQuery(1, 2))
+
+
+class TestObfuscatedPathQuery:
+    def test_paper_example_sizes(self):
+        """S_A = {s_A, s_1}, T_A = {t_A, t_1, t_2} -> 6 pairs, breach 1/6."""
+        q = ObfuscatedPathQuery(("sA", "s1"), ("tA", "t1", "t2"))
+        assert q.num_pairs == 6
+        assert len(q.pairs()) == 6
+
+    def test_covers_true_query(self):
+        q = ObfuscatedPathQuery((1, 2), (3, 4))
+        assert q.covers(PathQuery(1, 3))
+        assert q.covers(PathQuery(2, 4))
+        assert not q.covers(PathQuery(3, 1))
+        assert not q.covers(PathQuery(1, 5))
+
+    def test_pairs_deterministic_order(self):
+        q = ObfuscatedPathQuery((1, 2), (3, 4))
+        assert q.pairs() == [(1, 3), (1, 4), (2, 3), (2, 4)]
+
+    def test_expand_skips_degenerate_pairs(self):
+        q = ObfuscatedPathQuery((1, 2), (2, 3))
+        queries = q.expand()
+        assert PathQuery(1, 2) in queries
+        assert all(p.source != p.destination for p in queries)
+        assert len(queries) == 3  # (2,2) dropped
+
+    def test_empty_sets_rejected(self):
+        with pytest.raises(QueryError):
+            ObfuscatedPathQuery((), (1,))
+        with pytest.raises(QueryError):
+            ObfuscatedPathQuery((1,), ())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(QueryError):
+            ObfuscatedPathQuery((1, 1), (2,))
+        with pytest.raises(QueryError):
+            ObfuscatedPathQuery((1,), (2, 2))
+
+    def test_satisfies_setting(self):
+        q = ObfuscatedPathQuery((1, 2, 3), (4, 5))
+        assert q.satisfies(ProtectionSetting(3, 2))
+        assert q.satisfies(ProtectionSetting(2, 2))
+        assert not q.satisfies(ProtectionSetting(4, 2))
+
+    def test_sets_accessors(self):
+        q = ObfuscatedPathQuery((1, 2), (3,))
+        assert q.source_set == frozenset({1, 2})
+        assert q.destination_set == frozenset({3})
+
+    def test_repr_shows_sizes(self):
+        q = ObfuscatedPathQuery((1, 2), (3,))
+        assert "|S|=2" in repr(q)
+        assert "|T|=1" in repr(q)

@@ -1,0 +1,99 @@
+"""Unit tests for the route-exposure privacy metric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.obfuscator import PathQueryObfuscator
+from repro.core.privacy import route_exposure
+from repro.core.query import ClientRequest, PathQuery, ProtectionSetting
+from repro.core.server import DirectionsServer
+from repro.exceptions import QueryError
+from repro.network.generators import grid_network
+from repro.search.result import PathResult
+
+
+def path(*nodes, distance=1.0):
+    return PathResult(nodes[0], nodes[-1], tuple(nodes), distance)
+
+
+class TestRouteExposureAnalytic:
+    def test_identical_candidates_fully_expose(self):
+        true = path(1, 2, 3)
+        assert route_exposure(true, [true, path(1, 2, 3)]) == 1.0
+
+    def test_disjoint_candidates_hide_route(self):
+        true = path(1, 2, 3)
+        decoys = [path(7, 8, 9), path(4, 5)]
+        exposure = route_exposure(true, [true] + decoys)
+        assert exposure == pytest.approx(1 / 3)
+
+    def test_partial_overlap(self):
+        true = path(1, 2, 3)
+        overlapping = path(2, 3, 4)  # shares edge (2,3)
+        exposure = route_exposure(true, [true, overlapping])
+        # edge (1,2): 1/2, edge (2,3): 2/2 -> mean 0.75
+        assert exposure == pytest.approx(0.75)
+
+    def test_reverse_direction_counts_as_same_road(self):
+        true = path(1, 2, 3)
+        reverse = path(3, 2, 1)
+        assert route_exposure(true, [true, reverse]) == 1.0
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(QueryError):
+            route_exposure(path(1, 2), [])
+
+    def test_zero_edge_true_path_rejected(self):
+        with pytest.raises(QueryError):
+            route_exposure(path(1), [path(1, 2)])
+
+
+class TestRouteExposureOnLiveQueries:
+    def test_exposure_bounded_and_positive(self):
+        net = grid_network(15, 15, perturbation=0.1, seed=501)
+        obfuscator = PathQueryObfuscator(net, seed=5)
+        server = DirectionsServer(net)
+        request = ClientRequest(
+            "alice", PathQuery(0, 210), ProtectionSetting(3, 3)
+        )
+        record = obfuscator.obfuscate_independent(request)
+        response = server.answer(record.query)
+        candidates = [p for p in response.candidates.paths.values() if p.num_edges]
+        true_path = response.candidates.paths[(0, 210)]
+        exposure = route_exposure(true_path, candidates)
+        assert 1 / len(candidates) - 1e-9 <= exposure <= 1.0
+
+    def test_unprotected_query_fully_exposes_route(self):
+        """With f = (1, 1) the only candidate is the true path itself."""
+        net = grid_network(15, 15, perturbation=0.1, seed=503)
+        obfuscator = PathQueryObfuscator(net, seed=6)
+        server = DirectionsServer(net)
+        request = ClientRequest("alice", PathQuery(0, 210), ProtectionSetting(1, 1))
+        record = obfuscator.obfuscate_independent(request)
+        response = server.answer(record.query)
+        true_path = response.candidates.paths[(0, 210)]
+        assert route_exposure(true_path, [true_path]) == 1.0
+
+    def test_more_decoys_reduce_exposure(self):
+        """Averaged over seeds, stronger obfuscation lowers route
+        exposure (more candidate routes dilute each road segment)."""
+        net = grid_network(20, 20, perturbation=0.1, seed=502)
+        server = DirectionsServer(net)
+        means = []
+        for f in (2, 5):
+            totals = []
+            for seed in range(6):
+                obfuscator = PathQueryObfuscator(net, seed=seed)
+                request = ClientRequest(
+                    "alice", PathQuery(21, 378), ProtectionSetting(f, f)
+                )
+                record = obfuscator.obfuscate_independent(request)
+                response = server.answer(record.query)
+                candidates = [
+                    p for p in response.candidates.paths.values() if p.num_edges
+                ]
+                true_path = response.candidates.paths[(21, 378)]
+                totals.append(route_exposure(true_path, candidates))
+            means.append(sum(totals) / len(totals))
+        assert means[1] < means[0]

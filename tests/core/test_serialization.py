@@ -1,0 +1,143 @@
+"""Unit tests for repro.core.serialization (JSON wire format)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.query import ClientRequest, ObfuscatedPathQuery, PathQuery, ProtectionSetting
+from repro.core.serialization import (
+    decode_candidate_batch,
+    decode_obfuscated_query,
+    decode_path,
+    decode_request,
+    encode_candidate_batch,
+    encode_obfuscated_query,
+    encode_path,
+    encode_request,
+)
+from repro.exceptions import ProtocolError
+from repro.search.result import PathResult
+
+
+class TestRequestRoundTrip:
+    def test_round_trip(self):
+        original = ClientRequest("alice", PathQuery(3, 42), ProtectionSetting(2, 5))
+        decoded = decode_request(encode_request(original))
+        assert decoded == original
+
+    def test_string_node_ids(self):
+        original = ClientRequest("bob", PathQuery("home", "clinic"))
+        assert decode_request(encode_request(original)) == original
+
+    def test_wire_is_json_object(self):
+        wire = encode_request(ClientRequest("alice", PathQuery(1, 2)))
+        payload = json.loads(wire)
+        assert payload["kind"] == "request"
+        assert payload["user"] == "alice"
+
+    def test_non_scalar_node_rejected_at_encode(self):
+        request = ClientRequest("alice", PathQuery((1, 2), (3, 4)))
+        with pytest.raises(ProtocolError):
+            encode_request(request)
+
+    def test_bool_node_rejected(self):
+        request = ClientRequest("alice", PathQuery(True, False))
+        with pytest.raises(ProtocolError):
+            encode_request(request)
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_request('{"kind": "request", "user": "x"}')
+
+    def test_wrong_kind_rejected(self):
+        wire = encode_request(ClientRequest("alice", PathQuery(1, 2)))
+        with pytest.raises(ProtocolError):
+            decode_obfuscated_query(wire)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_request("not json at all")
+        with pytest.raises(ProtocolError):
+            decode_request("[1, 2, 3]")
+
+
+class TestObfuscatedQueryRoundTrip:
+    def test_round_trip_preserves_order(self):
+        original = ObfuscatedPathQuery((5, 1, 9), (2, 7))
+        decoded = decode_obfuscated_query(encode_obfuscated_query(original))
+        assert decoded == original
+        assert decoded.sources == (5, 1, 9)
+
+    def test_duplicate_entries_rejected_on_decode(self):
+        wire = json.dumps(
+            {"kind": "obfuscated_query", "sources": [1, 1], "destinations": [2]}
+        )
+        with pytest.raises(Exception):
+            decode_obfuscated_query(wire)
+
+
+class TestPathRoundTrip:
+    def test_round_trip(self):
+        original = PathResult(1, 4, (1, 2, 3, 4), 7.25)
+        decoded = decode_path(encode_path(original))
+        assert decoded == original
+
+    def test_trivial_path(self):
+        original = PathResult(9, 9, (9,), 0.0)
+        assert decode_path(encode_path(original)) == original
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_path('{"kind": "path", "nodes": [], "distance": 0}')
+
+    def test_bad_distance_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_path('{"kind": "path", "nodes": [1, 2], "distance": "much"}')
+
+
+class TestCandidateBatch:
+    def test_round_trip(self):
+        paths = [
+            PathResult(1, 3, (1, 2, 3), 2.0),
+            PathResult(4, 5, (4, 5), 1.0),
+        ]
+        decoded = decode_candidate_batch(encode_candidate_batch(paths))
+        assert decoded == paths
+
+    def test_empty_batch(self):
+        assert decode_candidate_batch(encode_candidate_batch([])) == []
+
+    def test_missing_paths_key_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_candidate_batch('{"kind": "candidates"}')
+
+
+class TestEndToEndWire:
+    def test_protocol_legs_round_trip_through_wire(self, small_grid):
+        """Simulate the four legs of Figure 6 over the JSON wire."""
+        from repro.core.obfuscator import PathQueryObfuscator
+        from repro.core.server import DirectionsServer
+
+        nodes = list(small_grid.nodes())
+        request = ClientRequest(
+            "alice", PathQuery(nodes[0], nodes[-1]), ProtectionSetting(2, 2)
+        )
+        # Leg 1: client -> obfuscator.
+        request = decode_request(encode_request(request))
+        obfuscator = PathQueryObfuscator(small_grid, seed=3)
+        record = obfuscator.obfuscate_independent(request)
+        # Leg 2: obfuscator -> server.
+        query = decode_obfuscated_query(encode_obfuscated_query(record.query))
+        server = DirectionsServer(small_grid)
+        response = server.answer(query)
+        # Leg 3: server -> obfuscator.
+        candidates = decode_candidate_batch(
+            encode_candidate_batch(list(response.candidates.paths.values()))
+        )
+        by_pair = {(p.source, p.destination): p for p in candidates}
+        # Leg 4: obfuscator -> client.
+        result = decode_path(encode_path(by_pair[request.query.as_pair()]))
+        assert result.source == request.query.source
+        assert result.destination == request.query.destination

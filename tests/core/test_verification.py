@@ -1,0 +1,132 @@
+"""Unit tests for repro.core.verification (malicious-server defense)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.filter import CandidateResultPathFilter
+from repro.core.obfuscator import PathQueryObfuscator
+from repro.core.query import ClientRequest, PathQuery, ProtectionSetting
+from repro.core.server import DirectionsServer
+from repro.core.verification import CandidatePathVerifier
+from repro.exceptions import ProtocolError
+from repro.network.generators import grid_network
+from repro.search.result import PathResult
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_network(12, 12, perturbation=0.1, seed=901)
+
+
+@pytest.fixture()
+def honest_exchange(net):
+    obfuscator = PathQueryObfuscator(net, seed=7)
+    server = DirectionsServer(net)
+    request = ClientRequest("alice", PathQuery(0, 140), ProtectionSetting(3, 3))
+    record = obfuscator.obfuscate_independent(request)
+    response = server.answer(record.query)
+    return obfuscator, record, response
+
+
+class TestVerifyResponse:
+    def test_honest_response_passes(self, net, honest_exchange):
+        _obf, _record, response = honest_exchange
+        CandidatePathVerifier(net).verify_response(response)
+
+    def test_wrong_endpoints_detected(self, net, honest_exchange):
+        _obf, _record, response = honest_exchange
+        pair = next(iter(response.candidates.paths))
+        honest = response.candidates.paths[pair]
+        other_pair = [p for p in response.candidates.paths if p != pair][0]
+        response.candidates.paths[pair] = response.candidates.paths[other_pair]
+        with pytest.raises(ProtocolError, match="endpoints|starts"):
+            CandidatePathVerifier(net).verify_response(response)
+        response.candidates.paths[pair] = honest
+
+    def test_inflated_distance_detected(self, net, honest_exchange):
+        _obf, _record, response = honest_exchange
+        pair = next(iter(response.candidates.paths))
+        honest = response.candidates.paths[pair]
+        response.candidates.paths[pair] = replace(
+            honest, distance=honest.distance * 2
+        )
+        with pytest.raises(ProtocolError, match="claims distance"):
+            CandidatePathVerifier(net).verify_response(response)
+
+    def test_fabricated_road_detected(self, net, honest_exchange):
+        """A path that teleports between non-adjacent nodes is rejected."""
+        _obf, _record, response = honest_exchange
+        pair = next(
+            p for p, path in response.candidates.paths.items() if path.num_edges > 2
+        )
+        honest = response.candidates.paths[pair]
+        # Remove an interior node: the spliced hop is not a real road.
+        nodes = honest.nodes[:2] + honest.nodes[3:]
+        response.candidates.paths[pair] = PathResult(
+            honest.source, honest.destination, nodes, honest.distance
+        )
+        with pytest.raises(ProtocolError, match="non-existent road"):
+            CandidatePathVerifier(net).verify_response(response)
+
+    def test_missing_pair_detected(self, net, honest_exchange):
+        _obf, _record, response = honest_exchange
+        pair = next(iter(response.candidates.paths))
+        del response.candidates.paths[pair]
+        with pytest.raises(ProtocolError, match="coverage mismatch"):
+            CandidatePathVerifier(net).verify_response(response)
+
+    def test_distance_check_can_be_disabled(self, net, honest_exchange):
+        _obf, _record, response = honest_exchange
+        pair = next(iter(response.candidates.paths))
+        honest = response.candidates.paths[pair]
+        response.candidates.paths[pair] = replace(
+            honest, distance=honest.distance * 3
+        )
+        verifier = CandidatePathVerifier(net, check_distances=False)
+        verifier.verify_response(response)  # topology-only: passes
+
+    def test_tolerance_allows_traffic_scaled_weights(self, net, honest_exchange):
+        """A server applying mild traffic factors passes a loose verifier."""
+        _obf, _record, response = honest_exchange
+        pair = next(iter(response.candidates.paths))
+        honest = response.candidates.paths[pair]
+        response.candidates.paths[pair] = replace(
+            honest, distance=honest.distance * 1.05
+        )
+        CandidatePathVerifier(net, relative_tolerance=0.10).verify_response(response)
+        with pytest.raises(ProtocolError):
+            CandidatePathVerifier(net, relative_tolerance=0.01).verify_response(
+                response
+            )
+
+    def test_negative_tolerance_rejected(self, net):
+        with pytest.raises(ValueError):
+            CandidatePathVerifier(net, relative_tolerance=-0.1)
+
+
+class TestFilterIntegration:
+    def test_filter_with_verifier_blocks_tampering(self, net, honest_exchange):
+        obfuscator, record, response = honest_exchange
+        pair = record.requests[0].query.as_pair()
+        honest = response.candidates.paths[pair]
+        response.candidates.paths[pair] = replace(
+            honest, distance=honest.distance + 5.0
+        )
+        path_filter = CandidateResultPathFilter(
+            obfuscator, verifier=CandidatePathVerifier(net)
+        )
+        with pytest.raises(ProtocolError):
+            path_filter.extract(record, response)
+        # The record must NOT have been discarded: the request is unserved.
+        assert record.record_id in obfuscator.pending
+
+    def test_filter_with_verifier_passes_honest_response(self, net, honest_exchange):
+        obfuscator, record, response = honest_exchange
+        path_filter = CandidateResultPathFilter(
+            obfuscator, verifier=CandidatePathVerifier(net)
+        )
+        results = path_filter.extract(record, response)
+        assert "alice" in results.paths_by_user

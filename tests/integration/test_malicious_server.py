@@ -1,0 +1,94 @@
+"""Failure injection: a tampering directions server against the verifier.
+
+Subclasses :class:`DirectionsServer` with three classic result-integrity
+attacks (inflated distances, spliced detours, rerouted endpoints) and
+checks that an :class:`OpaqueSystem` with ``verify_responses=True`` turns
+each into a :class:`ProtocolError` instead of a silently wrong route —
+while a verifier-less deployment would have accepted the tampered paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.query import ClientRequest, PathQuery, ProtectionSetting
+from repro.core.server import DirectionsServer, ServerResponse
+from repro.core.system import OpaqueSystem
+from repro.exceptions import ProtocolError
+from repro.network.generators import grid_network
+from repro.search.result import PathResult
+
+
+class TamperingServer(DirectionsServer):
+    """Honest evaluation, dishonest response: applies one tampering mode."""
+
+    def __init__(self, network, tamper: str) -> None:
+        super().__init__(network)
+        self._tamper = tamper
+
+    def answer(self, query) -> ServerResponse:
+        response = super().answer(query)
+        pair = next(iter(response.candidates.paths))
+        victim = response.candidates.paths[pair]
+        if self._tamper == "inflate-distance":
+            forged = replace(victim, distance=victim.distance * 1.5)
+        elif self._tamper == "splice-detour":
+            # Insert an unreachable hop mid-path (a road that does not exist).
+            nodes = (victim.nodes[0], victim.nodes[-1])
+            forged = PathResult(
+                victim.source, victim.destination, nodes, victim.distance
+            )
+            if victim.num_edges <= 1:
+                return response  # nothing to splice
+        elif self._tamper == "reroute-endpoints":
+            other = [p for p in response.candidates.paths if p != pair][0]
+            forged = response.candidates.paths[other]
+        else:
+            raise ValueError(f"unknown tamper mode {self._tamper}")
+        response.candidates.paths[pair] = forged
+        return response
+
+
+@pytest.fixture()
+def net():
+    return grid_network(12, 12, perturbation=0.1, seed=1201)
+
+
+@pytest.fixture()
+def batch(net):
+    return [
+        ClientRequest("alice", PathQuery(0, 140), ProtectionSetting(3, 3)),
+        ClientRequest("bob", PathQuery(5, 120), ProtectionSetting(2, 2)),
+    ]
+
+
+@pytest.mark.parametrize(
+    "tamper", ["inflate-distance", "splice-detour", "reroute-endpoints"]
+)
+def test_verifier_blocks_every_tampering_mode(net, batch, tamper):
+    system = OpaqueSystem(net, mode="independent", verify_responses=True, seed=4)
+    system.server = TamperingServer(net, tamper)
+    with pytest.raises(ProtocolError):
+        system.submit(batch)
+
+
+@pytest.mark.parametrize(
+    "tamper", ["inflate-distance", "reroute-endpoints"]
+)
+def test_without_verifier_tampering_goes_unnoticed(net, batch, tamper):
+    """The contrast case: a verifier-less deployment happily forwards at
+    least some forged candidates (whenever the forged pair was a decoy)."""
+    system = OpaqueSystem(net, mode="independent", seed=4)
+    system.server = TamperingServer(net, tamper)
+    # May or may not corrupt a user-visible path (the forged pair is often
+    # a decoy), but it must never raise: the tampering is invisible.
+    results = system.submit(batch)
+    assert set(results) == {"alice", "bob"}
+
+
+def test_honest_server_passes_verified_system(net, batch):
+    system = OpaqueSystem(net, mode="shared", verify_responses=True, seed=4)
+    results = system.submit(batch)
+    assert set(results) == {"alice", "bob"}

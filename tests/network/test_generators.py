@@ -1,0 +1,154 @@
+"""Unit tests for repro.network.generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.generators import (
+    grid_network,
+    random_geometric_network,
+    ring_radial_network,
+    tiger_like_network,
+)
+from repro.network.metrics import summarize_network
+
+
+class TestGridNetwork:
+    def test_node_and_edge_counts(self):
+        net = grid_network(4, 3)
+        assert net.num_nodes == 12
+        # horizontal: 3*3, vertical: 4*2
+        assert net.num_edges == 9 + 8
+
+    def test_single_node_grid(self):
+        net = grid_network(1, 1)
+        assert net.num_nodes == 1
+        assert net.num_edges == 0
+
+    def test_positions_respect_spacing(self):
+        net = grid_network(3, 3, spacing=2.0)
+        assert net.position(0).x == 0.0
+        assert net.position(2).x == 4.0
+
+    def test_deterministic_for_same_seed(self):
+        a = grid_network(5, 5, perturbation=0.2, seed=11)
+        b = grid_network(5, 5, perturbation=0.2, seed=11)
+        assert list(a.edges()) == list(b.edges())
+        for node in a.nodes():
+            assert a.position(node) == b.position(node)
+
+    def test_different_seed_differs(self):
+        a = grid_network(5, 5, perturbation=0.2, seed=11)
+        b = grid_network(5, 5, perturbation=0.2, seed=12)
+        moved = any(a.position(n) != b.position(n) for n in a.nodes())
+        assert moved
+
+    def test_perturbation_zero_is_exact_lattice(self):
+        net = grid_network(3, 3, perturbation=0.0, seed=5)
+        assert net.position(4).x == 1.0
+        assert net.position(4).y == 1.0
+
+    def test_drop_fraction_keeps_connectivity(self):
+        net = grid_network(10, 10, drop_fraction=0.15, seed=3)
+        assert net.is_connected()
+        assert net.num_edges < 180  # fewer than the full grid
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            grid_network(0, 5)
+
+    def test_invalid_drop_fraction(self):
+        with pytest.raises(ValueError):
+            grid_network(3, 3, drop_fraction=1.0)
+
+    def test_negative_perturbation_rejected(self):
+        with pytest.raises(ValueError):
+            grid_network(3, 3, perturbation=-0.1)
+
+    def test_is_road_like(self):
+        summary = summarize_network(grid_network(15, 15, perturbation=0.1, seed=1))
+        assert summary.is_road_like
+
+
+class TestRandomGeometricNetwork:
+    def test_connected_output(self):
+        net = random_geometric_network(300, radius=0.12, seed=4)
+        assert net.is_connected()
+        assert net.num_nodes > 0
+
+    def test_edges_respect_radius(self):
+        net = random_geometric_network(200, radius=0.15, seed=4)
+        for u, v, w in net.edges():
+            assert w <= 0.15 + 1e-9
+
+    def test_deterministic(self):
+        a = random_geometric_network(100, radius=0.2, seed=9)
+        b = random_geometric_network(100, radius=0.2, seed=9)
+        assert set(a.nodes()) == set(b.nodes())
+        assert list(a.edges()) == list(b.edges())
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            random_geometric_network(0, radius=0.1)
+        with pytest.raises(ValueError):
+            random_geometric_network(10, radius=0.0)
+        with pytest.raises(ValueError):
+            random_geometric_network(10, radius=0.1, extent=-1)
+
+
+class TestRingRadialNetwork:
+    def test_node_count(self):
+        net = ring_radial_network(rings=3, spokes=6)
+        assert net.num_nodes == 1 + 3 * 6
+
+    def test_connected(self):
+        assert ring_radial_network(rings=4, spokes=8).is_connected()
+
+    def test_center_degree_equals_spokes(self):
+        net = ring_radial_network(rings=2, spokes=5)
+        assert net.degree(0) == 5
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ring_radial_network(rings=0, spokes=6)
+        with pytest.raises(ValueError):
+            ring_radial_network(rings=2, spokes=2)
+
+
+class TestTigerLikeNetwork:
+    def test_node_count(self):
+        net = tiger_like_network(blocks=3, block_size=4, seed=1)
+        assert net.num_nodes == 3 * 3 * 4 * 4
+
+    def test_connected(self):
+        assert tiger_like_network(blocks=3, block_size=4, seed=1).is_connected()
+
+    def test_arterials_are_faster_than_euclidean(self):
+        net = tiger_like_network(
+            blocks=2, block_size=4, arterial_speedup=3.0, perturbation=0.0, seed=1
+        )
+        fast_edges = [
+            (u, v, w)
+            for u, v, w in net.edges()
+            if w < net.euclidean_distance(u, v) - 1e-9
+        ]
+        assert fast_edges, "expected at least one arterial edge"
+        for u, v, w in fast_edges:
+            assert w == pytest.approx(net.euclidean_distance(u, v) / 3.0)
+
+    def test_deterministic(self):
+        a = tiger_like_network(blocks=2, block_size=3, seed=6)
+        b = tiger_like_network(blocks=2, block_size=3, seed=6)
+        assert list(a.edges()) == list(b.edges())
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            tiger_like_network(blocks=0)
+        with pytest.raises(ValueError):
+            tiger_like_network(block_size=1)
+        with pytest.raises(ValueError):
+            tiger_like_network(arterial_speedup=0.5)
+
+    def test_is_road_like(self):
+        summary = summarize_network(tiger_like_network(blocks=3, block_size=4, seed=2))
+        assert summary.is_road_like

@@ -1,0 +1,86 @@
+"""Unit tests for repro.network.io (text serialization)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.network.generators import grid_network
+from repro.network.io import (
+    dumps_network,
+    loads_network,
+    read_network,
+    write_network,
+)
+from repro.network.graph import RoadNetwork
+
+
+class TestRoundTrip:
+    def test_string_round_trip_exact(self, small_grid):
+        clone = loads_network(dumps_network(small_grid))
+        assert set(clone.nodes()) == set(small_grid.nodes())
+        assert clone.num_edges == small_grid.num_edges
+        for node in small_grid.nodes():
+            assert clone.position(node) == small_grid.position(node)
+        for u, v, w in small_grid.edges():
+            assert clone.edge_weight(u, v) == w
+
+    def test_file_round_trip(self, tmp_path, small_grid):
+        path = tmp_path / "net.txt"
+        write_network(small_grid, path)
+        clone = read_network(path)
+        assert clone.num_nodes == small_grid.num_nodes
+        assert clone.num_edges == small_grid.num_edges
+
+    def test_directed_flag_preserved(self):
+        net = RoadNetwork(directed=True)
+        net.add_node(1, 0, 0)
+        net.add_node(2, 1, 0)
+        net.add_edge(1, 2, 5.0)
+        clone = loads_network(dumps_network(net))
+        assert clone.directed
+        assert clone.has_edge(1, 2)
+        assert not clone.has_edge(2, 1)
+
+    def test_empty_network_round_trip(self):
+        clone = loads_network(dumps_network(RoadNetwork()))
+        assert clone.num_nodes == 0
+        assert not clone.directed
+
+
+class TestParsing:
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# hello\n\ndirected 0\n# another\nnode 1 0.0 0.0\n"
+        net = loads_network(text)
+        assert 1 in net
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(GraphError):
+            loads_network("node 1 0.0 0.0\n")
+
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(GraphError):
+            loads_network("directed 0\ndirected 1\n")
+
+    def test_unknown_record_rejected(self):
+        with pytest.raises(GraphError):
+            loads_network("directed 0\nblob 1 2 3\n")
+
+    def test_malformed_node_rejected(self):
+        with pytest.raises(GraphError):
+            loads_network("directed 0\nnode 1 abc 0.0\n")
+
+    def test_malformed_edge_rejected(self):
+        with pytest.raises(GraphError):
+            loads_network("directed 0\nnode 1 0 0\nnode 2 1 0\nedge 1\n")
+
+    def test_edges_may_precede_nodes(self):
+        # Edge lines are buffered until all nodes are read.
+        text = "directed 0\nedge 1 2 3.0\nnode 1 0 0\nnode 2 1 0\n"
+        net = loads_network(text)
+        assert net.edge_weight(1, 2) == 3.0
+
+    def test_generated_network_round_trip(self):
+        net = grid_network(6, 6, perturbation=0.2, seed=8)
+        clone = loads_network(dumps_network(net))
+        assert clone.num_edges == net.num_edges

@@ -1,0 +1,63 @@
+"""Unit tests for repro.network.metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.generators import grid_network
+from repro.network.graph import RoadNetwork
+from repro.network.metrics import (
+    sample_network_diameter,
+    summarize_network,
+)
+
+
+class TestSummarizeNetwork:
+    def test_counts_match_network(self, small_grid):
+        summary = summarize_network(small_grid)
+        assert summary.num_nodes == small_grid.num_nodes
+        assert summary.num_edges == small_grid.num_edges
+        assert summary.num_components == 1
+
+    def test_average_degree_of_lattice(self):
+        net = grid_network(3, 3, perturbation=0.0)
+        summary = summarize_network(net)
+        # 3x3 lattice: 12 undirected edges over 9 nodes -> mean degree 24/9.
+        assert summary.average_degree == pytest.approx(24 / 9)
+        assert summary.max_degree == 4
+
+    def test_edge_weight_stats(self, tiny_triangle):
+        summary = summarize_network(tiny_triangle)
+        assert summary.max_edge_weight == 3.0
+        assert summary.average_edge_weight == pytest.approx((1 + 1 + 3) / 3)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_network(RoadNetwork())
+
+    def test_road_like_flag_rejects_disconnected(self):
+        net = RoadNetwork()
+        net.add_node(1, 0, 0)
+        net.add_node(2, 1, 0)
+        summary = summarize_network(net)
+        assert summary.num_components == 2
+        assert not summary.is_road_like
+
+    def test_bounding_box_passthrough(self, tiny_triangle):
+        summary = summarize_network(tiny_triangle)
+        assert summary.bounding_box == tiny_triangle.bounding_box()
+
+
+class TestSampleDiameter:
+    def test_positive_for_grid(self, small_grid):
+        assert sample_network_diameter(small_grid) > 0
+
+    def test_zero_for_single_node(self):
+        net = RoadNetwork()
+        net.add_node(1, 0, 0)
+        assert sample_network_diameter(net) == 0.0
+
+    def test_at_least_half_diagonal(self, small_grid):
+        min_x, min_y, max_x, max_y = small_grid.bounding_box()
+        diagonal = ((max_x - min_x) ** 2 + (max_y - min_y) ** 2) ** 0.5
+        assert sample_network_diameter(small_grid) >= diagonal * 0.5 - 1e-9

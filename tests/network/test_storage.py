@@ -1,0 +1,178 @@
+"""Unit tests for repro.network.storage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StorageError, UnknownNodeError
+from repro.network.storage import IOCounter, LRUBufferPool, PagedNetwork, PageStore
+from repro.search.dijkstra import dijkstra_path, dijkstra_sssp
+
+
+class TestIOCounter:
+    def test_record_and_reset(self):
+        io = IOCounter()
+        io.record(1, fault=True)
+        io.record(1, fault=False)
+        io.record(2, fault=True)
+        assert io.logical_accesses == 3
+        assert io.page_faults == 2
+        assert io.distinct_pages == 2
+        io.reset()
+        assert io.logical_accesses == 0
+        assert io.page_faults == 0
+        assert io.distinct_pages == 0
+
+
+class TestPageStore:
+    def test_every_node_assigned_exactly_once(self, small_grid):
+        store = PageStore(small_grid, page_capacity=8)
+        seen = []
+        for page_id in range(store.num_pages):
+            seen.extend(store.page_members(page_id))
+        assert sorted(seen) == sorted(small_grid.nodes())
+
+    def test_capacity_respected(self, small_grid):
+        store = PageStore(small_grid, page_capacity=8)
+        for page_id in range(store.num_pages):
+            assert len(store.page_members(page_id)) <= 8
+
+    def test_page_count_lower_bound(self, small_grid):
+        store = PageStore(small_grid, page_capacity=8)
+        assert store.num_pages >= small_grid.num_nodes // 8
+
+    def test_page_of_matches_members(self, small_grid):
+        store = PageStore(small_grid, page_capacity=8)
+        for node in small_grid.nodes():
+            assert node in store.page_members(store.page_of(node))
+
+    def test_clustering_groups_neighbors(self, small_grid):
+        """CCAM property: most edges connect nodes on the same page or an
+        adjacent handful of pages (BFS packing keeps locality)."""
+        store = PageStore(small_grid, page_capacity=16)
+        same_page = 0
+        total = 0
+        for u, v, _w in small_grid.edges():
+            total += 1
+            if store.page_of(u) == store.page_of(v):
+                same_page += 1
+        assert same_page / total > 0.3
+
+    def test_invalid_capacity(self, small_grid):
+        with pytest.raises(StorageError):
+            PageStore(small_grid, page_capacity=0)
+
+    def test_unknown_node(self, small_grid):
+        store = PageStore(small_grid, page_capacity=8)
+        with pytest.raises(UnknownNodeError):
+            store.page_of(-1)
+
+    def test_unknown_page(self, small_grid):
+        store = PageStore(small_grid, page_capacity=8)
+        with pytest.raises(StorageError):
+            store.page_members(store.num_pages)
+
+    def test_deterministic_layout(self, small_grid):
+        a = PageStore(small_grid, page_capacity=8)
+        b = PageStore(small_grid, page_capacity=8)
+        for node in small_grid.nodes():
+            assert a.page_of(node) == b.page_of(node)
+
+
+class TestLRUBufferPool:
+    def test_cold_access_faults(self):
+        pool = LRUBufferPool(capacity=2)
+        assert pool.access(1) is True
+        assert pool.access(1) is False
+
+    def test_eviction_is_lru(self):
+        pool = LRUBufferPool(capacity=2)
+        pool.access(1)
+        pool.access(2)
+        pool.access(1)  # 2 is now LRU
+        pool.access(3)  # evicts 2
+        assert pool.access(1) is False
+        assert pool.access(3) is False
+        assert pool.access(2) is True
+
+    def test_zero_capacity_always_faults(self):
+        pool = LRUBufferPool(capacity=0)
+        assert pool.access(1) is True
+        assert pool.access(1) is True
+        assert pool.hits == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            LRUBufferPool(capacity=-1)
+
+    def test_hit_miss_counters(self):
+        pool = LRUBufferPool(capacity=4)
+        for page in (1, 2, 1, 1, 3):
+            pool.access(page)
+        assert pool.misses == 3
+        assert pool.hits == 2
+
+    def test_clear(self):
+        pool = LRUBufferPool(capacity=4)
+        pool.access(1)
+        pool.clear()
+        assert pool.resident_pages == []
+        assert pool.access(1) is True
+
+    def test_resident_pages_order(self):
+        pool = LRUBufferPool(capacity=3)
+        for page in (1, 2, 3, 1):
+            pool.access(page)
+        assert pool.resident_pages == [2, 3, 1]
+
+
+class TestPagedNetwork:
+    def test_read_interface_matches_backing(self, small_grid):
+        paged = PagedNetwork(small_grid, page_capacity=8, buffer_capacity=4)
+        node = next(small_grid.nodes())
+        assert paged.num_nodes == small_grid.num_nodes
+        assert paged.num_edges == small_grid.num_edges
+        assert node in paged
+        assert paged.position(node) == small_grid.position(node)
+        assert paged.neighbors(node) == small_grid.neighbors(node)
+        assert len(paged) == len(small_grid)
+        assert not paged.directed
+
+    def test_accesses_are_charged(self, small_grid):
+        paged = PagedNetwork(small_grid, page_capacity=8, buffer_capacity=4)
+        node = next(small_grid.nodes())
+        paged.neighbors(node)
+        assert paged.io.logical_accesses == 1
+        assert paged.io.page_faults == 1
+
+    def test_reset_io_clears_counters_and_cache(self, small_grid):
+        paged = PagedNetwork(small_grid, page_capacity=8, buffer_capacity=4)
+        node = next(small_grid.nodes())
+        paged.neighbors(node)
+        paged.reset_io()
+        assert paged.io.page_faults == 0
+        paged.neighbors(node)
+        assert paged.io.page_faults == 1  # cache was dropped too
+
+    def test_search_results_identical_to_unpaged(self, small_grid):
+        paged = PagedNetwork(small_grid, page_capacity=8, buffer_capacity=4)
+        nodes = list(small_grid.nodes())
+        plain = dijkstra_path(small_grid, nodes[0], nodes[-1])
+        charged = dijkstra_path(paged, nodes[0], nodes[-1])
+        assert plain.nodes == charged.nodes
+        assert plain.distance == pytest.approx(charged.distance)
+
+    def test_larger_buffer_means_fewer_faults(self, medium_grid):
+        nodes = list(medium_grid.nodes())
+        faults = []
+        for capacity in (1, 8, 10_000):
+            paged = PagedNetwork(medium_grid, page_capacity=16, buffer_capacity=capacity)
+            dijkstra_sssp(paged, nodes[0])
+            faults.append(paged.io.page_faults)
+        assert faults[0] >= faults[1] >= faults[2]
+        # With an unbounded buffer only compulsory faults remain.
+        assert faults[2] == paged.store.num_pages
+
+    def test_repr(self, small_grid):
+        paged = PagedNetwork(small_grid, page_capacity=8, buffer_capacity=4)
+        assert "PagedNetwork" in repr(paged)

@@ -1,0 +1,127 @@
+"""Unit tests for repro.network.views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NoPathError
+from repro.network.generators import grid_network, tiger_like_network
+from repro.network.graph import RoadNetwork
+from repro.network.views import FilteredView, ReverseView, avoid_fast_roads
+from repro.search.dijkstra import dijkstra_path
+
+
+@pytest.fixture(scope="module")
+def directed_chain():
+    net = RoadNetwork(directed=True)
+    for i in range(4):
+        net.add_node(i, i, 0)
+    net.add_edge(0, 1, 1.0)
+    net.add_edge(1, 2, 2.0)
+    net.add_edge(2, 3, 3.0)
+    return net
+
+
+class TestReverseView:
+    def test_flips_directed_edges(self, directed_chain):
+        rv = ReverseView(directed_chain)
+        assert rv.neighbors(1) == {0: 1.0}
+        assert rv.neighbors(0) == {}
+        assert rv.neighbors(3) == {2: 3.0}
+
+    def test_search_on_reverse_finds_backward_path(self, directed_chain):
+        rv = ReverseView(directed_chain)
+        path = dijkstra_path(rv, 3, 0)
+        assert path.nodes == (3, 2, 1, 0)
+        assert path.distance == pytest.approx(6.0)
+        with pytest.raises(NoPathError):
+            dijkstra_path(directed_chain, 3, 0)
+
+    def test_identity_on_undirected(self, small_grid):
+        rv = ReverseView(small_grid)
+        node = next(small_grid.nodes())
+        assert rv.neighbors(node) == small_grid.neighbors(node)
+
+    def test_read_interface_delegates(self, directed_chain):
+        rv = ReverseView(directed_chain)
+        assert rv.num_nodes == 4
+        assert len(rv) == 4
+        assert 2 in rv
+        assert rv.directed
+        assert rv.position(1) == directed_chain.position(1)
+        assert rv.euclidean_distance(0, 3) == pytest.approx(3.0)
+        assert list(rv.nodes()) == list(directed_chain.nodes())
+        assert rv.base is directed_chain
+
+    def test_double_reverse_restores_adjacency(self, directed_chain):
+        double = ReverseView(ReverseView(directed_chain))
+        for node in directed_chain.nodes():
+            assert double.neighbors(node) == directed_chain.neighbors(node)
+
+
+class TestFilteredView:
+    def test_hides_failing_edges(self, tiny_triangle):
+        view = FilteredView(tiny_triangle, lambda u, v, w: w < 2.0)
+        assert "c" not in view.neighbors("a")
+        assert view.neighbors("a") == {"b": 1.0}
+
+    def test_search_respects_filter(self, tiny_triangle):
+        # Hide the direct a-c shortcut-candidate; route must go via b.
+        view = FilteredView(tiny_triangle, lambda u, v, w: {u, v} != {"a", "c"})
+        path = dijkstra_path(view, "a", "c")
+        assert path.nodes == ("a", "b", "c")
+
+    def test_filter_can_disconnect(self, tiny_triangle):
+        view = FilteredView(tiny_triangle, lambda u, v, w: False)
+        with pytest.raises(NoPathError):
+            dijkstra_path(view, "a", "c")
+
+    def test_composes_with_reverse(self, directed_chain):
+        view = ReverseView(FilteredView(directed_chain, lambda u, v, w: w <= 2.0))
+        assert view.neighbors(2) == {1: 2.0}
+        assert view.neighbors(3) == {}
+
+    def test_nodes_never_hidden(self, small_grid):
+        view = FilteredView(small_grid, lambda u, v, w: False)
+        assert view.num_nodes == small_grid.num_nodes
+
+
+class TestAvoidFastRoads:
+    @pytest.fixture(scope="class")
+    def suburb(self):
+        return tiger_like_network(
+            blocks=3, block_size=5, arterial_speedup=2.5, seed=3
+        )
+
+    def test_arterials_hidden(self, suburb):
+        view = avoid_fast_roads(suburb)
+        for u in view.nodes():
+            for v, w in view.neighbors(u).items():
+                speed = suburb.euclidean_distance(u, v) / w
+                assert speed <= 1.0 + 1e-6
+
+    def test_still_connected_via_local_streets(self, suburb):
+        view = avoid_fast_roads(suburb)
+        nodes = list(suburb.nodes())
+        path = dijkstra_path(view, nodes[0], nodes[-1])
+        assert path.distance > 0
+
+    def test_avoiding_highways_costs_more(self, suburb):
+        nodes = list(suburb.nodes())
+        fast = dijkstra_path(suburb, nodes[0], nodes[-1]).distance
+        slow = dijkstra_path(avoid_fast_roads(suburb), nodes[0], nodes[-1]).distance
+        assert slow > fast
+
+    def test_threshold_above_arterials_hides_nothing(self, suburb):
+        view = avoid_fast_roads(suburb, speed_threshold=10.0)
+        nodes = list(suburb.nodes())
+        fast = dijkstra_path(suburb, nodes[0], nodes[-1]).distance
+        same = dijkstra_path(view, nodes[0], nodes[-1]).distance
+        assert same == pytest.approx(fast)
+
+    def test_plain_grid_unaffected(self):
+        net = grid_network(8, 8, perturbation=0.0, seed=1)
+        view = avoid_fast_roads(net)
+        assert dijkstra_path(view, 0, 63).distance == pytest.approx(
+            dijkstra_path(net, 0, 63).distance
+        )

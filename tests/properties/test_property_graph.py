@@ -1,0 +1,99 @@
+"""Property-based tests: graph structure, serialization, and storage."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.graph import RoadNetwork
+from repro.network.io import dumps_network, loads_network
+from repro.network.storage import LRUBufferPool, PageStore
+
+
+@st.composite
+def networks(draw, max_nodes=25):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    directed = draw(st.booleans())
+    density = draw(st.floats(min_value=0.0, max_value=0.3))
+    rng = random.Random(seed)
+    net = RoadNetwork(directed=directed)
+    for node in range(n):
+        net.add_node(node, rng.uniform(-50, 50), rng.uniform(-50, 50))
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < density:
+                net.add_edge(u, v, rng.uniform(0, 100))
+    return net
+
+
+@given(networks())
+@settings(max_examples=60, deadline=None)
+def test_serialization_round_trip(net):
+    clone = loads_network(dumps_network(net))
+    assert clone.directed == net.directed
+    assert set(clone.nodes()) == set(net.nodes())
+    assert clone.num_edges == net.num_edges
+    for node in net.nodes():
+        assert clone.position(node) == net.position(node)
+    for u, v, w in net.edges():
+        assert clone.edge_weight(u, v) == w
+
+
+@given(networks())
+@settings(max_examples=60, deadline=None)
+def test_components_partition_nodes(net):
+    components = net.connected_components()
+    union: set = set()
+    total = 0
+    for component in components:
+        assert not (component & union), "components must be disjoint"
+        union |= component
+        total += len(component)
+    assert total == net.num_nodes
+    sizes = [len(c) for c in components]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+@given(networks(), st.integers(min_value=1, max_value=16))
+@settings(max_examples=60, deadline=None)
+def test_page_store_partitions_nodes(net, capacity):
+    store = PageStore(net, page_capacity=capacity)
+    seen: list = []
+    for page_id in range(store.num_pages):
+        members = store.page_members(page_id)
+        assert 0 < len(members) <= capacity
+        seen.extend(members)
+    assert sorted(seen, key=repr) == sorted(net.nodes(), key=repr)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=20), max_size=300),
+    st.integers(min_value=0, max_value=8),
+)
+def test_lru_pool_never_exceeds_capacity(accesses, capacity):
+    pool = LRUBufferPool(capacity)
+    for page in accesses:
+        pool.access(page)
+        assert len(pool.resident_pages) <= max(capacity, 0)
+    assert pool.hits + pool.misses == len(accesses)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=5), max_size=200),
+    st.integers(min_value=6, max_value=10),
+)
+def test_lru_pool_with_ample_capacity_faults_once_per_page(accesses, capacity):
+    pool = LRUBufferPool(capacity)
+    faults = sum(pool.access(page) for page in accesses)
+    assert faults == len(set(accesses))
+
+
+@given(networks())
+@settings(max_examples=40, deadline=None)
+def test_subgraph_of_all_nodes_is_identity(net):
+    clone = net.subgraph(list(net.nodes()))
+    assert clone.num_nodes == net.num_nodes
+    assert clone.num_edges == net.num_edges

@@ -1,0 +1,76 @@
+"""Property-based tests for the addressable heap."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search.heap import AddressableHeap
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), max_size=200))
+def test_pop_order_is_sorted(priorities):
+    heap: AddressableHeap[int] = AddressableHeap()
+    for key, priority in enumerate(priorities):
+        heap.push(key, priority)
+    out = []
+    while heap:
+        out.append(heap.pop()[1])
+    assert out == sorted(out)
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=100),
+    st.data(),
+)
+def test_decrease_key_preserves_order(priorities, data):
+    heap: AddressableHeap[int] = AddressableHeap()
+    current = {}
+    for key, priority in enumerate(priorities):
+        heap.push(key, priority)
+        current[key] = priority
+    # Decrease a random subset of keys to random lower values.
+    subset = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(priorities) - 1),
+            unique=True,
+            max_size=len(priorities),
+        )
+    )
+    for key in subset:
+        new = data.draw(st.floats(min_value=0, max_value=current[key]))
+        heap.decrease_key(key, new)
+        current[key] = new
+    out = []
+    while heap:
+        key, priority = heap.pop()
+        assert priority == current[key]
+        out.append(priority)
+    assert out == sorted(out)
+
+
+@given(st.lists(st.tuples(st.integers(0, 50), st.floats(0, 100)), max_size=200))
+@settings(max_examples=50)
+def test_push_or_decrease_tracks_minimum(operations):
+    heap: AddressableHeap[int] = AddressableHeap()
+    best: dict[int, float] = {}
+    for key, priority in operations:
+        heap.push_or_decrease(key, priority)
+        best[key] = min(best.get(key, float("inf")), priority)
+    while heap:
+        key, priority = heap.pop()
+        assert priority == best.pop(key)
+    assert not best
+
+
+@given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50))
+def test_len_and_contains_consistent(priorities):
+    heap: AddressableHeap[int] = AddressableHeap()
+    for key, priority in enumerate(priorities):
+        heap.push(key, priority)
+    assert len(heap) == len(priorities)
+    for key in range(len(priorities)):
+        assert key in heap
+    popped, _ = heap.pop()
+    assert popped not in heap
+    assert len(heap) == len(priorities) - 1

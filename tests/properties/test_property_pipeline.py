@@ -1,0 +1,148 @@
+"""Property-based tests over the full OPAQUE pipeline and its extensions.
+
+A single fixed network with hypothesis-driven workloads: whatever the
+requests, the pipeline must return exact paths, honor protection
+settings, keep the server ignorant of user identities, and keep the
+extension layers (planner, serialization, clustering) consistent.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import cluster_requests
+from repro.core.planner import plan_protection
+from repro.core.query import ClientRequest, PathQuery, ProtectionSetting
+from repro.core.serialization import (
+    decode_obfuscated_query,
+    decode_request,
+    encode_obfuscated_query,
+    encode_request,
+)
+from repro.core.system import OpaqueSystem
+from repro.network.generators import grid_network
+from repro.search.dijkstra import dijkstra_path
+from repro.search.multi import NaivePairwiseProcessor, SharedTreeProcessor
+
+NET = grid_network(12, 12, perturbation=0.1, seed=2001)
+NODES = list(NET.nodes())
+
+
+@st.composite
+def request_batches(draw, max_size=6):
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, len(NODES) - 1), st.integers(0, len(NODES) - 1)
+            ).filter(lambda p: p[0] != p[1]),
+            min_size=1,
+            max_size=max_size,
+        )
+    )
+    batch = []
+    for i, (s, t) in enumerate(pairs):
+        f_s = draw(st.integers(1, 4))
+        f_t = draw(st.integers(1, 4))
+        batch.append(
+            ClientRequest(
+                f"user-{i}",
+                PathQuery(NODES[s], NODES[t]),
+                ProtectionSetting(f_s, f_t),
+            )
+        )
+    return batch
+
+
+@given(request_batches(), st.sampled_from(["independent", "shared"]))
+@settings(max_examples=30, deadline=None)
+def test_pipeline_always_returns_exact_paths(batch, mode):
+    system = OpaqueSystem(NET, mode=mode, seed=5)
+    results = system.submit(batch)
+    assert set(results) == {r.user for r in batch}
+    for request in batch:
+        truth = dijkstra_path(NET, request.query.source, request.query.destination)
+        assert abs(results[request.user].distance - truth.distance) < 1e-9
+
+
+@given(request_batches())
+@settings(max_examples=30, deadline=None)
+def test_every_record_honors_every_members_setting(batch):
+    system = OpaqueSystem(NET, mode="shared", seed=5)
+    system.submit(batch)
+    for record in system.last_report.records:
+        for request in record.requests:
+            assert record.query.satisfies(request.setting)
+            assert record.query.covers(request.query)
+
+
+@given(request_batches())
+@settings(max_examples=30, deadline=None)
+def test_server_view_carries_no_request_objects(batch):
+    system = OpaqueSystem(NET, mode="independent", seed=5)
+    system.submit(batch)
+    # The server sees only node ids; its observed set sizes bound what any
+    # log analysis could recover.
+    for observed, record in zip(
+        system.server.observed_queries, system.last_report.records
+    ):
+        assert observed == record.query
+        assert len(observed.sources) >= 1
+        assert len(observed.destinations) >= 1
+
+
+@given(request_batches(), st.floats(min_value=0.5, max_value=8.0))
+@settings(max_examples=30, deadline=None)
+def test_clustering_partition_and_diameter(batch, bound):
+    clusters = cluster_requests(batch, NET, bound, bound)
+    users = sorted(r.user for c in clusters for r in c.requests)
+    assert users == sorted(r.user for r in batch)
+    for cluster in clusters:
+        assert cluster.source_diameter(NET) <= bound + 1e-9
+        assert cluster.destination_diameter(NET) <= bound + 1e-9
+
+
+@given(
+    st.integers(0, len(NODES) - 1),
+    st.integers(0, len(NODES) - 1),
+    st.integers(2, 20),
+)
+@settings(max_examples=30, deadline=None)
+def test_planner_plans_meet_target_and_sort(source, target, product):
+    if source == target:
+        return
+    query = PathQuery(NODES[source], NODES[target])
+    plans = plan_protection(NET, query, max_breach=1.0 / product, max_side=product)
+    costs = [p.predicted_cost for p in plans]
+    assert costs == sorted(costs)
+    for plan in plans:
+        assert plan.breach <= 1.0 / product + 1e-12
+
+
+@given(request_batches(max_size=3))
+@settings(max_examples=30, deadline=None)
+def test_wire_round_trip_preserves_pipeline_semantics(batch):
+    system = OpaqueSystem(NET, mode="independent", seed=5)
+    decoded = [decode_request(encode_request(r)) for r in batch]
+    # De-duplicate users after decode (hypothesis may repeat indices).
+    results = system.submit(decoded)
+    for record in system.last_report.records:
+        wire = encode_obfuscated_query(record.query)
+        assert decode_obfuscated_query(wire) == record.query
+    assert set(results) == {r.user for r in batch}
+
+
+@given(
+    st.lists(st.integers(0, len(NODES) - 1), min_size=2, max_size=5, unique=True),
+    st.lists(st.integers(0, len(NODES) - 1), min_size=2, max_size=5, unique=True),
+)
+@settings(max_examples=30, deadline=None)
+def test_processors_agree_on_arbitrary_sets(source_idx, dest_idx):
+    sources = [NODES[i] for i in source_idx]
+    destinations = [NODES[i] for i in dest_idx]
+    naive = NaivePairwiseProcessor().process(NET, sources, destinations)
+    shared = SharedTreeProcessor().process(NET, sources, destinations)
+    assert set(naive.paths) == set(shared.paths)
+    for pair in naive.paths:
+        assert abs(naive.paths[pair].distance - shared.paths[pair].distance) < 1e-9
+    assert shared.stats.settled_nodes <= naive.stats.settled_nodes

@@ -1,0 +1,132 @@
+"""Property-based tests: privacy metrics and obfuscation invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.obfuscator import PathQueryObfuscator
+from repro.core.privacy import (
+    breach_probability,
+    pair_posterior,
+    posterior_breach,
+    posterior_entropy_bits,
+)
+from repro.core.query import (
+    ClientRequest,
+    ObfuscatedPathQuery,
+    PathQuery,
+    ProtectionSetting,
+)
+from repro.network.generators import grid_network
+
+NET = grid_network(12, 12, perturbation=0.1, seed=1001)
+NODES = list(NET.nodes())
+
+
+@st.composite
+def obfuscated_queries(draw):
+    sources = draw(
+        st.lists(st.sampled_from(NODES), min_size=1, max_size=6, unique=True)
+    )
+    destinations = draw(
+        st.lists(st.sampled_from(NODES), min_size=1, max_size=6, unique=True)
+    )
+    return ObfuscatedPathQuery(tuple(sources), tuple(destinations))
+
+
+@st.composite
+def priors(draw):
+    return {
+        node: draw(st.floats(min_value=0.0, max_value=10.0))
+        for node in draw(st.lists(st.sampled_from(NODES), max_size=20, unique=True))
+    }
+
+
+@given(obfuscated_queries())
+def test_breach_is_inverse_pair_count(query):
+    assert breach_probability(query) * query.num_pairs == 1.0
+
+
+@given(obfuscated_queries(), priors(), priors())
+def test_posterior_is_distribution(query, sp, dp):
+    posterior = pair_posterior(query, sp, dp)
+    assert len(posterior) == query.num_pairs
+    assert abs(sum(posterior.values()) - 1.0) < 1e-9
+    assert all(p >= 0 for p in posterior.values())
+
+
+@given(obfuscated_queries(), priors(), priors())
+def test_entropy_bounded_by_log_pairs(query, sp, dp):
+    entropy = posterior_entropy_bits(query, sp, dp)
+    assert -1e-9 <= entropy <= math.log2(query.num_pairs) + 1e-9
+
+
+@given(obfuscated_queries())
+def test_uniform_posterior_breach_equals_definition_2(query):
+    s = query.sources[0]
+    t = query.destinations[-1]
+    if s == t:
+        return
+    true_query = PathQuery(s, t)
+    assert abs(
+        posterior_breach(query, true_query) - breach_probability(query)
+    ) < 1e-12
+
+
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=40, deadline=None)
+def test_independent_obfuscation_invariants(f_s, f_t, seed):
+    """For any protection setting: sizes honored, truth covered, fakes
+    disjoint from the true pair, breach = 1/(f_s*f_t)."""
+    obfuscator = PathQueryObfuscator(NET, seed=seed)
+    request = ClientRequest(
+        "u", PathQuery(NODES[0], NODES[-1]), ProtectionSetting(f_s, f_t)
+    )
+    record = obfuscator.obfuscate_independent(request)
+    assert len(record.query.sources) == f_s
+    assert len(record.query.destinations) == f_t
+    assert record.query.covers(request.query)
+    assert NODES[0] not in record.fake_sources
+    assert NODES[-1] not in record.fake_destinations
+    assert breach_probability(record.query) == 1.0 / (f_s * f_t)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=len(NODES) - 1),
+            st.integers(min_value=0, max_value=len(NODES) - 1),
+        ).filter(lambda p: p[0] != p[1]),
+        min_size=1,
+        max_size=8,
+    ),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_shared_obfuscation_invariants(pairs, f_s, f_t):
+    """Shared queries cover every member and meet the max protection."""
+    requests = [
+        ClientRequest(
+            f"u{i}",
+            PathQuery(NODES[s], NODES[t]),
+            ProtectionSetting(f_s, f_t),
+        )
+        for i, (s, t) in enumerate(pairs)
+    ]
+    obfuscator = PathQueryObfuscator(NET, seed=7)
+    record = obfuscator.obfuscate_shared(requests)
+    for request in requests:
+        assert record.query.covers(request.query)
+    assert len(record.query.sources) >= f_s
+    assert len(record.query.destinations) >= f_t
+    # Every source is either some member's true source or a declared fake.
+    for s in record.query.sources:
+        assert s in record.true_sources or s in record.fake_sources

@@ -1,0 +1,74 @@
+"""Property-based tests for the batching service simulator."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.query import ClientRequest, PathQuery, ProtectionSetting
+from repro.core.system import OpaqueSystem
+from repro.network.generators import grid_network
+from repro.service.simulator import BatchingObfuscationService, TimedRequest
+
+NET = grid_network(10, 10, perturbation=0.1, seed=3001)
+NODES = list(NET.nodes())
+
+
+@st.composite
+def arrival_streams(draw, max_size=8):
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, len(NODES) - 1), st.integers(0, len(NODES) - 1)
+            ).filter(lambda p: p[0] != p[1]),
+            min_size=1,
+            max_size=max_size,
+        )
+    )
+    arrivals = []
+    for i, (s, t) in enumerate(pairs):
+        time = draw(st.floats(min_value=0.0, max_value=30.0))
+        arrivals.append(
+            TimedRequest(
+                time,
+                ClientRequest(
+                    f"user-{i}", PathQuery(NODES[s], NODES[t]),
+                    ProtectionSetting(2, 2),
+                ),
+            )
+        )
+    return arrivals
+
+
+@given(arrival_streams(), st.floats(min_value=0.25, max_value=10.0))
+@settings(max_examples=30, deadline=None)
+def test_everyone_answered_within_one_window(arrivals, window):
+    system = OpaqueSystem(NET, mode="shared", seed=7)
+    service = BatchingObfuscationService(system, window=window)
+    results, report = service.run(arrivals)
+    assert set(results) == {t.request.user for t in arrivals}
+    for latency in report.latencies_by_user.values():
+        assert 0.0 < latency <= window + 1e-9
+
+
+@given(arrival_streams())
+@settings(max_examples=30, deadline=None)
+def test_window_count_bounded_by_arrivals(arrivals):
+    system = OpaqueSystem(NET, mode="shared", seed=7)
+    service = BatchingObfuscationService(system, window=1.0)
+    _results, report = service.run(arrivals)
+    assert 1 <= report.windows_processed <= len(arrivals)
+    assert report.obfuscated_queries >= report.windows_processed
+
+
+@given(arrival_streams())
+@settings(max_examples=20, deadline=None)
+def test_batched_results_match_direct_submission(arrivals):
+    """Batching changes latency and grouping, never the paths."""
+    service_system = OpaqueSystem(NET, mode="shared", seed=7)
+    service = BatchingObfuscationService(service_system, window=2.0)
+    batched, _report = service.run(arrivals)
+    direct_system = OpaqueSystem(NET, mode="independent", seed=7)
+    direct = direct_system.submit([t.request for t in arrivals])
+    for user, path in batched.items():
+        assert abs(path.distance - direct[user].distance) < 1e-9

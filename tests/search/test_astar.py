@@ -1,0 +1,106 @@
+"""Unit tests for repro.search.astar."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import NoPathError, UnknownNodeError
+from repro.network.generators import grid_network, tiger_like_network
+from repro.network.graph import RoadNetwork
+from repro.search.astar import astar_path, euclidean_heuristic, zero_heuristic
+from repro.search.dijkstra import dijkstra_path
+from repro.search.result import SearchStats
+
+
+@pytest.fixture(scope="module")
+def oracle_pair():
+    net = grid_network(15, 15, perturbation=0.15, seed=31)
+    return net, net.to_networkx()
+
+
+class TestCorrectness:
+    def test_matches_networkx(self, oracle_pair):
+        net, g = oracle_pair
+        rng = random.Random(2)
+        nodes = list(net.nodes())
+        for _ in range(30):
+            s, t = rng.sample(nodes, 2)
+            ours = astar_path(net, s, t)
+            theirs = nx.shortest_path_length(g, s, t, weight="weight")
+            assert ours.distance == pytest.approx(theirs)
+
+    def test_source_equals_destination(self, oracle_pair):
+        net, _g = oracle_pair
+        node = next(net.nodes())
+        path = astar_path(net, node, node)
+        assert path.nodes == (node,)
+
+    def test_zero_heuristic_equals_dijkstra(self, oracle_pair):
+        net, _g = oracle_pair
+        nodes = list(net.nodes())
+        a = astar_path(net, nodes[0], nodes[-1], heuristic=zero_heuristic)
+        d = dijkstra_path(net, nodes[0], nodes[-1])
+        assert a.distance == pytest.approx(d.distance)
+
+    def test_unreachable_raises(self):
+        net = RoadNetwork()
+        net.add_node(1, 0, 0)
+        net.add_node(2, 1, 0)
+        with pytest.raises(NoPathError):
+            astar_path(net, 1, 2)
+
+    def test_unknown_endpoints(self, oracle_pair):
+        net, _g = oracle_pair
+        with pytest.raises(UnknownNodeError):
+            astar_path(net, -1, next(net.nodes()))
+        with pytest.raises(UnknownNodeError):
+            astar_path(net, next(net.nodes()), -1)
+
+    def test_scaled_heuristic_on_travel_time_network(self):
+        """Travel-time weights violate the unit-scale heuristic; the scaled
+        one stays admissible (scale = 1 / arterial speedup)."""
+        net = tiger_like_network(blocks=3, block_size=4, arterial_speedup=2.0, seed=3)
+        nodes = list(net.nodes())
+        rng = random.Random(4)
+        for _ in range(15):
+            s, t = rng.sample(nodes, 2)
+            h = euclidean_heuristic(net, t, scale=1 / 2.0)
+            ours = astar_path(net, s, t, heuristic=h)
+            truth = dijkstra_path(net, s, t)
+            assert ours.distance == pytest.approx(truth.distance)
+
+
+class TestEfficiency:
+    def test_astar_settles_fewer_nodes_than_dijkstra(self, oracle_pair):
+        net, _g = oracle_pair
+        nodes = list(net.nodes())
+        rng = random.Random(5)
+        astar_total = 0
+        dijkstra_total = 0
+        for _ in range(15):
+            s, t = rng.sample(nodes, 2)
+            sa, sd = SearchStats(), SearchStats()
+            astar_path(net, s, t, stats=sa)
+            dijkstra_path(net, s, t, stats=sd)
+            astar_total += sa.settled_nodes
+            dijkstra_total += sd.settled_nodes
+        assert astar_total < dijkstra_total
+
+
+class TestHeuristicFactories:
+    def test_euclidean_heuristic_zero_at_destination(self, oracle_pair):
+        net, _g = oracle_pair
+        t = next(net.nodes())
+        h = euclidean_heuristic(net, t)
+        assert h(t) == 0.0
+
+    def test_negative_scale_rejected(self, oracle_pair):
+        net, _g = oracle_pair
+        with pytest.raises(ValueError):
+            euclidean_heuristic(net, next(net.nodes()), scale=-1.0)
+
+    def test_zero_heuristic_is_zero(self):
+        assert zero_heuristic("anything") == 0.0

@@ -1,0 +1,109 @@
+"""Unit tests for repro.search.cost_model (Lemma 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.network.generators import grid_network
+from repro.search.cost_model import (
+    lemma1_cost_estimate,
+    naive_cost_estimate,
+    point_query_cost_estimate,
+)
+from repro.search.dijkstra import dijkstra_path
+from repro.search.result import SearchStats
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_network(20, 20, perturbation=0.05, seed=61)
+
+
+class TestPointEstimate:
+    def test_quadratic_in_distance(self):
+        assert point_query_cost_estimate(4.0) == 16.0
+        assert point_query_cost_estimate(0.0) == 0.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            point_query_cost_estimate(-1.0)
+
+
+class TestLemma1Estimate:
+    def test_single_pair_equals_point_estimate(self, net):
+        nodes = list(net.nodes())
+        s, t = nodes[0], nodes[-1]
+        d = dijkstra_path(net, s, t).distance
+        estimate = lemma1_cost_estimate(net, [s], [t])
+        assert estimate == pytest.approx(d * d)
+
+    def test_sums_over_sources(self, net):
+        nodes = list(net.nodes())
+        sources = [nodes[0], nodes[5]]
+        destinations = [nodes[-1]]
+        total = lemma1_cost_estimate(net, sources, destinations)
+        individual = sum(
+            lemma1_cost_estimate(net, [s], destinations) for s in sources
+        )
+        assert total == pytest.approx(individual)
+
+    def test_max_over_destinations(self, net):
+        """Adding a nearer destination must not change the estimate."""
+        nodes = list(net.nodes())
+        s = nodes[0]
+        far = nodes[-1]
+        near = nodes[1]
+        only_far = lemma1_cost_estimate(net, [s], [far])
+        both = lemma1_cost_estimate(net, [s], [far, near])
+        assert both == pytest.approx(only_far)
+
+    def test_euclidean_proxy_lower_bounds_network(self, net):
+        nodes = list(net.nodes())
+        sources, destinations = [nodes[0], nodes[7]], [nodes[-1], nodes[-8]]
+        proxy = lemma1_cost_estimate(
+            net, sources, destinations, use_network_distance=False
+        )
+        exact = lemma1_cost_estimate(net, sources, destinations)
+        assert proxy <= exact + 1e-9
+
+    def test_empty_sets_rejected(self, net):
+        with pytest.raises(QueryError):
+            lemma1_cost_estimate(net, [], [next(net.nodes())])
+        with pytest.raises(QueryError):
+            naive_cost_estimate(net, [next(net.nodes())], [])
+
+
+class TestNaiveEstimate:
+    def test_naive_at_least_lemma1(self, net):
+        nodes = list(net.nodes())
+        sources = [nodes[0], nodes[9]]
+        destinations = [nodes[-1], nodes[-10], nodes[200]]
+        naive = naive_cost_estimate(net, sources, destinations)
+        shared = lemma1_cost_estimate(net, sources, destinations)
+        assert naive >= shared - 1e-9
+
+    def test_naive_single_pair_equals_lemma1(self, net):
+        nodes = list(net.nodes())
+        s, t = nodes[0], nodes[-1]
+        assert naive_cost_estimate(net, [s], [t]) == pytest.approx(
+            lemma1_cost_estimate(net, [s], [t])
+        )
+
+
+class TestModelTracksMeasurement:
+    def test_estimate_correlates_with_settled_nodes(self, net):
+        """Larger Lemma 1 estimates must correspond to more settled nodes
+        (rank correlation over a spread of query radii)."""
+        nodes = list(net.nodes())
+        pairs = [(nodes[0], nodes[21]), (nodes[0], nodes[210]), (nodes[0], nodes[-1])]
+        estimates = []
+        measured = []
+        for s, t in pairs:
+            estimates.append(lemma1_cost_estimate(net, [s], [t]))
+            stats = SearchStats()
+            dijkstra_path(net, s, t, stats=stats)
+            measured.append(stats.settled_nodes)
+        assert sorted(range(3), key=lambda i: estimates[i]) == sorted(
+            range(3), key=lambda i: measured[i]
+        )

@@ -1,0 +1,204 @@
+"""Unit tests for repro.search.dijkstra, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import NoPathError, UnknownNodeError
+from repro.network.generators import grid_network
+from repro.network.graph import RoadNetwork
+from repro.network.storage import PagedNetwork
+from repro.search.dijkstra import dijkstra_path, dijkstra_sssp, dijkstra_to_many
+from repro.search.result import SearchStats
+
+
+@pytest.fixture(scope="module")
+def oracle_pair():
+    net = grid_network(15, 15, perturbation=0.15, seed=21)
+    return net, net.to_networkx()
+
+
+class TestDijkstraPath:
+    def test_hand_checked_triangle(self, tiny_triangle):
+        path = dijkstra_path(tiny_triangle, "a", "c")
+        assert path.nodes == ("a", "b", "c")
+        assert path.distance == pytest.approx(2.0)
+
+    def test_matches_networkx_on_random_pairs(self, oracle_pair):
+        net, g = oracle_pair
+        rng = random.Random(1)
+        nodes = list(net.nodes())
+        for _ in range(40):
+            s, t = rng.sample(nodes, 2)
+            ours = dijkstra_path(net, s, t)
+            theirs = nx.shortest_path_length(g, s, t, weight="weight")
+            assert ours.distance == pytest.approx(theirs)
+
+    def test_path_is_walkable(self, oracle_pair):
+        net, _g = oracle_pair
+        nodes = list(net.nodes())
+        path = dijkstra_path(net, nodes[0], nodes[-1])
+        total = 0.0
+        for u, v in path.edges():
+            assert net.has_edge(u, v)
+            total += net.edge_weight(u, v)
+        assert total == pytest.approx(path.distance)
+
+    def test_source_equals_destination(self, oracle_pair):
+        net, _g = oracle_pair
+        node = next(net.nodes())
+        path = dijkstra_path(net, node, node)
+        assert path.nodes == (node,)
+        assert path.distance == 0.0
+
+    def test_unreachable_raises(self):
+        net = RoadNetwork()
+        net.add_node(1, 0, 0)
+        net.add_node(2, 1, 0)
+        with pytest.raises(NoPathError):
+            dijkstra_path(net, 1, 2)
+
+    def test_unknown_endpoints_raise(self, tiny_triangle):
+        with pytest.raises(UnknownNodeError):
+            dijkstra_path(tiny_triangle, "zz", "a")
+        with pytest.raises(UnknownNodeError):
+            dijkstra_path(tiny_triangle, "a", "zz")
+
+    def test_stats_populated(self, oracle_pair):
+        net, _g = oracle_pair
+        nodes = list(net.nodes())
+        stats = SearchStats()
+        path = dijkstra_path(net, nodes[0], nodes[-1], stats=stats)
+        assert stats.settled_nodes >= len(path.nodes)
+        assert stats.relaxed_edges > 0
+        assert stats.heap_pushes > 0
+        assert stats.max_settled_distance >= path.distance - 1e-9
+
+    def test_directed_network(self):
+        net = RoadNetwork(directed=True)
+        net.add_node(1, 0, 0)
+        net.add_node(2, 1, 0)
+        net.add_edge(1, 2, 1.0)
+        assert dijkstra_path(net, 1, 2).distance == 1.0
+        with pytest.raises(NoPathError):
+            dijkstra_path(net, 2, 1)
+
+
+class TestDijkstraToMany:
+    def test_all_destinations_answered(self, oracle_pair):
+        net, g = oracle_pair
+        nodes = list(net.nodes())
+        targets = nodes[50:60]
+        results = dijkstra_to_many(net, nodes[0], targets)
+        assert set(results) == set(targets)
+        for t in targets:
+            theirs = nx.shortest_path_length(g, nodes[0], t, weight="weight")
+            assert results[t].distance == pytest.approx(theirs)
+
+    def test_source_in_targets_gets_trivial_path(self, oracle_pair):
+        net, _g = oracle_pair
+        nodes = list(net.nodes())
+        results = dijkstra_to_many(net, nodes[0], [nodes[0], nodes[5]])
+        assert results[nodes[0]].nodes == (nodes[0],)
+
+    def test_duplicate_targets_tolerated(self, oracle_pair):
+        net, _g = oracle_pair
+        nodes = list(net.nodes())
+        results = dijkstra_to_many(net, nodes[0], [nodes[3], nodes[3]])
+        assert set(results) == {nodes[3]}
+
+    def test_strict_unreachable_raises(self):
+        net = RoadNetwork()
+        net.add_node(1, 0, 0)
+        net.add_node(2, 1, 0)
+        net.add_node(3, 2, 0)
+        net.add_edge(1, 2)
+        with pytest.raises(NoPathError):
+            dijkstra_to_many(net, 1, [2, 3])
+
+    def test_non_strict_omits_unreachable(self):
+        net = RoadNetwork()
+        net.add_node(1, 0, 0)
+        net.add_node(2, 1, 0)
+        net.add_node(3, 2, 0)
+        net.add_edge(1, 2)
+        results = dijkstra_to_many(net, 1, [2, 3], strict=False)
+        assert set(results) == {2}
+
+    def test_single_tree_cheaper_than_repeated_searches(self, oracle_pair):
+        """The SSMD optimization the paper's server relies on."""
+        net, _g = oracle_pair
+        nodes = list(net.nodes())
+        targets = nodes[100:110]
+        shared = SearchStats()
+        dijkstra_to_many(net, nodes[0], targets, stats=shared)
+        repeated = SearchStats()
+        for t in targets:
+            dijkstra_path(net, nodes[0], t, stats=repeated)
+        assert shared.settled_nodes < repeated.settled_nodes
+
+    def test_cost_bounded_by_furthest_destination(self, oracle_pair):
+        """Adding a near destination to a far one is almost free."""
+        net, _g = oracle_pair
+        nodes = list(net.nodes())
+        far = nodes[-1]
+        near = nodes[16]  # close to nodes[0] in the grid
+        only_far = SearchStats()
+        dijkstra_to_many(net, nodes[0], [far], stats=only_far)
+        both = SearchStats()
+        dijkstra_to_many(net, nodes[0], [far, near], stats=both)
+        assert both.settled_nodes == only_far.settled_nodes
+
+    def test_empty_targets_returns_empty(self, oracle_pair):
+        net, _g = oracle_pair
+        assert dijkstra_to_many(net, next(net.nodes()), []) == {}
+
+
+class TestDijkstraSSSP:
+    def test_covers_whole_component(self, oracle_pair):
+        net, _g = oracle_pair
+        distances, _pred = dijkstra_sssp(net, next(net.nodes()))
+        assert len(distances) == net.num_nodes
+
+    def test_matches_networkx(self, oracle_pair):
+        net, g = oracle_pair
+        source = next(net.nodes())
+        distances, _pred = dijkstra_sssp(net, source)
+        theirs = nx.single_source_dijkstra_path_length(g, source, weight="weight")
+        for node, dist in theirs.items():
+            assert distances[node] == pytest.approx(dist)
+
+    def test_max_distance_bounds_exploration(self, oracle_pair):
+        net, _g = oracle_pair
+        source = next(net.nodes())
+        distances, _pred = dijkstra_sssp(net, source, max_distance=3.0)
+        assert 0 < len(distances) < net.num_nodes
+        assert all(d <= 3.0 + 1e-9 for d in distances.values())
+
+    def test_unknown_source_raises(self, oracle_pair):
+        net, _g = oracle_pair
+        with pytest.raises(UnknownNodeError):
+            dijkstra_sssp(net, -5)
+
+
+class TestPagedSearchAccounting:
+    def test_page_faults_recorded_in_stats(self, medium_grid):
+        paged = PagedNetwork(medium_grid, page_capacity=16, buffer_capacity=4)
+        nodes = list(medium_grid.nodes())
+        stats = SearchStats()
+        dijkstra_path(paged, nodes[0], nodes[-1], stats=stats)
+        assert stats.page_faults > 0
+        assert stats.pages_touched > 0
+
+    def test_longer_search_touches_more_pages(self, medium_grid):
+        nodes = list(medium_grid.nodes())
+        short_stats = SearchStats()
+        long_stats = SearchStats()
+        paged = PagedNetwork(medium_grid, page_capacity=16, buffer_capacity=4)
+        dijkstra_path(paged, nodes[0], nodes[26], stats=short_stats)
+        paged.reset_io()
+        dijkstra_path(paged, nodes[0], nodes[-1], stats=long_stats)
+        assert long_stats.page_faults > short_stats.page_faults

@@ -1,0 +1,144 @@
+"""Unit tests for repro.search.heap."""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+import pytest
+
+from repro.search.heap import AddressableHeap
+
+
+class TestBasics:
+    def test_push_pop_single(self):
+        heap: AddressableHeap[str] = AddressableHeap()
+        heap.push("a", 3.0)
+        assert heap.pop() == ("a", 3.0)
+        assert len(heap) == 0
+
+    def test_pop_returns_minimum(self):
+        heap: AddressableHeap[str] = AddressableHeap()
+        heap.push("a", 3.0)
+        heap.push("b", 1.0)
+        heap.push("c", 2.0)
+        assert heap.pop() == ("b", 1.0)
+        assert heap.pop() == ("c", 2.0)
+        assert heap.pop() == ("a", 3.0)
+
+    def test_bool_and_len(self):
+        heap: AddressableHeap[int] = AddressableHeap()
+        assert not heap
+        heap.push(1, 1.0)
+        assert heap
+        assert len(heap) == 1
+
+    def test_contains(self):
+        heap: AddressableHeap[int] = AddressableHeap()
+        heap.push(1, 1.0)
+        assert 1 in heap
+        assert 2 not in heap
+        heap.pop()
+        assert 1 not in heap
+
+    def test_peek_does_not_remove(self):
+        heap: AddressableHeap[str] = AddressableHeap()
+        heap.push("x", 5.0)
+        assert heap.peek() == ("x", 5.0)
+        assert len(heap) == 1
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            AddressableHeap().peek()
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            AddressableHeap().pop()
+
+    def test_duplicate_push_rejected(self):
+        heap: AddressableHeap[int] = AddressableHeap()
+        heap.push(1, 1.0)
+        with pytest.raises(KeyError):
+            heap.push(1, 2.0)
+
+    def test_ties_broken_by_insertion_order(self):
+        heap: AddressableHeap[str] = AddressableHeap()
+        heap.push("first", 1.0)
+        heap.push("second", 1.0)
+        assert heap.pop()[0] == "first"
+        assert heap.pop()[0] == "second"
+
+
+class TestDecreaseKey:
+    def test_decrease_key_moves_to_front(self):
+        heap: AddressableHeap[str] = AddressableHeap()
+        heap.push("a", 5.0)
+        heap.push("b", 3.0)
+        heap.decrease_key("a", 1.0)
+        assert heap.pop() == ("a", 1.0)
+
+    def test_decrease_key_missing_raises(self):
+        with pytest.raises(KeyError):
+            AddressableHeap().decrease_key("nope", 1.0)
+
+    def test_increase_rejected(self):
+        heap: AddressableHeap[str] = AddressableHeap()
+        heap.push("a", 1.0)
+        with pytest.raises(ValueError):
+            heap.decrease_key("a", 2.0)
+
+    def test_equal_priority_allowed(self):
+        heap: AddressableHeap[str] = AddressableHeap()
+        heap.push("a", 1.0)
+        heap.decrease_key("a", 1.0)
+        assert heap.priority_of("a") == 1.0
+
+    def test_push_or_decrease_inserts(self):
+        heap: AddressableHeap[str] = AddressableHeap()
+        assert heap.push_or_decrease("a", 2.0) is True
+        assert "a" in heap
+
+    def test_push_or_decrease_lowers(self):
+        heap: AddressableHeap[str] = AddressableHeap()
+        heap.push_or_decrease("a", 2.0)
+        assert heap.push_or_decrease("a", 1.0) is False
+        assert heap.priority_of("a") == 1.0
+
+    def test_push_or_decrease_ignores_higher(self):
+        heap: AddressableHeap[str] = AddressableHeap()
+        heap.push_or_decrease("a", 2.0)
+        assert heap.push_or_decrease("a", 5.0) is False
+        assert heap.priority_of("a") == 2.0
+
+
+class TestAgainstHeapq:
+    def test_random_sequence_matches_heapq(self):
+        rng = random.Random(77)
+        heap: AddressableHeap[int] = AddressableHeap()
+        reference: list[tuple[float, int]] = []
+        for key in range(200):
+            priority = rng.uniform(0, 100)
+            heap.push(key, priority)
+            heapq.heappush(reference, (priority, key))
+        ours = []
+        while heap:
+            ours.append(heap.pop()[1])
+        theirs = [heapq.heappop(reference)[0] for _ in range(len(ours))]
+        assert ours == sorted(ours)
+        assert ours == pytest.approx(theirs)
+
+    def test_interleaved_decrease_keys_stay_sorted(self):
+        rng = random.Random(88)
+        heap: AddressableHeap[int] = AddressableHeap()
+        priorities = {}
+        for key in range(100):
+            priorities[key] = rng.uniform(50, 100)
+            heap.push(key, priorities[key])
+        for key in rng.sample(range(100), 40):
+            new = rng.uniform(0, priorities[key])
+            heap.decrease_key(key, new)
+            priorities[key] = new
+        out = []
+        while heap:
+            out.append(heap.pop()[1])
+        assert out == sorted(out)

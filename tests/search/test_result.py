@@ -1,0 +1,82 @@
+"""Unit tests for repro.search.result."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.search.result import PathResult, SearchStats, reconstruct_path
+
+
+class TestSearchStats:
+    def test_defaults_are_zero(self):
+        stats = SearchStats()
+        assert stats.settled_nodes == 0
+        assert stats.relaxed_edges == 0
+        assert stats.heap_pushes == 0
+        assert stats.page_faults == 0
+        assert stats.max_settled_distance == 0.0
+
+    def test_merge_accumulates(self):
+        a = SearchStats(settled_nodes=3, relaxed_edges=5, max_settled_distance=2.0)
+        b = SearchStats(settled_nodes=4, relaxed_edges=1, max_settled_distance=7.0)
+        a.merge(b)
+        assert a.settled_nodes == 7
+        assert a.relaxed_edges == 6
+        assert a.max_settled_distance == 7.0
+
+    def test_merge_keeps_max_distance(self):
+        a = SearchStats(max_settled_distance=9.0)
+        a.merge(SearchStats(max_settled_distance=2.0))
+        assert a.max_settled_distance == 9.0
+
+    def test_copy_is_independent(self):
+        a = SearchStats(settled_nodes=1)
+        b = a.copy()
+        b.settled_nodes = 99
+        assert a.settled_nodes == 1
+
+
+class TestPathResult:
+    def test_valid_path(self):
+        path = PathResult(1, 3, (1, 2, 3), 2.5)
+        assert path.num_edges == 2
+        assert len(path) == 3
+        assert path.edges() == [(1, 2), (2, 3)]
+
+    def test_trivial_path(self):
+        path = PathResult(1, 1, (1,), 0.0)
+        assert path.num_edges == 0
+        assert path.edges() == []
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            PathResult(1, 2, (), 0.0)
+
+    def test_mismatched_source_rejected(self):
+        with pytest.raises(ValueError):
+            PathResult(9, 3, (1, 2, 3), 2.0)
+
+    def test_mismatched_destination_rejected(self):
+        with pytest.raises(ValueError):
+            PathResult(1, 9, (1, 2, 3), 2.0)
+
+    def test_immutability(self):
+        path = PathResult(1, 2, (1, 2), 1.0)
+        with pytest.raises(AttributeError):
+            path.distance = 5.0
+
+
+class TestReconstructPath:
+    def test_linear_chain(self):
+        predecessors = {2: 1, 3: 2, 4: 3}
+        path = reconstruct_path(predecessors, 1, 4, 3.0)
+        assert path.nodes == (1, 2, 3, 4)
+        assert path.distance == 3.0
+
+    def test_source_equals_destination(self):
+        path = reconstruct_path({}, 5, 5, 0.0)
+        assert path.nodes == (5,)
+
+    def test_broken_chain_raises(self):
+        with pytest.raises(KeyError):
+            reconstruct_path({3: 2}, 1, 3, 1.0)

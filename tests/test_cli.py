@@ -1,0 +1,111 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.network.generators import grid_network
+from repro.network.io import write_network
+
+
+@pytest.fixture()
+def map_file(tmp_path):
+    path = tmp_path / "city.txt"
+    write_network(grid_network(10, 10, perturbation=0.1, seed=9), path)
+    return str(path)
+
+
+class TestGenerate:
+    @pytest.mark.parametrize(
+        "topology,extra",
+        [
+            ("grid", ["--width", "6", "--height", "5"]),
+            ("geometric", ["--nodes", "120", "--radius", "0.15"]),
+            ("ring-radial", ["--rings", "3", "--spokes", "6"]),
+            ("tiger", ["--blocks", "2", "--block-size", "4"]),
+        ],
+    )
+    def test_generates_readable_map(self, tmp_path, capsys, topology, extra):
+        out = str(tmp_path / "net.txt")
+        code = main(["generate", topology, *extra, "-o", out])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["summarize", out]) == 0
+
+    def test_output_required(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "grid"])
+
+
+class TestSummarize:
+    def test_prints_stats(self, map_file, capsys):
+        assert main(["summarize", map_file]) == 0
+        out = capsys.readouterr().out
+        assert "nodes:            100" in out
+        assert "road-like:        yes" in out
+
+    def test_missing_file_fails_cleanly(self, capsys):
+        assert main(["summarize", "/does/not/exist.txt"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRoute:
+    @pytest.mark.parametrize("engine", ["dijkstra", "astar", "bidirectional"])
+    def test_engines_agree(self, map_file, capsys, engine):
+        assert main(["route", map_file, "0", "99", "--engine", engine]) == 0
+        out = capsys.readouterr().out
+        assert "distance:" in out
+        assert "route: 0" in out
+
+    def test_avoid_highways_flag(self, map_file, capsys):
+        assert main(["route", map_file, "0", "99", "--avoid-highways"]) == 0
+        assert "distance:" in capsys.readouterr().out
+
+    def test_no_path_reports_error(self, tmp_path, capsys):
+        from repro.network.graph import RoadNetwork
+
+        net = RoadNetwork()
+        net.add_node(0, 0, 0)
+        net.add_node(1, 1, 0)
+        path = tmp_path / "disconnected.txt"
+        write_network(net, path)
+        assert main(["route", str(path), "0", "1"]) == 1
+        assert "no path" in capsys.readouterr().err
+
+
+class TestProtect:
+    def test_protected_query_output(self, map_file, capsys):
+        assert main(
+            ["protect", map_file, "0", "99", "--f-s", "3", "--f-t", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "breach probability: 0.1667" in out
+        assert "server saw S" in out
+
+    def test_protection_of_one_is_direct(self, map_file, capsys):
+        assert main(
+            ["protect", map_file, "0", "99", "--f-s", "1", "--f-t", "1"]
+        ) == 0
+        assert "breach probability: 1.0000" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_runs_selected_experiment(self, capsys):
+        assert main(["experiment", "e1"]) == 0
+        assert "[E1]" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "E42"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_parser_has_all_subcommands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("generate", "summarize", "route", "protect", "experiment"):
+            assert command in text
+
+    def test_module_entrypoint_importable(self):
+        import repro.__main__  # noqa: F401

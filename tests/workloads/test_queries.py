@@ -1,0 +1,141 @@
+"""Unit tests for repro.workloads.queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import ProtectionSetting
+from repro.exceptions import ExperimentError
+from repro.network.generators import grid_network
+from repro.workloads.queries import (
+    distance_bounded_queries,
+    hotspot_queries,
+    popularity_map,
+    popularity_weighted_queries,
+    requests_from_queries,
+    uniform_queries,
+)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_network(20, 20, perturbation=0.1, seed=151)
+
+
+class TestUniformQueries:
+    def test_count_and_validity(self, net):
+        queries = uniform_queries(net, 25, seed=1)
+        assert len(queries) == 25
+        for q in queries:
+            assert q.source in net
+            assert q.destination in net
+            assert q.source != q.destination
+
+    def test_deterministic(self, net):
+        assert uniform_queries(net, 10, seed=2) == uniform_queries(net, 10, seed=2)
+
+    def test_zero_count(self, net):
+        assert uniform_queries(net, 0) == []
+
+    def test_negative_count_rejected(self, net):
+        with pytest.raises(ExperimentError):
+            uniform_queries(net, -1)
+
+
+class TestDistanceBoundedQueries:
+    def test_distances_in_band(self, net):
+        queries = distance_bounded_queries(net, 15, 5.0, 10.0, seed=3)
+        for q in queries:
+            d = net.euclidean_distance(q.source, q.destination)
+            assert 5.0 <= d <= 10.0
+
+    def test_impossible_band_raises(self, net):
+        with pytest.raises(ExperimentError):
+            distance_bounded_queries(net, 3, 1000.0, 2000.0, seed=3)
+
+    def test_invalid_band_rejected(self, net):
+        with pytest.raises(ExperimentError):
+            distance_bounded_queries(net, 3, 10.0, 5.0)
+
+
+class TestHotspotQueries:
+    def test_destinations_cluster(self, net):
+        queries = hotspot_queries(net, 30, num_hotspots=2, seed=4)
+        destinations = {q.destination for q in queries}
+        # 30 queries over 2 hotspot neighborhoods: few distinct destinations
+        # relative to sources.
+        sources = {q.source for q in queries}
+        assert len(destinations) < len(sources)
+
+    def test_invalid_arguments(self, net):
+        with pytest.raises(ExperimentError):
+            hotspot_queries(net, -1)
+        with pytest.raises(ExperimentError):
+            hotspot_queries(net, 5, num_hotspots=0)
+
+
+class TestPopularityMap:
+    def test_covers_all_nodes_with_positive_weights(self, net):
+        pop = popularity_map(net, seed=5, skew=1.0)
+        assert set(pop) == set(net.nodes())
+        assert all(w > 0 for w in pop.values())
+
+    def test_zero_skew_is_uniform(self, net):
+        pop = popularity_map(net, seed=5, skew=0.0)
+        assert len(set(pop.values())) == 1
+
+    def test_skew_creates_heavy_head(self, net):
+        pop = popularity_map(net, seed=5, skew=1.5)
+        weights = sorted(pop.values(), reverse=True)
+        assert weights[0] / weights[-1] > 100
+
+    def test_negative_skew_rejected(self, net):
+        with pytest.raises(ExperimentError):
+            popularity_map(net, skew=-1.0)
+
+
+class TestPopularityWeightedQueries:
+    def test_endpoints_prefer_popular_nodes(self, net):
+        pop = popularity_map(net, seed=6, skew=2.0)
+        queries = popularity_weighted_queries(net, 40, pop, seed=6)
+        top = set(sorted(pop, key=pop.get, reverse=True)[:40])
+        hits = sum(
+            (q.source in top) + (q.destination in top) for q in queries
+        )
+        assert hits > 40  # far above the uniform expectation (~8)
+
+    def test_deterministic(self, net):
+        pop = popularity_map(net, seed=6)
+        a = popularity_weighted_queries(net, 10, pop, seed=7)
+        b = popularity_weighted_queries(net, 10, pop, seed=7)
+        assert a == b
+
+    def test_needs_two_weighted_nodes(self, net):
+        with pytest.raises(ExperimentError):
+            popularity_weighted_queries(net, 3, {0: 1.0}, seed=1)
+
+
+class TestRequestsFromQueries:
+    def test_single_setting_broadcast(self, net):
+        queries = uniform_queries(net, 5, seed=8)
+        requests = requests_from_queries(queries, ProtectionSetting(4, 2))
+        assert len(requests) == 5
+        assert all(r.setting == ProtectionSetting(4, 2) for r in requests)
+        assert [r.user for r in requests] == [f"user-{i}" for i in range(5)]
+
+    def test_per_query_settings(self, net):
+        queries = uniform_queries(net, 2, seed=8)
+        settings = [ProtectionSetting(1, 1), ProtectionSetting(5, 5)]
+        requests = requests_from_queries(queries, settings)
+        assert requests[0].setting.f_s == 1
+        assert requests[1].setting.f_s == 5
+
+    def test_mismatched_settings_rejected(self, net):
+        queries = uniform_queries(net, 3, seed=8)
+        with pytest.raises(ExperimentError):
+            requests_from_queries(queries, [ProtectionSetting()])
+
+    def test_custom_prefix(self, net):
+        queries = uniform_queries(net, 1, seed=8)
+        requests = requests_from_queries(queries, user_prefix="client")
+        assert requests[0].user == "client-0"
