@@ -29,9 +29,7 @@ from repro.network.generators import (
 from repro.network.io import read_network, write_network
 from repro.network.metrics import summarize_network
 from repro.network.views import avoid_fast_roads
-from repro.search.astar import astar_path
-from repro.search.bidirectional import bidirectional_dijkstra_path
-from repro.search.dijkstra import dijkstra_path
+from repro.search import get_engine, list_engines
 from repro.search.result import SearchStats
 
 __all__ = ["main", "build_parser"]
@@ -70,8 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("destination", type=int)
     route.add_argument(
         "--engine",
-        choices=["dijkstra", "astar", "bidirectional"],
+        choices=list_engines(),
         default="dijkstra",
+        help="search engine (preprocessing engines build their index first)",
     )
     route.add_argument(
         "--avoid-highways",
@@ -85,6 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
     protect.add_argument("destination", type=int)
     protect.add_argument("--f-s", type=int, default=3, help="source set size")
     protect.add_argument("--f-t", type=int, default=3, help="destination set size")
+    protect.add_argument(
+        "--engine",
+        choices=list_engines(),
+        default="dijkstra",
+        help="server-side search engine answering the obfuscated query",
+    )
     protect.add_argument("--seed", type=int, default=0)
 
     exp = sub.add_parser("experiment", help="run experiments (E1..E10)")
@@ -131,14 +136,11 @@ def _cmd_route(args: argparse.Namespace) -> int:
     net = read_network(args.network)
     searchable = avoid_fast_roads(net) if args.avoid_highways else net
     stats = SearchStats()
-    if args.engine == "astar":
-        path = astar_path(searchable, args.source, args.destination, stats=stats)
-    elif args.engine == "bidirectional":
-        path = bidirectional_dijkstra_path(
-            searchable, args.source, args.destination, stats=stats
-        )
-    else:
-        path = dijkstra_path(searchable, args.source, args.destination, stats=stats)
+    engine = get_engine(args.engine)
+    context = engine.prepare(searchable)
+    path = engine.route(
+        searchable, args.source, args.destination, context=context, stats=stats
+    )
     print(f"distance: {path.distance:.4f} over {path.num_edges} segments")
     print(f"route: {' '.join(str(n) for n in path.nodes)}")
     print(f"settled nodes: {stats.settled_nodes}")
@@ -147,7 +149,9 @@ def _cmd_route(args: argparse.Namespace) -> int:
 
 def _cmd_protect(args: argparse.Namespace) -> int:
     net = read_network(args.network)
-    system = OpaqueSystem(net, mode="independent", seed=args.seed)
+    system = OpaqueSystem(
+        net, mode="independent", engine=args.engine, seed=args.seed
+    )
     request = ClientRequest(
         "cli-user",
         PathQuery(args.source, args.destination),

@@ -58,6 +58,10 @@ class DirectionsServer:
     processor:
         MSMD evaluation strategy (defaults to the paper's
         :class:`~repro.search.multi.SharedTreeProcessor`).
+    engine:
+        Name from the :data:`repro.search.ENGINES` registry (e.g.
+        ``"ch"``); resolved to that engine's MSMD processor.  Mutually
+        exclusive with ``processor``.
     paged:
         When ``True`` the map is wrapped in a
         :class:`~repro.network.storage.PagedNetwork` so responses carry
@@ -70,6 +74,7 @@ class DirectionsServer:
         self,
         network: RoadNetwork,
         processor: MultiSourceMultiDestProcessor | None = None,
+        engine: str | None = None,
         paged: bool = False,
         page_capacity: int = 64,
         buffer_capacity: int = 32,
@@ -83,6 +88,12 @@ class DirectionsServer:
             )
         else:
             self._network = network
+        if processor is not None and engine is not None:
+            raise ValueError("pass either processor or engine, not both")
+        if processor is None and engine is not None:
+            from repro.search import get_engine
+
+            processor = get_engine(engine).make_processor()
         self._processor = (
             processor if processor is not None else SharedTreeProcessor()
         )

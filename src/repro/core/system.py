@@ -84,6 +84,10 @@ class OpaqueSystem:
         Fake endpoint strategy for the obfuscator (default compact).
     processor:
         Server-side MSMD strategy (default shared-tree).
+    engine:
+        Search-engine name from :data:`repro.search.ENGINES` (e.g.
+        ``"ch"``), resolved to its MSMD processor.  Mutually exclusive
+        with ``processor``.
     paged:
         Run the server over the paged storage simulator to collect I/O.
     max_source_diameter, max_destination_diameter, max_cluster_size:
@@ -103,6 +107,7 @@ class OpaqueSystem:
         mode: str = "shared",
         strategy=None,
         processor: MultiSourceMultiDestProcessor | None = None,
+        engine: str | None = None,
         paged: bool = False,
         page_capacity: int = 64,
         buffer_capacity: int = 32,
@@ -124,6 +129,7 @@ class OpaqueSystem:
         self.server = DirectionsServer(
             network,
             processor=processor,
+            engine=engine,
             paged=paged,
             page_capacity=page_capacity,
             buffer_capacity=buffer_capacity,

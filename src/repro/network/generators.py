@@ -22,6 +22,7 @@ __all__ = [
     "one_way_grid_network",
     "random_geometric_network",
     "ring_radial_network",
+    "scale_free_network",
     "tiger_like_network",
 ]
 
@@ -332,4 +333,65 @@ def tiger_like_network(
                     a = node_id(bx, by, col, last)
                     b = node_id(bx, by + 1, col, 0)
                     net.add_edge(a, b)
+    return net
+
+
+def scale_free_network(
+    num_nodes: int,
+    attachment: int = 2,
+    extent: float = 10.0,
+    seed: int = 0,
+) -> RoadNetwork:
+    """Barabási–Albert preferential-attachment network with hub nodes.
+
+    Not a road topology: scale-free graphs model the *logical* networks a
+    production directions service also serves (transit systems with hub
+    stations, flight networks, multimodal overlays).  Their heavy-tailed
+    degree distribution is the stress case for preprocessing-based engines
+    — contracting a hub is expensive — which is exactly why the search
+    benchmarks exercise them next to grids.
+
+    Nodes are placed uniformly at random in an ``extent x extent`` square;
+    each new node attaches to ``attachment`` distinct existing nodes chosen
+    proportionally to degree, and edge weights are Euclidean lengths.
+    Connected by construction.
+
+    Parameters
+    ----------
+    num_nodes:
+        Total nodes (must exceed ``attachment``).
+    attachment:
+        Edges each arriving node brings (the BA ``m`` parameter, >= 1).
+    extent:
+        Side of the square the nodes are scattered in.
+    seed:
+        RNG seed.
+    """
+    if attachment < 1:
+        raise ValueError("attachment must be >= 1")
+    if num_nodes <= attachment:
+        raise ValueError("num_nodes must exceed attachment")
+    rng = random.Random(seed)
+    net = RoadNetwork(directed=False)
+    for node in range(num_nodes):
+        net.add_node(node, rng.uniform(0.0, extent), rng.uniform(0.0, extent))
+
+    # Seed clique keeps the first preferential draws well-defined.
+    core = attachment + 1
+    for u in range(core):
+        for v in range(u + 1, core):
+            net.add_edge(u, v)
+    # Every edge endpoint lands here once, so sampling the list uniformly
+    # is sampling nodes proportionally to degree (the BA trick).
+    endpoints: list[int] = []
+    for u in range(core):
+        for v in range(u + 1, core):
+            endpoints.extend((u, v))
+    for node in range(core, num_nodes):
+        chosen: set[int] = set()
+        while len(chosen) < attachment:
+            chosen.add(endpoints[rng.randrange(len(endpoints))])
+        for target in chosen:
+            net.add_edge(node, target)
+            endpoints.extend((node, target))
     return net

@@ -1,10 +1,21 @@
 """Shortest-path search algorithms and the OPAQUE server-side processors.
 
-Point-to-point searches (Dijkstra, A*, bidirectional Dijkstra), the
-single-source multi-destination (SSMD) primitive the paper's server builds
-on, the multi-source multi-destination (MSMD) processors that evaluate
-obfuscated path queries, and the Lemma 1 analytic cost model.
+Point-to-point searches (Dijkstra, A*, bidirectional Dijkstra, ALT,
+Contraction Hierarchies), the single-source multi-destination (SSMD)
+primitive the paper's server builds on, the multi-source multi-destination
+(MSMD) processors that evaluate obfuscated path queries, and the Lemma 1
+analytic cost model.
+
+The :data:`ENGINES` registry is the one catalogue of interchangeable
+search engines; the server, CLI and benchmarks all resolve engines through
+:func:`get_engine` so a new engine only needs to be registered here.
 """
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
 
 from repro.search.result import PathResult, SearchStats
 from repro.search.dijkstra import (
@@ -26,7 +37,18 @@ from repro.search.cost_model import (
     lemma1_cost_estimate,
     point_query_cost_estimate,
 )
-from repro.search.alt import LandmarkIndex, alt_path, select_landmarks_farthest
+from repro.search.alt import (
+    ALTPairwiseProcessor,
+    LandmarkIndex,
+    alt_path,
+    select_landmarks_farthest,
+)
+from repro.search.ch import (
+    CHManyToManyProcessor,
+    ContractedGraph,
+    ch_path,
+    contract_network,
+)
 
 __all__ = [
     "PathResult",
@@ -48,4 +70,138 @@ __all__ = [
     "LandmarkIndex",
     "alt_path",
     "select_landmarks_farthest",
+    "ALTPairwiseProcessor",
+    "ContractedGraph",
+    "contract_network",
+    "ch_path",
+    "CHManyToManyProcessor",
+    "SearchEngine",
+    "ENGINES",
+    "get_engine",
+    "list_engines",
 ]
+
+
+@dataclass(frozen=True)
+class SearchEngine:
+    """One interchangeable search engine.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also the CLI ``--engine`` value).
+    description:
+        One-line summary for ``--help`` texts and reports.
+    prepare:
+        ``prepare(network) -> context`` builds the engine's preprocessing
+        artifact (landmark index, contracted graph, ...), or ``None`` for
+        engines that need none.  Build it once, reuse it across queries.
+    route:
+        ``route(network, source, destination, context=None, stats=None)``
+        answers one point query as a :class:`PathResult`.  Engines that
+        require preprocessing build it on the fly when ``context`` is
+        omitted (convenient, but pays the build cost per call).
+    make_processor:
+        Factory for the MSMD processor that runs this engine's strategy
+        on obfuscated batches (used by
+        :class:`~repro.core.server.DirectionsServer`).  One engine
+        cannot batch honestly: Euclidean A*'s heuristic is inadmissible
+        on travel-time networks, so the ``astar`` engine answers batches
+        with the paper's exact shared SSMD trees instead.
+    """
+
+    name: str
+    description: str
+    prepare: Callable[[Any], Any]
+    route: Callable[..., PathResult]
+    make_processor: Callable[[], MultiSourceMultiDestProcessor]
+
+
+def _route_dijkstra(network, source, destination, context=None, stats=None):
+    return dijkstra_path(network, source, destination, stats=stats)
+
+
+def _route_astar(network, source, destination, context=None, stats=None):
+    return astar_path(network, source, destination, stats=stats)
+
+
+def _route_bidirectional(network, source, destination, context=None, stats=None):
+    return bidirectional_dijkstra_path(network, source, destination, stats=stats)
+
+
+def _route_alt(network, source, destination, context=None, stats=None):
+    if context is None:
+        context = LandmarkIndex(network)
+    return alt_path(network, source, destination, context, stats=stats)
+
+
+def _route_ch(network, source, destination, context=None, stats=None):
+    if context is None:
+        context = contract_network(network)
+    return ch_path(context, source, destination, stats=stats)
+
+
+#: every registered engine, keyed by name
+ENGINES: dict[str, SearchEngine] = {
+    engine.name: engine
+    for engine in (
+        SearchEngine(
+            name="dijkstra",
+            description="plain Dijkstra (shared SSMD trees for batches)",
+            prepare=lambda network: None,
+            route=_route_dijkstra,
+            make_processor=SharedTreeProcessor,
+        ),
+        SearchEngine(
+            name="astar",
+            description=(
+                "A* with the Euclidean heuristic "
+                "(batches fall back to shared SSMD trees)"
+            ),
+            prepare=lambda network: None,
+            route=_route_astar,
+            make_processor=SharedTreeProcessor,
+        ),
+        SearchEngine(
+            name="bidirectional",
+            description="bidirectional Dijkstra per pair",
+            prepare=lambda network: None,
+            route=_route_bidirectional,
+            make_processor=lambda: NaivePairwiseProcessor(engine="bidirectional"),
+        ),
+        SearchEngine(
+            name="alt",
+            description="A* with landmark lower bounds (preprocessed)",
+            prepare=LandmarkIndex,
+            route=_route_alt,
+            make_processor=ALTPairwiseProcessor,
+        ),
+        SearchEngine(
+            name="ch",
+            description="Contraction Hierarchies (preprocessed, batch buckets)",
+            prepare=contract_network,
+            route=_route_ch,
+            make_processor=CHManyToManyProcessor,
+        ),
+    )
+}
+
+
+def get_engine(name: str) -> SearchEngine:
+    """Look up a registered engine by name.
+
+    Raises
+    ------
+    KeyError
+        For unknown names; the message lists the valid ones.
+    """
+    try:
+        return ENGINES[name]
+    except KeyError:
+        valid = ", ".join(sorted(ENGINES))
+        raise KeyError(f"unknown engine {name!r}; valid: {valid}") from None
+
+
+def list_engines() -> list[str]:
+    """Registered engine names, sorted."""
+    return sorted(ENGINES)

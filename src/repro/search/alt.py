@@ -27,9 +27,19 @@ from repro.exceptions import GraphError, UnknownNodeError
 from repro.network.graph import NodeId
 from repro.search.astar import astar_path
 from repro.search.dijkstra import dijkstra_sssp
+from repro.search.multi import (
+    MSMDResult,
+    PreprocessingProcessor,
+    _validate,
+)
 from repro.search.result import PathResult, SearchStats
 
-__all__ = ["LandmarkIndex", "alt_path", "select_landmarks_farthest"]
+__all__ = [
+    "LandmarkIndex",
+    "alt_path",
+    "select_landmarks_farthest",
+    "ALTPairwiseProcessor",
+]
 
 
 def select_landmarks_farthest(
@@ -198,3 +208,50 @@ def alt_path(
         heuristic=index.heuristic_for(destination),
         stats=stats,
     )
+
+
+class ALTPairwiseProcessor(PreprocessingProcessor):
+    """MSMD processor answering each (s, t) pair with an ALT search.
+
+    The goal-directed ALT engine cannot share spanning trees (its search
+    is shaped by one destination), so obfuscated queries are evaluated
+    pair by pair — but each pair rides the landmark lower bounds, so the
+    per-pair cost is far below plain Dijkstra.  The landmark index
+    follows the :class:`~repro.search.multi.PreprocessingProcessor`
+    lifecycle: injected, or built on first use per network and memoized.
+
+    Parameters
+    ----------
+    index:
+        A prebuilt :class:`LandmarkIndex` to use for every query.
+    num_landmarks:
+        Landmarks for on-demand index builds (when ``index`` is omitted).
+    """
+
+    name = "alt"
+
+    def __init__(
+        self, index: LandmarkIndex | None = None, num_landmarks: int = 4
+    ) -> None:
+        super().__init__(artifact=index)
+        self._num_landmarks = num_landmarks
+
+    def _build(self, network) -> LandmarkIndex:
+        return LandmarkIndex(network, num_landmarks=self._num_landmarks)
+
+    def index_for(self, network) -> LandmarkIndex:
+        """The landmark index answering queries over ``network``."""
+        return self.artifact_for(network)
+
+    def process(self, network, sources, destinations) -> MSMDResult:
+        _validate(sources, destinations)
+        index = self.index_for(network)
+        result = MSMDResult()
+        for s in sources:
+            for t in destinations:
+                stats = SearchStats()
+                path = alt_path(network, s, t, index, stats=stats)
+                result.paths[(s, t)] = path
+                result.stats.merge(stats)
+                result.searches += 1
+        return result

@@ -1,0 +1,44 @@
+"""Contraction Hierarchies: preprocessing-based search engine subsystem.
+
+The four modules mirror the lifecycle of a CH deployment:
+
+* :mod:`~repro.search.ch.contract` — one-time preprocessing producing an
+  immutable :class:`ContractedGraph` (node ordering, witness searches,
+  shortcut insertion);
+* :mod:`~repro.search.ch.query` — bidirectional upward point-to-point
+  queries with stall-on-demand and shortcut unpacking;
+* :mod:`~repro.search.ch.manytomany` — the bucket-based batch algorithm
+  answering a full |S| x |T| obfuscated query in one pass, exposed as the
+  ``"ch"`` MSMD processor;
+* :mod:`~repro.search.ch.persist` — save/load of contracted graphs so a
+  server pays preprocessing once per road network.
+"""
+
+from repro.search.ch.contract import (
+    ContractedGraph,
+    ContractionStats,
+    contract_network,
+)
+from repro.search.ch.query import ch_distance, ch_path, unpack_path
+from repro.search.ch.manytomany import CHManyToManyProcessor, ch_many_to_many
+from repro.search.ch.persist import (
+    dumps_contracted,
+    loads_contracted,
+    read_contracted,
+    write_contracted,
+)
+
+__all__ = [
+    "ContractedGraph",
+    "ContractionStats",
+    "contract_network",
+    "ch_path",
+    "ch_distance",
+    "unpack_path",
+    "ch_many_to_many",
+    "CHManyToManyProcessor",
+    "read_contracted",
+    "write_contracted",
+    "dumps_contracted",
+    "loads_contracted",
+]

@@ -1,0 +1,151 @@
+"""Serialization of contracted graphs (pay preprocessing once per network).
+
+Follows the plain-text idiom of :mod:`repro.network.io`: a human-readable
+line format, integer node ids, exact round-tripping up to float repr.
+
+```
+# repro contracted graph v1
+directed 0
+counts <num_nodes> <num_edges>
+rank <node> <rank>
+edge <u> <v> <weight> <middle|->
+```
+
+``rank`` lines enumerate every node with its contraction order; ``edge``
+lines enumerate every overlay edge exactly once with the bypassed middle
+node for shortcuts (``-`` for original edges).  Loading rebuilds the
+upward/downward split by comparing endpoint ranks, which is the only
+structure the query algorithms need.  The ``counts`` record guards
+against truncated files: a partial artifact would otherwise load as a
+small, quietly wrong graph.
+"""
+
+from __future__ import annotations
+
+import io as _io
+import os
+from typing import TextIO
+
+from repro.exceptions import GraphError
+from repro.search.ch.contract import ContractedGraph, ContractionStats
+
+__all__ = [
+    "write_contracted",
+    "read_contracted",
+    "dumps_contracted",
+    "loads_contracted",
+]
+
+
+def write_contracted(
+    graph: ContractedGraph, path: str | os.PathLike[str]
+) -> None:
+    """Write ``graph`` to ``path`` in the text format described above."""
+    with open(path, "w", encoding="utf-8") as fh:
+        _write(graph, fh)
+
+
+def read_contracted(path: str | os.PathLike[str]) -> ContractedGraph:
+    """Read a graph previously written by :func:`write_contracted`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return _read(fh)
+
+
+def dumps_contracted(graph: ContractedGraph) -> str:
+    """Serialize ``graph`` to a string."""
+    buf = _io.StringIO()
+    _write(graph, buf)
+    return buf.getvalue()
+
+
+def loads_contracted(text: str) -> ContractedGraph:
+    """Parse a graph from a string produced by :func:`dumps_contracted`."""
+    return _read(_io.StringIO(text))
+
+
+def _write(graph: ContractedGraph, fh: TextIO) -> None:
+    fh.write("# repro contracted graph v1\n")
+    fh.write(f"directed {1 if graph.directed else 0}\n")
+    num_edges = sum(1 for _ in graph.edges())
+    fh.write(f"counts {graph.num_nodes} {num_edges}\n")
+    for node in graph.nodes():
+        fh.write(f"rank {node} {graph.rank_of(node)}\n")
+    for u, v, w in graph.edges():
+        mid = graph.middle(u, v)
+        mid_field = "-" if mid is None else str(mid)
+        fh.write(f"edge {u} {v} {w!r} {mid_field}\n")
+
+
+def _read(fh: TextIO) -> ContractedGraph:
+    directed: bool | None = None
+    counts: tuple[int, int] | None = None
+    rank: dict[int, int] = {}
+    edges: list[tuple[int, int, float, int | None]] = []
+    for line_no, raw in enumerate(fh, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        kind = fields[0]
+        try:
+            if kind == "directed":
+                if directed is not None:
+                    raise GraphError("duplicate 'directed' header")
+                directed = bool(int(fields[1]))
+            elif kind == "counts":
+                if counts is not None:
+                    raise GraphError("duplicate 'counts' header")
+                counts = (int(fields[1]), int(fields[2]))
+            elif kind == "rank":
+                if directed is None:
+                    raise GraphError("'rank' before 'directed' header")
+                node = int(fields[1])
+                if node in rank:
+                    raise GraphError(f"duplicate rank for node {node}")
+                rank[node] = int(fields[2])
+            elif kind == "edge":
+                mid = None if fields[4] == "-" else int(fields[4])
+                edges.append((int(fields[1]), int(fields[2]), float(fields[3]), mid))
+            else:
+                raise GraphError(f"unknown record kind {kind!r}")
+        except (IndexError, ValueError) as exc:
+            raise GraphError(f"malformed line {line_no}: {line!r}") from exc
+    if directed is None:
+        raise GraphError("missing 'directed' header")
+    if counts is None:
+        raise GraphError("missing 'counts' header")
+    if counts != (len(rank), len(edges)):
+        raise GraphError(
+            f"truncated or corrupt file: expected {counts[0]} nodes and "
+            f"{counts[1]} edges, found {len(rank)} and {len(edges)}"
+        )
+    if set(rank.values()) != set(range(len(rank))):
+        raise GraphError("contraction ranks are not a permutation")
+
+    up_out: dict[int, dict[int, float]] = {node: {} for node in rank}
+    up_in: dict[int, dict[int, float]] = {node: {} for node in rank}
+    middles: dict[tuple[int, int], int] = {}
+    for u, v, w, mid in edges:
+        if u not in rank or v not in rank:
+            raise GraphError(f"edge ({u}, {v}) references an unranked node")
+        if rank[u] < rank[v]:
+            up_out[u][v] = w
+        else:
+            up_in[v][u] = w
+        if mid is not None:
+            if mid not in rank:
+                raise GraphError(f"shortcut ({u}, {v}) has unknown middle {mid}")
+            middles[(u, v)] = mid
+    stats = ContractionStats(
+        original_nodes=len(rank),
+        original_edges=len(edges) - len(middles),
+        shortcuts_added=len(middles),
+    )
+    return ContractedGraph(
+        rank=rank,
+        up_out=up_out,
+        up_in=up_in,
+        middles=middles,
+        directed=directed,
+        stats=stats,
+    )

@@ -13,6 +13,9 @@ evaluation strategies:
 * :class:`SideSelectingProcessor` — shared trees grown from whichever side
   of the query is smaller (valid on undirected networks), an ablation
   showing the |S| vs |T| asymmetry in Lemma 1.
+* ``"ch"`` (:class:`repro.search.ch.manytomany.CHManyToManyProcessor`) —
+  the bucket-based many-to-many algorithm over a preprocessed Contraction
+  Hierarchy; amortizes work across the whole query mix.
 
 All processors return the same :class:`MSMDResult` so experiments can swap
 them freely.
@@ -20,6 +23,7 @@ them freely.
 
 from __future__ import annotations
 
+import weakref
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -32,6 +36,7 @@ from repro.search.result import PathResult, SearchStats
 __all__ = [
     "MSMDResult",
     "MultiSourceMultiDestProcessor",
+    "PreprocessingProcessor",
     "NaivePairwiseProcessor",
     "SharedTreeProcessor",
     "SideSelectingProcessor",
@@ -106,6 +111,39 @@ class MultiSourceMultiDestProcessor:
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
+
+
+class PreprocessingProcessor(MultiSourceMultiDestProcessor):
+    """Base for processors that query a per-network preprocessed artifact.
+
+    A preprocessing engine (landmark index, contracted graph, ...) pays a
+    one-time build cost per road network and reuses the artifact for every
+    later query.  This base implements that lifecycle once: subclasses
+    define :meth:`_build` and call :meth:`artifact_for`; a prebuilt
+    artifact may be injected via the constructor (e.g. one loaded from
+    disk), otherwise artifacts are built on first use and memoized for the
+    network object's lifetime.
+    """
+
+    def __init__(self, artifact: object | None = None) -> None:
+        self._artifact = artifact
+        self._cache: "weakref.WeakKeyDictionary[object, object]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    def _build(self, network) -> object:
+        """Build the engine's artifact for ``network`` (subclass hook)."""
+        raise NotImplementedError
+
+    def artifact_for(self, network) -> object:
+        """The (injected, cached, or freshly built) artifact for ``network``."""
+        if self._artifact is not None:
+            return self._artifact
+        artifact = self._cache.get(network)
+        if artifact is None:
+            artifact = self._build(network)
+            self._cache[network] = artifact
+        return artifact
 
 
 class NaivePairwiseProcessor(MultiSourceMultiDestProcessor):
@@ -204,6 +242,14 @@ _PROCESSORS: dict[str, type[MultiSourceMultiDestProcessor]] = {
     SideSelectingProcessor.name: SideSelectingProcessor,
 }
 
+# Processors that live above this module in the layering (they subclass
+# MultiSourceMultiDestProcessor), registered as import paths and resolved
+# on first use so this module never imports upwards.
+_LAZY_PROCESSORS: dict[str, tuple[str, str]] = {
+    "ch": ("repro.search.ch.manytomany", "CHManyToManyProcessor"),
+    "alt": ("repro.search.alt", "ALTPairwiseProcessor"),
+}
+
 
 def get_processor(name: str) -> MultiSourceMultiDestProcessor:
     """Instantiate a processor by its ``name`` attribute.
@@ -213,8 +259,16 @@ def get_processor(name: str) -> MultiSourceMultiDestProcessor:
     KeyError
         For unknown names; the message lists the valid ones.
     """
+    lazy = _LAZY_PROCESSORS.get(name)
+    if lazy is not None:
+        import importlib
+
+        module_path, class_name = lazy
+        cls = getattr(importlib.import_module(module_path), class_name)
+        _PROCESSORS[name] = cls
+        del _LAZY_PROCESSORS[name]
     try:
         return _PROCESSORS[name]()
     except KeyError:
-        valid = ", ".join(sorted(_PROCESSORS))
+        valid = ", ".join(sorted([*_PROCESSORS, *_LAZY_PROCESSORS]))
         raise KeyError(f"unknown processor {name!r}; valid: {valid}") from None

@@ -75,6 +75,17 @@ class TestE2ProcessingCost:
         assert row["f_t"] == 1
         assert row["speedup"] == pytest.approx(1.0)
 
+    def test_ch_amortizes_across_the_batch(self, result):
+        # CH pays one bounded sweep per endpoint, so its cost grows more
+        # slowly in |T| than the naive per-pair searches do...
+        first, last = result.rows[0], result.rows[-1]
+        ch_growth = last["ch_settled"] / max(first["ch_settled"], 1)
+        naive_growth = last["naive_settled"] / max(first["naive_settled"], 1)
+        assert ch_growth < naive_growth
+        # ...and beats naive outright at every |T|.
+        for row in result.rows:
+            assert row["ch_settled"] < row["naive_settled"]
+
 
 class TestE3MechanismComparison:
     @pytest.fixture(scope="class")
@@ -168,6 +179,11 @@ class TestE6Scalability:
 
     def test_cost_grows_with_size(self, result):
         assert result.rows[-1]["naive_settled"] > result.rows[0]["naive_settled"]
+
+    def test_ch_speedup_widens_with_size(self, result):
+        assert result.rows[-1]["ch_speedup"] > result.rows[0]["ch_speedup"]
+        for row in result.rows:
+            assert row["ch_settled"] < row["shared_settled"]
 
 
 class TestE7EndpointStrategies:

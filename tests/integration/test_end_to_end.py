@@ -19,6 +19,7 @@ from repro.network.generators import (
     ring_radial_network,
     tiger_like_network,
 )
+from repro.search.ch import CHManyToManyProcessor
 from repro.search.dijkstra import dijkstra_path
 from repro.search.multi import (
     NaivePairwiseProcessor,
@@ -56,8 +57,13 @@ def test_full_pipeline_on_every_topology(topology, mode):
 
 @pytest.mark.parametrize(
     "processor",
-    [NaivePairwiseProcessor(), SharedTreeProcessor(), SideSelectingProcessor()],
-    ids=["naive", "shared", "side-selecting"],
+    [
+        NaivePairwiseProcessor(),
+        SharedTreeProcessor(),
+        SideSelectingProcessor(),
+        CHManyToManyProcessor(),
+    ],
+    ids=["naive", "shared", "side-selecting", "ch"],
 )
 def test_processor_choice_never_changes_results(processor):
     network = grid_network(12, 12, perturbation=0.1, seed=211)
@@ -68,6 +74,33 @@ def test_processor_choice_never_changes_results(processor):
     for request in requests:
         truth = dijkstra_path(network, request.query.source, request.query.destination)
         assert results[request.user].distance == pytest.approx(truth.distance)
+
+
+def test_ch_engine_end_to_end_batch():
+    """`OpaqueSystem(engine="ch")` runs a whole batch through the
+    obfuscator -> server -> filter loop and returns true shortest paths,
+    while the server answers every candidate pair off the hierarchy."""
+    network = grid_network(15, 15, perturbation=0.1, seed=241)
+    queries = uniform_queries(network, 6, seed=19)
+    requests = requests_from_queries(queries, ProtectionSetting(3, 3))
+    system = OpaqueSystem(network, mode="shared", engine="ch", seed=19)
+    assert system.server.processor.name == "ch"
+    results = system.submit(requests)
+    assert len(results) == len(requests)
+    for request in requests:
+        truth = dijkstra_path(network, request.query.source, request.query.destination)
+        assert results[request.user].distance == pytest.approx(truth.distance)
+    report = system.last_report
+    assert report.candidate_paths >= len(requests)
+    assert report.server_stats.settled_nodes > 0
+    # A second batch reuses the cached contraction (no re-preprocessing).
+    second = requests_from_queries(
+        uniform_queries(network, 3, seed=23), ProtectionSetting(2, 2), user_prefix="b"
+    )
+    results2 = system.submit(second)
+    for request in second:
+        truth = dijkstra_path(network, request.query.source, request.query.destination)
+        assert results2[request.user].distance == pytest.approx(truth.distance)
 
 
 def test_attack_pipeline_on_live_session():

@@ -8,6 +8,7 @@ from repro.network.generators import (
     grid_network,
     random_geometric_network,
     ring_radial_network,
+    scale_free_network,
     tiger_like_network,
 )
 from repro.network.metrics import summarize_network
@@ -152,3 +153,35 @@ class TestTigerLikeNetwork:
     def test_is_road_like(self):
         summary = summarize_network(tiger_like_network(blocks=3, block_size=4, seed=2))
         assert summary.is_road_like
+
+
+class TestScaleFreeNetwork:
+    def test_size_and_connectivity(self):
+        net = scale_free_network(200, attachment=2, seed=4)
+        assert net.num_nodes == 200
+        assert net.is_connected()
+        # Seed clique plus exactly `attachment` edges per arriving node
+        # (arrivals are new nodes, so their edges can never collide).
+        assert net.num_edges == 3 + 2 * 197
+
+    def test_heavy_tailed_degrees(self):
+        net = scale_free_network(400, attachment=2, seed=5)
+        degrees = sorted((net.degree(n) for n in net.nodes()), reverse=True)
+        # Hubs exist: the max degree dwarfs the median.
+        assert degrees[0] >= 5 * degrees[len(degrees) // 2]
+
+    def test_weights_are_euclidean(self):
+        net = scale_free_network(60, seed=6)
+        for u, v, w in net.edges():
+            assert w == pytest.approx(net.euclidean_distance(u, v))
+
+    def test_deterministic(self):
+        a = scale_free_network(80, seed=7)
+        b = scale_free_network(80, seed=7)
+        assert list(a.edges()) == list(b.edges())
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            scale_free_network(5, attachment=0)
+        with pytest.raises(ValueError):
+            scale_free_network(2, attachment=2)

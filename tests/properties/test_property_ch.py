@@ -1,0 +1,137 @@
+"""Property-based tests: Contraction Hierarchies vs. the Dijkstra oracle.
+
+Strategy: random weighted networks — directed or undirected, connected or
+not — contracted in full, then every sampled query must agree with plain
+Dijkstra, including on unreachable pairs.  This is the subsystem's main
+correctness net: witness searches, node ordering, stall-on-demand and
+shortcut unpacking all conspire in one observable (the returned path).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NoPathError
+from repro.network.graph import RoadNetwork
+from repro.search.ch import (
+    CHManyToManyProcessor,
+    ch_path,
+    contract_network,
+    loads_contracted,
+    dumps_contracted,
+)
+from repro.search.dijkstra import dijkstra_path
+from repro.search.multi import NaivePairwiseProcessor
+
+
+@st.composite
+def arbitrary_networks(draw, min_nodes=2, max_nodes=24):
+    """A random weighted network — possibly directed, possibly disconnected.
+
+    Unlike the ``connected_networks`` strategy used by the classic search
+    properties, nothing guarantees reachability here, so unreachable pairs
+    are generated with high probability on sparse draws.
+    """
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    directed = draw(st.booleans())
+    density = draw(st.floats(min_value=0.3, max_value=3.0))
+    rng = random.Random(seed)
+    net = RoadNetwork(directed=directed)
+    for node in range(n):
+        net.add_node(node, rng.uniform(0, 10), rng.uniform(0, 10))
+    num_edges = int(density * n)
+    for _ in range(num_edges):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not net.has_edge(u, v):
+            net.add_edge(u, v, rng.uniform(0.1, 5.0))
+    return net
+
+
+@given(arbitrary_networks(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_ch_matches_dijkstra_including_unreachable(net, data):
+    graph = contract_network(net)
+    nodes = list(net.nodes())
+    for _ in range(5):
+        s = data.draw(st.sampled_from(nodes))
+        t = data.draw(st.sampled_from(nodes))
+        try:
+            ref = dijkstra_path(net, s, t)
+        except NoPathError:
+            try:
+                got = ch_path(graph, s, t)
+            except NoPathError:
+                continue
+            raise AssertionError(
+                f"CH found a path {got.nodes} where Dijkstra found none"
+            )
+        got = ch_path(graph, s, t)
+        assert abs(got.distance - ref.distance) < 1e-9
+
+
+@given(arbitrary_networks(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_ch_paths_are_walkable(net, data):
+    graph = contract_network(net)
+    nodes = list(net.nodes())
+    s = data.draw(st.sampled_from(nodes))
+    t = data.draw(st.sampled_from(nodes))
+    try:
+        path = ch_path(graph, s, t)
+    except NoPathError:
+        return
+    assert path.nodes[0] == s and path.nodes[-1] == t
+    total = 0.0
+    for u, v in path.edges():
+        assert net.has_edge(u, v)
+        total += net.edge_weight(u, v)
+    assert abs(total - path.distance) < 1e-9
+
+
+@given(arbitrary_networks(min_nodes=4), st.data())
+@settings(max_examples=30, deadline=None)
+def test_many_to_many_matches_naive(net, data):
+    nodes = list(net.nodes())
+    sources = data.draw(
+        st.lists(st.sampled_from(nodes), min_size=1, max_size=3, unique=True)
+    )
+    destinations = data.draw(
+        st.lists(st.sampled_from(nodes), min_size=1, max_size=3, unique=True)
+    )
+    naive = NaivePairwiseProcessor()
+    ch = CHManyToManyProcessor()
+    try:
+        ref = naive.process(net, sources, destinations)
+    except NoPathError:
+        try:
+            ch.process(net, sources, destinations)
+        except NoPathError:
+            return
+        raise AssertionError("CH answered a query with an unreachable pair")
+    got = ch.process(net, sources, destinations)
+    assert set(got.paths) == set(ref.paths)
+    for pair, ref_path in ref.paths.items():
+        assert abs(got.paths[pair].distance - ref_path.distance) < 1e-9
+
+
+@given(arbitrary_networks(), st.data())
+@settings(max_examples=20, deadline=None)
+def test_persist_round_trip_preserves_distances(net, data):
+    graph = contract_network(net)
+    loaded = loads_contracted(dumps_contracted(graph))
+    nodes = list(net.nodes())
+    s = data.draw(st.sampled_from(nodes))
+    t = data.draw(st.sampled_from(nodes))
+    try:
+        original = ch_path(graph, s, t).distance
+    except NoPathError:
+        try:
+            ch_path(loaded, s, t)
+        except NoPathError:
+            return
+        raise AssertionError("round-trip changed reachability")
+    assert ch_path(loaded, s, t).distance == original

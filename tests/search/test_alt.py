@@ -144,3 +144,32 @@ class TestAltPath:
             ours = alt_path(suburb, s, t, index)
             truth = dijkstra_path(suburb, s, t)
             assert ours.distance == pytest.approx(truth.distance)
+
+
+class TestALTPairwiseProcessor:
+    def test_matches_naive_pairwise(self, net):
+        from repro.search.alt import ALTPairwiseProcessor
+        from repro.search.multi import NaivePairwiseProcessor
+
+        rng = random.Random(12)
+        nodes = list(net.nodes())
+        sources = rng.sample(nodes, 3)
+        destinations = rng.sample(nodes, 3)
+        ref = NaivePairwiseProcessor().process(net, sources, destinations)
+        got = ALTPairwiseProcessor().process(net, sources, destinations)
+        assert set(got.paths) == set(ref.paths)
+        for pair, ref_path in ref.paths.items():
+            assert got.paths[pair].distance == pytest.approx(ref_path.distance)
+        assert got.searches == len(sources) * len(destinations)
+
+    def test_index_cached_per_network(self, net):
+        from repro.search.alt import ALTPairwiseProcessor
+
+        proc = ALTPairwiseProcessor()
+        assert proc.index_for(net) is proc.index_for(net)
+
+    def test_registered_in_processor_registry(self):
+        from repro.search.alt import ALTPairwiseProcessor
+        from repro.search.multi import get_processor
+
+        assert isinstance(get_processor("alt"), ALTPairwiseProcessor)

@@ -51,7 +51,9 @@ class TestSummarize:
 
 
 class TestRoute:
-    @pytest.mark.parametrize("engine", ["dijkstra", "astar", "bidirectional"])
+    @pytest.mark.parametrize(
+        "engine", ["dijkstra", "astar", "bidirectional", "alt", "ch"]
+    )
     def test_engines_agree(self, map_file, capsys, engine):
         assert main(["route", map_file, "0", "99", "--engine", engine]) == 0
         out = capsys.readouterr().out
@@ -88,6 +90,14 @@ class TestProtect:
             ["protect", map_file, "0", "99", "--f-s", "1", "--f-t", "1"]
         ) == 0
         assert "breach probability: 1.0000" in capsys.readouterr().out
+
+    def test_protect_with_ch_engine(self, map_file, capsys):
+        assert main(
+            ["protect", map_file, "0", "99", "--engine", "ch"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "distance:" in out
+        assert "server saw S" in out
 
 
 class TestExperiment:
