@@ -7,6 +7,8 @@ Usage (also via ``python -m repro``):
     repro route city.txt 21 352 --engine astar
     repro route city.txt 21 352 --avoid-highways
     repro protect city.txt 21 352 --f-s 3 --f-t 3
+    repro workload city.txt -o rush.txt --count 40 --kind hotspot
+    repro serve-replay city.txt rush.txt --engine ch --repeat 3
     repro experiment E1 E4
 """
 
@@ -92,7 +94,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     protect.add_argument("--seed", type=int, default=0)
 
-    exp = sub.add_parser("experiment", help="run experiments (E1..E10)")
+    work = sub.add_parser(
+        "workload", help="synthesize a replayable protected-query workload"
+    )
+    work.add_argument("network")
+    work.add_argument("-o", "--output", required=True, help="output workload file")
+    work.add_argument("--count", type=int, default=32, help="number of queries")
+    work.add_argument(
+        "--kind",
+        choices=["hotspot", "uniform"],
+        default="hotspot",
+        help="endpoint mix (hotspot repeats popular destinations)",
+    )
+    work.add_argument("--f-s", type=int, default=3, help="source set size")
+    work.add_argument("--f-t", type=int, default=3, help="destination set size")
+    work.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve-replay",
+        help="replay a workload through the caching serving stack",
+    )
+    serve.add_argument("network")
+    serve.add_argument("workload", help="workload file from 'workload'")
+    serve.add_argument(
+        "--engine",
+        choices=list_engines(),
+        default="dijkstra",
+        help="server-side search engine (preprocessing is cached)",
+    )
+    serve.add_argument(
+        "--mode",
+        choices=["independent", "shared"],
+        default="independent",
+        help="obfuscation variant applied to the workload",
+    )
+    serve.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="passes over the stream (pass 1 is cold, later ones warm)",
+    )
+    serve.add_argument(
+        "--batch", type=int, default=8, help="queries per concurrent batch"
+    )
+    serve.add_argument(
+        "--concurrency", type=int, default=4, help="dispatcher worker threads"
+    )
+    serve.add_argument(
+        "--result-capacity", type=int, default=256, help="result-cache entries"
+    )
+    serve.add_argument(
+        "--spill-dir",
+        default=None,
+        help="directory for evicted preprocessing artifacts (CH graphs)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+
+    exp = sub.add_parser("experiment", help="run experiments (E1..E12)")
     exp.add_argument("ids", nargs="+", help="experiment ids, e.g. E1 E4")
 
     return parser
@@ -171,6 +229,86 @@ def _cmd_protect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.workloads.replay import synthesize_workload, write_workload
+
+    net = read_network(args.network)
+    entries = synthesize_workload(
+        net,
+        args.count,
+        f_s=args.f_s,
+        f_t=args.f_t,
+        kind=args.kind,
+        seed=args.seed,
+    )
+    write_workload(entries, args.output)
+    print(f"wrote {len(entries)} {args.kind} queries to {args.output}")
+    return 0
+
+
+def _cmd_serve_replay(args: argparse.Namespace) -> int:
+    from repro.core.obfuscator import PathQueryObfuscator
+    from repro.service.cache import ResultCache
+    from repro.service.serving import ServingStack, replay
+    from repro.workloads.replay import read_workload
+
+    if args.repeat < 1 or args.batch < 1 or args.concurrency < 1:
+        print(
+            "error: --repeat, --batch and --concurrency must be >= 1",
+            file=sys.stderr,
+        )
+        return 1
+    if args.result_capacity < 0:
+        print("error: --result-capacity must be >= 0", file=sys.stderr)
+        return 1
+    net = read_network(args.network)
+    entries = read_workload(args.workload)
+    if not entries:
+        print("error: empty workload", file=sys.stderr)
+        return 1
+    # Obfuscate the workload once so the server-visible stream is fixed;
+    # replaying it R times models the recurring traffic of a long-lived
+    # deployment (same decoys, same Q(S, T)).
+    obfuscator = PathQueryObfuscator(net, seed=args.seed)
+    requests = [e.as_request(f"w-{i}") for i, e in enumerate(entries)]
+    records = obfuscator.obfuscate_batch(requests, mode=args.mode)
+    queries = [record.query for record in records]
+
+    with ServingStack(
+        net,
+        engine=args.engine,
+        result_cache=ResultCache(capacity=args.result_capacity),
+        max_workers=args.concurrency,
+        spill_dir=args.spill_dir,
+    ) as stack:
+        report = replay(
+            stack, queries, repeats=args.repeat, batch_size=args.batch
+        )
+    cache = report.cache
+    print(
+        f"replayed {report.queries} obfuscated queries "
+        f"({len(queries)} unique x {args.repeat} passes, "
+        f"engine={args.engine}, workers={args.concurrency}) "
+        f"in {report.total_seconds:.3f}s"
+    )
+    print(
+        f"latency p50/p95/p99: {report.p50_latency * 1e3:.2f} / "
+        f"{report.p95_latency * 1e3:.2f} / {report.p99_latency * 1e3:.2f} ms"
+    )
+    print(
+        f"result cache:        {cache.result_hits} hits, "
+        f"{cache.result_misses} misses, {cache.result_evictions} evictions "
+        f"(hit rate {cache.result_hit_rate:.0%})"
+    )
+    print(
+        f"preprocessing cache: {cache.preprocessing_hits} hits, "
+        f"{cache.preprocessing_misses} misses, "
+        f"{cache.preprocessing_disk_loads} disk loads "
+        f"(hit rate {cache.preprocessing_hit_rate:.0%})"
+    )
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.harness import run_all
 
@@ -189,6 +327,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "summarize": _cmd_summarize,
         "route": _cmd_route,
         "protect": _cmd_protect,
+        "workload": _cmd_workload,
+        "serve-replay": _cmd_serve_replay,
         "experiment": _cmd_experiment,
     }
     try:

@@ -7,6 +7,13 @@ everything it sees.  Accordingly :class:`DirectionsServer` does two things:
   (optionally paged) road network, returning every candidate path, and
 * logs every query it observes (``observed_queries``), which is exactly
   the adversary's view used by :mod:`repro.core.attacks`.
+
+When a :class:`~repro.service.serving.ServingStack` fronts the server,
+some responses are served from the result cache without a fresh search;
+those responses carry ``from_cache=True`` and are recorded through
+:meth:`DirectionsServer.record` so the adversary's view and the load
+counters stay complete while the search-cost counters only reflect work
+actually performed.
 """
 
 from __future__ import annotations
@@ -28,10 +35,24 @@ __all__ = ["ServerResponse", "DirectionsServer"]
 
 @dataclass(frozen=True, slots=True)
 class ServerResponse:
-    """What the server returns for one obfuscated path query."""
+    """What the server returns for one obfuscated path query.
+
+    Attributes
+    ----------
+    query:
+        The obfuscated query that was answered.
+    candidates:
+        Every candidate result path (the |S| x |T| table).
+    from_cache:
+        ``True`` when the serving layer supplied the table without
+        fresh search work (result-cache hit, or a duplicate query in
+        the same batch); ``candidates.stats`` then describes the
+        *original* computation, not work done for this response.
+    """
 
     query: ObfuscatedPathQuery
     candidates: MSMDResult
+    from_cache: bool = False
 
     @property
     def num_paths(self) -> int:
@@ -118,16 +139,33 @@ class DirectionsServer:
         Each call resets the paged network's buffer pool first (when
         paging is on) so per-query page-fault counts are comparable.
         """
+        # Observe before evaluating: the adversary sees every query it
+        # receives, including ones whose evaluation fails.
         self.observed_queries.append(query)
         if isinstance(self._network, PagedNetwork):
             self._network.reset_io()
         result = self._processor.process(
             self._network, list(query.sources), list(query.destinations)
         )
+        response = ServerResponse(query=query, candidates=result)
+        self._account(response)
+        return response
+
+    def record(self, response: ServerResponse) -> None:
+        """Account for one response the serving layer produced on our behalf.
+
+        Appends the query to the adversary's view and updates the load
+        counters; search-cost counters are only merged for responses
+        that performed fresh work (``from_cache=False``).
+        """
+        self.observed_queries.append(response.query)
+        self._account(response)
+
+    def _account(self, response: ServerResponse) -> None:
         self.counters.queries_served += 1
-        self.counters.paths_returned += result.num_paths
-        self.counters.stats.merge(result.stats)
-        return ServerResponse(query=query, candidates=result)
+        self.counters.paths_returned += response.num_paths
+        if not response.from_cache:
+            self.counters.stats.merge(response.candidates.stats)
 
     def reset_counters(self) -> None:
         """Zero the cumulative counters and forget observed queries."""

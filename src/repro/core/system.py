@@ -50,6 +50,13 @@ class SessionReport:
         The candidate paths themselves, in server-return order.  They
         carry no user attribution, so the obfuscator may retain them
         (e.g. for the :class:`repro.core.cache.PathCache`).
+    cached_queries:
+        Obfuscated queries of this batch answered from the serving
+        layer's result cache (0 without a serving stack).
+    serving_caches:
+        Cumulative :class:`~repro.service.cache.CacheSnapshot` of the
+        serving stack's hit/miss/eviction counters, or ``None`` when the
+        batch ran without a serving stack.
     """
 
     records: list[ObfuscationRecord] = field(default_factory=list)
@@ -59,6 +66,8 @@ class SessionReport:
     candidate_paths: int = 0
     discarded_paths: int = 0
     candidate_results: list[PathResult] = field(default_factory=list)
+    cached_queries: int = 0
+    serving_caches: object | None = None
 
     @property
     def mean_breach(self) -> float:
@@ -88,6 +97,12 @@ class OpaqueSystem:
         Search-engine name from :data:`repro.search.ENGINES` (e.g.
         ``"ch"``), resolved to its MSMD processor.  Mutually exclusive
         with ``processor``.
+    serving:
+        A :class:`~repro.service.serving.ServingStack` over the same
+        network.  When given, the stack's server handles every batch
+        (result cache, shared preprocessing artifacts, concurrent
+        dispatch) and :attr:`SessionReport.serving_caches` is filled in.
+        Mutually exclusive with ``processor``/``engine``/``paged``.
     paged:
         Run the server over the paged storage simulator to collect I/O.
     max_source_diameter, max_destination_diameter, max_cluster_size:
@@ -108,6 +123,7 @@ class OpaqueSystem:
         strategy=None,
         processor: MultiSourceMultiDestProcessor | None = None,
         engine: str | None = None,
+        serving=None,
         paged: bool = False,
         page_capacity: int = 64,
         buffer_capacity: int = 32,
@@ -126,14 +142,27 @@ class OpaqueSystem:
             "max_cluster_size": max_cluster_size,
         }
         self.obfuscator = PathQueryObfuscator(network, strategy=strategy, seed=seed)
-        self.server = DirectionsServer(
-            network,
-            processor=processor,
-            engine=engine,
-            paged=paged,
-            page_capacity=page_capacity,
-            buffer_capacity=buffer_capacity,
-        )
+        #: serving stack answering batches, or None for the plain server
+        self.serving = serving
+        if serving is not None:
+            if processor is not None or engine is not None or paged:
+                raise ValueError(
+                    "pass serving or processor/engine/paged, not both"
+                )
+            if serving.network is not network:
+                raise ValueError(
+                    "serving stack must be built over the system's network"
+                )
+            self.server = serving.server
+        else:
+            self.server = DirectionsServer(
+                network,
+                processor=processor,
+                engine=engine,
+                paged=paged,
+                page_capacity=page_capacity,
+                buffer_capacity=buffer_capacity,
+            )
         verifier = None
         if verify_responses:
             from repro.core.verification import CandidatePathVerifier
@@ -179,11 +208,18 @@ class OpaqueSystem:
         )
         report.records = records
 
+        if self.serving is not None:
+            responses = self.serving.answer_batch([r.query for r in records])
+        else:
+            responses = [self.server.answer(r.query) for r in records]
+
         results: dict[str, PathResult] = {}
-        for record in records:
+        for record, response in zip(records, responses):
             report.traffic.record("query", record.query)
-            response = self.server.answer(record.query)
-            report.server_stats.merge(response.candidates.stats)
+            if response.from_cache:
+                report.cached_queries += 1
+            else:
+                report.server_stats.merge(response.candidates.stats)
             report.candidate_paths += response.num_paths
             report.candidate_results.extend(response.candidates.paths.values())
             report.traffic.record(
@@ -198,5 +234,7 @@ class OpaqueSystem:
             for request in record.requests:
                 report.breach_by_user[request.user] = breach
 
+        if self.serving is not None:
+            report.serving_caches = self.serving.snapshot()
         self.last_report = report
         return results

@@ -10,6 +10,12 @@ OPAQUE service would actually tune.
 Expected shape: longer windows raise mean latency ~linearly (half the
 window on average), lower per-user breach (more real endpoints per shared
 query), and reduce total server work (more sharing per window).
+
+Each window is additionally run twice through one
+:class:`~repro.service.serving.ServingStack`: a cold pass (empty caches)
+and a warm pass replaying the same traffic, showing the serving layer
+turning repeated workloads into result-cache hits (``settled_warm``
+collapses toward 0).
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from repro.core.query import ProtectionSetting
 from repro.core.system import OpaqueSystem
 from repro.experiments.harness import ExperimentResult
 from repro.network.generators import grid_network
+from repro.service.serving import ServingStack
 from repro.service.simulator import BatchingObfuscationService, poisson_arrivals
 from repro.workloads.queries import hotspot_queries, requests_from_queries
 
@@ -38,6 +45,7 @@ class Config:
     f_s: int = 3
     f_t: int = 3
     num_hotspots: int = 2
+    engine: str = "dijkstra"
     seed: int = 10
 
 
@@ -61,22 +69,41 @@ def run(config: Config | None = None) -> ExperimentResult:
             "p95_latency_s",
             "mean_breach",
             "obfuscated_queries",
-            "settled_nodes",
+            "settled_cold",
+            "settled_warm",
+            "warm_hit_rate",
         ],
         expectation=(
             "latency grows ~linearly with the window; breach and server "
-            "cost fall as more requests share each window"
+            "cost fall as more requests share each window; the warm pass "
+            "serves repeated queries from cache (settled_warm << cold)"
         ),
     )
+    requests = requests_from_queries(
+        queries, ProtectionSetting(config.f_s, config.f_t)
+    )
+    arrivals = poisson_arrivals(
+        requests, rate=config.arrival_rate, seed=config.seed
+    )
     for window in config.windows:
-        system = OpaqueSystem(network, mode="shared", seed=config.seed)
-        service = BatchingObfuscationService(system, window=window)
-        requests = requests_from_queries(
-            queries, ProtectionSetting(config.f_s, config.f_t)
+        # Cold pass: fresh serving stack, every query pays full search.
+        stack = ServingStack(network, engine=config.engine)
+        system = OpaqueSystem(
+            network, mode="shared", serving=stack, seed=config.seed
         )
-        arrivals = poisson_arrivals(requests, rate=config.arrival_rate,
-                                    seed=config.seed)
+        service = BatchingObfuscationService(system, window=window)
         _results, report = service.run(arrivals)
+
+        # Warm pass: same stack, same traffic (a fresh same-seed system
+        # rebuilds identical obfuscated queries) — cache hits replace work.
+        warm_system = OpaqueSystem(
+            network, mode="shared", serving=stack, seed=config.seed
+        )
+        warm_service = BatchingObfuscationService(warm_system, window=window)
+        _warm_results, warm_report = warm_service.run(arrivals)
+        stack.close()
+
+        warm_total = warm_report.obfuscated_queries
         result.rows.append(
             {
                 "window_s": window,
@@ -84,7 +111,11 @@ def run(config: Config | None = None) -> ExperimentResult:
                 "p95_latency_s": report.p95_latency,
                 "mean_breach": report.mean_breach,
                 "obfuscated_queries": report.obfuscated_queries,
-                "settled_nodes": report.server_settled_nodes,
+                "settled_cold": report.server_settled_nodes,
+                "settled_warm": warm_report.server_settled_nodes,
+                "warm_hit_rate": (
+                    warm_report.cached_queries / warm_total if warm_total else 0.0
+                ),
             }
         )
     return result

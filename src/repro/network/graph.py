@@ -59,6 +59,7 @@ class RoadNetwork:
         self._positions: dict[NodeId, Point] = {}
         self._adjacency: dict[NodeId, dict[NodeId, float]] = {}
         self._edge_count = 0
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -75,6 +76,7 @@ class RoadNetwork:
             raise DuplicateNodeError(node_id)
         self._positions[node_id] = Point(float(x), float(y))
         self._adjacency[node_id] = {}
+        self._version += 1
 
     def add_edge(self, u: NodeId, v: NodeId, weight: float | None = None) -> None:
         """Add an edge from ``u`` to ``v``.
@@ -107,6 +109,7 @@ class RoadNetwork:
         self._adjacency[u][v] = weight
         if not self._directed:
             self._adjacency[v][u] = weight
+        self._version += 1
 
     def remove_edge(self, u: NodeId, v: NodeId) -> None:
         """Remove the edge from ``u`` to ``v`` (and the reverse if undirected).
@@ -122,6 +125,7 @@ class RoadNetwork:
         self._edge_count -= 1
         if not self._directed and u in self._adjacency.get(v, {}):
             del self._adjacency[v][u]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Inspection
@@ -130,6 +134,18 @@ class RoadNetwork:
     def directed(self) -> bool:
         """Whether edges are one-way."""
         return self._directed
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped by every structural change.
+
+        A cheap staleness stamp: caches keyed by content (e.g. the
+        serving layer's :func:`~repro.service.cache.network_fingerprint`)
+        can skip rehashing the whole graph while the version is
+        unchanged.  Two different networks may share a version number —
+        it only orders the mutations of *one* instance.
+        """
+        return self._version
 
     @property
     def num_nodes(self) -> int:

@@ -145,6 +145,16 @@ class PreprocessingProcessor(MultiSourceMultiDestProcessor):
             self._cache[network] = artifact
         return artifact
 
+    def use_artifact(self, artifact: object | None) -> None:
+        """Inject (or clear) the prebuilt artifact every query should use.
+
+        This is how the serving layer hands a
+        :class:`~repro.service.cache.PreprocessingCache` entry to a
+        per-worker processor handle: the artifact is shared, the handle
+        is not.  ``None`` reverts to the build-on-first-use lifecycle.
+        """
+        self._artifact = artifact
+
 
 class NaivePairwiseProcessor(MultiSourceMultiDestProcessor):
     """One independent point-to-point search per (s, t) pair.
@@ -164,6 +174,7 @@ class NaivePairwiseProcessor(MultiSourceMultiDestProcessor):
         self._engine = engine
 
     def process(self, network, sources, destinations) -> MSMDResult:
+        """Answer every (s, t) pair with an independent point search."""
         _validate(sources, destinations)
         result = MSMDResult()
         for s in sources:
@@ -190,6 +201,7 @@ class SharedTreeProcessor(MultiSourceMultiDestProcessor):
     name = "shared"
 
     def process(self, network, sources, destinations) -> MSMDResult:
+        """Grow one truncated Dijkstra tree per source (Lemma 1 cost)."""
         _validate(sources, destinations)
         result = MSMDResult()
         for s in sources:
@@ -215,6 +227,7 @@ class SideSelectingProcessor(MultiSourceMultiDestProcessor):
     name = "side-selecting"
 
     def process(self, network, sources, destinations) -> MSMDResult:
+        """Grow shared trees from the smaller side, reversing if needed."""
         _validate(sources, destinations)
         if len(destinations) >= len(sources):
             return SharedTreeProcessor().process(network, sources, destinations)

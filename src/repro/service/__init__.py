@@ -1,13 +1,32 @@
-"""Online obfuscation service: timed arrivals and windowed batching.
+"""Online serving: timed arrivals, windowed batching, caches, concurrency.
 
 The paper's obfuscator is an online middle tier: requests arrive over
 time, and shared obfuscated path queries only exist if several requests
 are *in hand* simultaneously (Section IV's clustering step).  This
-subpackage models that dimension — the batching window is a new knob
-trading response latency against shared-query privacy and amortized
-server cost (experiment E10).
+subpackage models that dimension twice over:
+
+* :mod:`repro.service.simulator` — discrete-time windowed batching, the
+  latency/privacy/cost knob of experiment E10;
+* :mod:`repro.service.serving` + :mod:`repro.service.cache` — the
+  production serving layer: a thread-safe :class:`ServingStack` fronting
+  the directions server with a preprocessing-artifact cache, a
+  many-to-many result cache, and a concurrent dispatcher, so repeated
+  traffic on the same road network stops paying preprocessing and
+  repeated obfuscated queries stop paying search.
 """
 
+from repro.service.cache import (
+    CacheSnapshot,
+    PreprocessingCache,
+    ResultCache,
+    network_fingerprint,
+)
+from repro.service.serving import (
+    ConcurrentDispatcher,
+    ReplayReport,
+    ServingStack,
+    replay,
+)
 from repro.service.simulator import (
     BatchingObfuscationService,
     ServiceReport,
@@ -20,4 +39,12 @@ __all__ = [
     "BatchingObfuscationService",
     "ServiceReport",
     "poisson_arrivals",
+    "network_fingerprint",
+    "CacheSnapshot",
+    "PreprocessingCache",
+    "ResultCache",
+    "ConcurrentDispatcher",
+    "ServingStack",
+    "ReplayReport",
+    "replay",
 ]

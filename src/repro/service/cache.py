@@ -1,0 +1,425 @@
+"""Serving-layer caches: preprocessing artifacts and many-to-many results.
+
+A production directions service answers the same road network for
+millions of sessions, so paying preprocessing (CH contraction, ALT
+landmark selection) per session — as a fresh
+:class:`~repro.core.system.OpaqueSystem` does — is the dominant waste on
+the hot path.  This module provides the two thread-safe LRU caches the
+:class:`~repro.service.serving.ServingStack` puts in front of the
+:class:`~repro.core.server.DirectionsServer`:
+
+* :class:`PreprocessingCache` — keyed by ``(network fingerprint,
+  engine)``, holding whatever :meth:`SearchEngine.prepare` built
+  (contracted graph, landmark index).  Contracted graphs evicted from
+  memory spill to disk via :mod:`repro.search.ch.persist` and are
+  reloaded on the next miss, so even an evicted network never pays
+  contraction twice.
+* :class:`ResultCache` — keyed by ``(network fingerprint, S, T,
+  engine)``, holding whole :class:`~repro.search.multi.MSMDResult`
+  tables.  Obfuscated queries recur (popular routes, shared-mode
+  clusters, replayed workloads); a hit answers ``|S| x |T|`` path
+  queries with zero search work.
+
+Both caches expose hit/miss/eviction counters, combined into a
+:class:`CacheSnapshot` that :class:`~repro.core.system.SessionReport`
+and :class:`~repro.service.simulator.ServiceReport` surface.
+
+The network fingerprint is content-based (:func:`network_fingerprint`),
+so mutating a network — adding a road, reweighting an edge — changes the
+key and transparently invalidates every artifact *and result table*
+built for the old geometry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.network.graph import NodeId
+from repro.search.multi import MSMDResult
+
+__all__ = [
+    "network_fingerprint",
+    "CacheSnapshot",
+    "PreprocessingCache",
+    "ResultCache",
+]
+
+
+def network_fingerprint(network) -> str:
+    """Content hash identifying a road network's exact geometry.
+
+    Parameters
+    ----------
+    network:
+        Any object with the :class:`~repro.network.graph.RoadNetwork`
+        read API (``directed``, ``nodes()``, ``edges()``, ``position()``).
+
+    Returns
+    -------
+    str
+        A 32-hex-digit BLAKE2b digest over the directedness flag, every
+        node with its position, and every edge with its weight.  Two
+        networks with identical content share a fingerprint regardless of
+        object identity or insertion order; any mutation (new node, new
+        edge, changed weight) produces a different one.
+
+    Notes
+    -----
+    Computing the fingerprint is ``O((N + E) log(N + E))`` — cheap next
+    to any preprocessing it guards, and recomputed on every cache lookup
+    precisely so that in-place network mutations invalidate stale
+    artifacts.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(b"directed\x00" if network.directed else b"undirected\x00")
+    node_lines = []
+    for node in network.nodes():
+        p = network.position(node)
+        node_lines.append(f"n {node!r} {p.x!r} {p.y!r}")
+    for line in sorted(node_lines):
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\x00")
+    edge_lines = []
+    for u, v, w in network.edges():
+        if not network.directed and repr(v) < repr(u):
+            u, v = v, u
+        edge_lines.append(f"e {u!r} {v!r} {w!r}")
+    for line in sorted(edge_lines):
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class CacheSnapshot:
+    """Point-in-time counters of the serving layer's two caches.
+
+    Attributes
+    ----------
+    preprocessing_hits, preprocessing_misses, preprocessing_evictions:
+        :class:`PreprocessingCache` counters (cumulative).
+    preprocessing_disk_loads:
+        Misses that were satisfied by reloading a spilled artifact from
+        disk instead of rebuilding it.
+    result_hits, result_misses, result_evictions:
+        :class:`ResultCache` counters (cumulative).
+    """
+
+    preprocessing_hits: int = 0
+    preprocessing_misses: int = 0
+    preprocessing_evictions: int = 0
+    preprocessing_disk_loads: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
+    result_evictions: int = 0
+
+    @property
+    def preprocessing_hit_rate(self) -> float:
+        """Fraction of preprocessing lookups served from memory (0 when unused)."""
+        total = self.preprocessing_hits + self.preprocessing_misses
+        return self.preprocessing_hits / total if total else 0.0
+
+    @property
+    def result_hit_rate(self) -> float:
+        """Fraction of result lookups served from cache (0 when unused)."""
+        total = self.result_hits + self.result_misses
+        return self.result_hits / total if total else 0.0
+
+
+class PreprocessingCache:
+    """Thread-safe LRU of per-network preprocessing artifacts.
+
+    Keys are ``(network fingerprint, engine name)``; values are whatever
+    the engine's ``prepare`` hook built (``None`` for engines that need
+    no preprocessing — cached too, so the lookup is uniform).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum artifacts held in memory (>= 1).
+    spill_dir:
+        Optional directory for disk spill.  On eviction, artifacts that
+        :mod:`repro.search.ch.persist` can serialize (contracted graphs)
+        are written to ``<fingerprint>-<engine>.ch``; a later miss for
+        the same key reloads the file instead of re-contracting.
+
+    Examples
+    --------
+    >>> cache = PreprocessingCache(capacity=2)
+    >>> cache.snapshot().preprocessing_hits
+    0
+    """
+
+    def __init__(
+        self, capacity: int = 8, spill_dir: str | os.PathLike[str] | None = None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._entries: OrderedDict[tuple[str, str], object] = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.disk_loads = 0
+
+    def __len__(self) -> int:
+        """Number of artifacts currently held in memory."""
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum artifacts held in memory."""
+        return self._capacity
+
+    def get(
+        self, network, engine_name: str, fingerprint: str | None = None
+    ) -> object:
+        """The preprocessing artifact for ``(network, engine_name)``.
+
+        Returns the cached artifact on a hit; otherwise reloads a spilled
+        copy from disk or builds a fresh one via the engine's ``prepare``
+        hook, inserts it (possibly evicting the least recently used
+        entry), and returns it.  Misses build *outside* the cache lock,
+        so a multi-second contraction never blocks hits on other keys;
+        two threads racing on the same cold key may both build, and the
+        first insert wins.
+
+        Parameters
+        ----------
+        network:
+            The road network queries will run against; fingerprinted on
+            every call so mutations invalidate stale artifacts.
+        engine_name:
+            A name from the :data:`repro.search.ENGINES` registry.
+        fingerprint:
+            Precomputed :func:`network_fingerprint` of ``network``, when
+            the caller already has one (avoids hashing the graph twice).
+
+        Returns
+        -------
+        object
+            The engine's preprocessing context, or ``None`` for engines
+            without preprocessing.
+        """
+        from repro.search import get_engine
+
+        engine = get_engine(engine_name)  # validate before hashing work
+        if fingerprint is None:
+            fingerprint = network_fingerprint(network)
+        key = (fingerprint, engine_name)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+        # Build (or reload) without holding the lock.
+        artifact = self._load_spilled(key)
+        from_disk = artifact is not None
+        if artifact is None:
+            artifact = engine.prepare(network)
+        evicted: tuple[tuple[str, str], object] | None = None
+        with self._lock:
+            if key in self._entries:  # a concurrent build got there first
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            if from_disk:
+                self.disk_loads += 1
+            self._entries[key] = artifact
+            if len(self._entries) > self._capacity:
+                evicted = self._entries.popitem(last=False)
+                self.evictions += 1
+        if evicted is not None:
+            self._spill(*evicted)
+        return artifact
+
+    def invalidate(self, network, engine_name: str) -> bool:
+        """Drop the in-memory entry for ``(network, engine_name)``.
+
+        Returns ``True`` when an entry was present.  Spilled files are
+        left on disk (they are still correct for that fingerprint).
+        """
+        key = (network_fingerprint(network), engine_name)
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop all in-memory entries and zero the counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.evictions = self.disk_loads = 0
+
+    def snapshot(self) -> CacheSnapshot:
+        """Current counters as a (preprocessing-only) :class:`CacheSnapshot`."""
+        with self._lock:
+            return CacheSnapshot(
+                preprocessing_hits=self.hits,
+                preprocessing_misses=self.misses,
+                preprocessing_evictions=self.evictions,
+                preprocessing_disk_loads=self.disk_loads,
+            )
+
+    # ------------------------------------------------------------------
+    # Disk spill (contracted graphs only — the one artifact with a
+    # serialization format; see repro.search.ch.persist)
+    # ------------------------------------------------------------------
+    def _spill_path(self, key: tuple[str, str]) -> Path | None:
+        if self._spill_dir is None:
+            return None
+        fingerprint, engine_name = key
+        return self._spill_dir / f"{fingerprint}-{engine_name}.ch"
+
+    def _spill(self, key: tuple[str, str], artifact: object) -> None:
+        from repro.search.ch import ContractedGraph
+        from repro.search.ch.persist import write_contracted
+
+        path = self._spill_path(key)
+        if path is None or not isinstance(artifact, ContractedGraph):
+            return
+        if path.exists():  # an earlier eviction already persisted it
+            return
+        self._spill_dir.mkdir(parents=True, exist_ok=True)
+        write_contracted(artifact, path)
+
+    def _load_spilled(self, key: tuple[str, str]) -> object | None:
+        from repro.search.ch.persist import read_contracted
+
+        path = self._spill_path(key)
+        if path is None or not path.exists():
+            return None
+        return read_contracted(path)
+
+
+class ResultCache:
+    """Thread-safe LRU of whole many-to-many result tables.
+
+    Keys are ``(network fingerprint, sources, destinations, engine)``
+    with endpoint tuples in wire order — the deterministic order
+    :class:`~repro.core.query.ObfuscatedPathQuery` guarantees — so a
+    repeated obfuscated query is a hit and a permuted one is not (the
+    permuted table would be a different server response).  The
+    fingerprint component makes sharing one cache across stacks serving
+    different networks safe, and invalidates every table when a network
+    is mutated in place.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum cached tables; 0 disables caching (every lookup misses).
+
+    Examples
+    --------
+    >>> cache = ResultCache(capacity=2)
+    >>> cache.get("fp", (1, 2), (3,), "dijkstra") is None
+    True
+    >>> cache.misses
+    1
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self._capacity = capacity
+        self._entries: OrderedDict[
+            tuple[str, tuple[NodeId, ...], tuple[NodeId, ...], str], MSMDResult
+        ] = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        """Number of cached result tables."""
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached tables."""
+        return self._capacity
+
+    @staticmethod
+    def _key(
+        fingerprint: str,
+        sources: Sequence[NodeId],
+        destinations: Sequence[NodeId],
+        engine: str,
+    ) -> tuple[str, tuple[NodeId, ...], tuple[NodeId, ...], str]:
+        return (fingerprint, tuple(sources), tuple(destinations), engine)
+
+    def get(
+        self,
+        fingerprint: str,
+        sources: Sequence[NodeId],
+        destinations: Sequence[NodeId],
+        engine: str,
+    ) -> MSMDResult | None:
+        """The cached table for ``Q(S, T)`` on that network, or ``None``.
+
+        Counts a hit/miss and refreshes LRU recency on hit.
+        """
+        key = self._key(fingerprint, sources, destinations, engine)
+        with self._lock:
+            result = self._entries.get(key)
+            if result is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return result
+            self.misses += 1
+            return None
+
+    def put(
+        self,
+        fingerprint: str,
+        sources: Sequence[NodeId],
+        destinations: Sequence[NodeId],
+        engine: str,
+        result: MSMDResult,
+    ) -> None:
+        """Insert a table (evicting the LRU entry when full)."""
+        if self._capacity == 0:
+            return
+        key = self._key(fingerprint, sources, destinations, engine)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = result
+            if len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def count_shared_hit(self) -> None:
+        """Count a lookup served by work shared within the same batch.
+
+        The serving stack deduplicates identical queries inside one
+        batch; the duplicates never probe the table (it is not populated
+        yet) but they *are* served without fresh work, so they count as
+        hits to keep the hit rate consistent with per-response
+        ``from_cache`` flags.
+        """
+        with self._lock:
+            self.hits += 1
+
+    def clear(self) -> None:
+        """Drop all entries and zero the counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.evictions = 0
+
+    def snapshot(self) -> CacheSnapshot:
+        """Current counters as a (result-only) :class:`CacheSnapshot`."""
+        with self._lock:
+            return CacheSnapshot(
+                result_hits=self.hits,
+                result_misses=self.misses,
+                result_evictions=self.evictions,
+            )

@@ -1,0 +1,463 @@
+"""Concurrent serving stack fronting the directions server.
+
+:class:`ServingStack` is the serving layer a production OPAQUE
+deployment puts between the obfuscator and the
+:class:`~repro.core.server.DirectionsServer`:
+
+1. a :class:`~repro.service.cache.PreprocessingCache` so a road
+   network's engine artifact (contracted graph, landmark index) is built
+   once and shared by every later session on that network — turning
+   ``O(preprocess * sessions)`` into ``O(preprocess)``;
+2. a :class:`~repro.service.cache.ResultCache` so a repeated obfuscated
+   query ``Q(S, T)`` is answered with zero search work;
+3. a :class:`ConcurrentDispatcher` that evaluates independent obfuscated
+   queries of one batch across a thread pool, each worker holding its
+   own engine handle (MSMD processor) over the shared artifact.
+
+Results are deterministic: responses come back in submission order and
+each query is evaluated by the same pure search code concurrently or
+serially, so a concurrent batch is byte-identical to a serial one.
+
+The stack preserves the server's adversary model — every query (cache
+hit or not) is appended to ``server.observed_queries`` and counted in
+``server.counters``; only the *search work* is elided.  Privacy numbers
+are therefore unchanged while cost numbers drop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.query import ObfuscatedPathQuery
+from repro.core.server import DirectionsServer, ServerResponse
+from repro.search.multi import (
+    MSMDResult,
+    MultiSourceMultiDestProcessor,
+    PreprocessingProcessor,
+)
+from repro.service.cache import (
+    CacheSnapshot,
+    PreprocessingCache,
+    ResultCache,
+    network_fingerprint,
+)
+from repro.service.stats import percentile
+
+__all__ = [
+    "ConcurrentDispatcher",
+    "ServingStack",
+    "ReplayReport",
+    "replay",
+]
+
+
+class ConcurrentDispatcher:
+    """Evaluates independent obfuscated queries across a thread pool.
+
+    Each worker thread lazily builds its own MSMD processor handle via
+    ``handle_factory`` (processors are cheap; artifacts are shared
+    through the :class:`~repro.service.cache.PreprocessingCache`), so no
+    processor instance is ever shared between threads.
+
+    Parameters
+    ----------
+    handle_factory:
+        Zero-argument callable returning a fresh
+        :class:`~repro.search.multi.MultiSourceMultiDestProcessor`.
+    max_workers:
+        Thread-pool size; 1 degenerates to serial evaluation (no pool is
+        created), which is the determinism baseline.
+    """
+
+    def __init__(
+        self,
+        handle_factory,
+        max_workers: int = 4,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self._factory = handle_factory
+        self._max_workers = max_workers
+        self._local = threading.local()
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
+
+    @property
+    def max_workers(self) -> int:
+        """Configured thread-pool size."""
+        return self._max_workers
+
+    def _handle(self) -> MultiSourceMultiDestProcessor:
+        """This thread's private engine handle (built on first use)."""
+        handle = getattr(self._local, "handle", None)
+        if handle is None:
+            handle = self._factory()
+            self._local.handle = handle
+        return handle
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-serving",
+                )
+            return self._executor
+
+    def _evaluate(
+        self, network, query: ObfuscatedPathQuery, artifact: object
+    ) -> MSMDResult:
+        handle = self._handle()
+        if artifact is not None and isinstance(handle, PreprocessingProcessor):
+            handle.use_artifact(artifact)
+        return handle.process(
+            network, list(query.sources), list(query.destinations)
+        )
+
+    def dispatch(
+        self,
+        network,
+        queries: Sequence[ObfuscatedPathQuery],
+        artifact: object = None,
+    ) -> list[MSMDResult]:
+        """Evaluate every query, returning results in submission order.
+
+        Parameters
+        ----------
+        network:
+            Road network the queries run against.
+        queries:
+            Independent obfuscated queries (no ordering constraints
+            between them; each is a self-contained MSMD evaluation).
+        artifact:
+            Optional preprocessing artifact injected into each worker's
+            handle (from the serving stack's preprocessing cache).
+
+        Returns
+        -------
+        list of MSMDResult
+            ``results[i]`` answers ``queries[i]``; identical to what
+            serial evaluation would produce.
+        """
+        if not queries:
+            return []
+        if self._max_workers == 1 or len(queries) == 1:
+            return [self._evaluate(network, q, artifact) for q in queries]
+        pool = self._pool()
+        futures = [
+            pool.submit(self._evaluate, network, q, artifact) for q in queries
+        ]
+        return [f.result() for f in futures]
+
+    def shutdown(self) -> None:
+        """Tear down the thread pool (idempotent; a later dispatch rebuilds it)."""
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+
+class ServingStack:
+    """Thread-safe caching/concurrency layer in front of a directions server.
+
+    The stack owns a :class:`~repro.core.server.DirectionsServer` and
+    answers obfuscated queries through two caches and a dispatcher; see
+    the module docstring for the architecture.  Hand the stack to
+    :class:`~repro.core.system.OpaqueSystem` (``serving=`` parameter) to
+    run the full client→obfuscator→server→filter pipeline over it, or
+    call :meth:`answer`/:meth:`answer_batch` directly to drive the
+    server side alone.
+
+    Parameters
+    ----------
+    network:
+        The server's road network (shared by every component).
+    engine:
+        Name from the :data:`repro.search.ENGINES` registry; decides
+        both the preprocessing artifact and the per-worker MSMD handles.
+    preprocessing_cache, result_cache:
+        Preconfigured caches, e.g. shared across several stacks serving
+        different networks; fresh defaults otherwise.
+    max_workers:
+        Dispatcher thread-pool size (1 = serial).
+    spill_dir:
+        Disk-spill directory for the default preprocessing cache
+        (ignored when ``preprocessing_cache`` is given).
+
+    Notes
+    -----
+    Paged networks are not supported here: page-fault accounting is a
+    per-query experiment instrument, while the stack exists to elide
+    repeated work — combining them would produce misleading I/O numbers.
+    """
+
+    def __init__(
+        self,
+        network,
+        engine: str = "dijkstra",
+        preprocessing_cache: PreprocessingCache | None = None,
+        result_cache: ResultCache | None = None,
+        max_workers: int = 4,
+        spill_dir=None,
+    ) -> None:
+        from repro.search import get_engine
+
+        self.network = network
+        self.engine_name = engine
+        self._engine = get_engine(engine)
+        self.preprocessing = (
+            preprocessing_cache
+            if preprocessing_cache is not None
+            else PreprocessingCache(spill_dir=spill_dir)
+        )
+        self.results = result_cache if result_cache is not None else ResultCache()
+        self.dispatcher = ConcurrentDispatcher(
+            self._engine.make_processor, max_workers=max_workers
+        )
+        self.server = DirectionsServer(
+            network, processor=self._engine.make_processor()
+        )
+        self._lock = threading.Lock()
+        self._fingerprint_memo: tuple[int, str] | None = None
+
+    def _fingerprint(self) -> str:
+        """This network's content fingerprint, memoized by mutation version.
+
+        Networks exposing a ``version`` stamp (every
+        :class:`~repro.network.graph.RoadNetwork`) are only rehashed
+        after a mutation, making warm lookups O(1) in graph size;
+        version-less network views fall back to hashing per call.
+        """
+        version = getattr(self.network, "version", None)
+        if version is None:
+            return network_fingerprint(self.network)
+        memo = self._fingerprint_memo
+        if memo is None or memo[0] != version:
+            memo = (version, network_fingerprint(self.network))
+            self._fingerprint_memo = memo
+        return memo[1]
+
+    def warm(self) -> object:
+        """Build (or fetch) this network's preprocessing artifact now.
+
+        Useful to pay the build cost at deploy time instead of on the
+        first query; returns the artifact (``None`` for engines without
+        preprocessing).
+        """
+        return self.preprocessing.get(
+            self.network, self.engine_name, fingerprint=self._fingerprint()
+        )
+
+    def answer(self, query: ObfuscatedPathQuery) -> ServerResponse:
+        """Answer one obfuscated query through the caches."""
+        return self.answer_batch([query])[0]
+
+    def answer_batch(
+        self, queries: Sequence[ObfuscatedPathQuery]
+    ) -> list[ServerResponse]:
+        """Answer a batch of independent obfuscated queries.
+
+        Cache hits are returned without search work; distinct misses are
+        evaluated concurrently by the dispatcher (identical queries
+        within the batch are deduplicated and share one evaluation),
+        inserted into the result cache, and every query — hit or miss —
+        is recorded in the underlying server's adversary view and load
+        counters.
+
+        The network fingerprint keying both caches is memoized against
+        the network's mutation ``version``, so a warm batch costs O(1)
+        in graph size; the graph is only rehashed after a mutation —
+        which is exactly when stale tables must stop matching.
+
+        Returns
+        -------
+        list of ServerResponse
+            In submission order; ``response.from_cache`` tells whether
+            the table was served without fresh search work (result-cache
+            hit, or duplicate of another query in the same batch).
+        """
+        if not queries:
+            return []
+        fingerprint = self._fingerprint()
+        responses: list[ServerResponse | None] = [None] * len(queries)
+        misses: dict[
+            tuple[tuple, tuple], list[int]
+        ] = {}  # (S, T) -> batch indices, first occurrence evaluates
+        with self._lock:
+            for i, query in enumerate(queries):
+                key = (query.sources, query.destinations)
+                if key in misses:  # in-batch duplicate: shares the work
+                    misses[key].append(i)
+                    self.results.count_shared_hit()
+                    continue
+                cached = self.results.get(
+                    fingerprint, query.sources, query.destinations,
+                    self.engine_name,
+                )
+                if cached is not None:
+                    responses[i] = ServerResponse(
+                        query=query, candidates=cached, from_cache=True
+                    )
+                else:
+                    misses[key] = [i]
+        artifact = None
+        if misses:
+            artifact = self.preprocessing.get(
+                self.network, self.engine_name, fingerprint=fingerprint
+            )
+        unique = [indices[0] for indices in misses.values()]
+        computed = self.dispatcher.dispatch(
+            self.network, [queries[i] for i in unique], artifact
+        )
+        with self._lock:
+            for indices, result in zip(misses.values(), computed):
+                first = queries[indices[0]]
+                self.results.put(
+                    fingerprint, first.sources, first.destinations,
+                    self.engine_name, result,
+                )
+                for rank, i in enumerate(indices):
+                    responses[i] = ServerResponse(
+                        query=queries[i],
+                        candidates=result,
+                        from_cache=rank > 0,  # duplicates share the work
+                    )
+            final: list[ServerResponse] = []
+            for i, response in enumerate(responses):
+                if response is None:  # pragma: no cover - invariant guard
+                    raise RuntimeError(
+                        f"query {i} left unanswered by answer_batch"
+                    )
+                self.server.record(response)
+                final.append(response)
+        return final
+
+    def snapshot(self) -> CacheSnapshot:
+        """Combined counters of both caches."""
+        pre = self.preprocessing.snapshot()
+        res = self.results.snapshot()
+        return CacheSnapshot(
+            preprocessing_hits=pre.preprocessing_hits,
+            preprocessing_misses=pre.preprocessing_misses,
+            preprocessing_evictions=pre.preprocessing_evictions,
+            preprocessing_disk_loads=pre.preprocessing_disk_loads,
+            result_hits=res.result_hits,
+            result_misses=res.result_misses,
+            result_evictions=res.result_evictions,
+        )
+
+    def close(self) -> None:
+        """Shut down the dispatcher's thread pool."""
+        self.dispatcher.shutdown()
+
+    def __enter__(self) -> "ServingStack":
+        """Enter a ``with`` block (no setup needed)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Leave a ``with`` block, shutting the thread pool down."""
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ServingStack(engine={self.engine_name!r}, "
+            f"workers={self.dispatcher.max_workers}, "
+            f"network={self.network!r})"
+        )
+
+
+@dataclass(slots=True)
+class ReplayReport:
+    """Latency and cache outcome of one workload replay.
+
+    Attributes
+    ----------
+    latencies:
+        Wall-clock seconds per obfuscated query, in replay order.  When
+        replaying in batches, every member of a batch is charged the
+        batch's completion time (the moment its answer exists).
+    total_seconds:
+        Wall-clock duration of the whole replay.
+    queries:
+        Obfuscated queries served.
+    cache:
+        The stack's cumulative :class:`CacheSnapshot` after the replay.
+    """
+
+    latencies: list[float] = field(default_factory=list)
+    total_seconds: float = 0.0
+    queries: int = 0
+    cache: CacheSnapshot = field(default_factory=CacheSnapshot)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile of per-query latency (0 when empty)."""
+        return percentile(sorted(self.latencies), q)
+
+    @property
+    def p50_latency(self) -> float:
+        """Median per-query latency in seconds."""
+        return self.percentile(0.50)
+
+    @property
+    def p95_latency(self) -> float:
+        """95th-percentile per-query latency in seconds."""
+        return self.percentile(0.95)
+
+    @property
+    def p99_latency(self) -> float:
+        """99th-percentile per-query latency in seconds."""
+        return self.percentile(0.99)
+
+
+def replay(
+    stack: ServingStack,
+    queries: Sequence[ObfuscatedPathQuery],
+    repeats: int = 1,
+    batch_size: int = 1,
+) -> ReplayReport:
+    """Replay a fixed obfuscated-query workload through a serving stack.
+
+    The stream is served ``repeats`` times in order, ``batch_size``
+    queries per concurrent batch.  The first pass is the cold run (cache
+    misses build the artifact and fill the result cache); later passes
+    measure the warm behavior a long-lived service sees.
+
+    Parameters
+    ----------
+    stack:
+        The serving stack under test.
+    queries:
+        The server-visible workload (e.g. obfuscated once from a
+        workload file; see :mod:`repro.workloads.replay`).
+    repeats:
+        Total passes over the stream (>= 1).
+    batch_size:
+        Queries dispatched per :meth:`ServingStack.answer_batch` call
+        (>= 1); the dispatcher parallelizes within a batch.
+
+    Returns
+    -------
+    ReplayReport
+        Per-query latencies plus the stack's cache snapshot.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    report = ReplayReport()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for offset in range(0, len(queries), batch_size):
+            batch = list(queries[offset : offset + batch_size])
+            t0 = time.perf_counter()
+            stack.answer_batch(batch)
+            elapsed = time.perf_counter() - t0
+            report.latencies.extend([elapsed] * len(batch))
+            report.queries += len(batch)
+    report.total_seconds = time.perf_counter() - start
+    report.cache = stack.snapshot()
+    return report

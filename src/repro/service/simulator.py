@@ -59,7 +59,14 @@ class ServiceReport:
     obfuscated_queries:
         Total ``Q(S, T)`` sent to the server.
     server_settled_nodes:
-        Total server search work.
+        Total server search work (cache hits contribute nothing).
+    cached_queries:
+        Obfuscated queries answered from the serving stack's result
+        cache (0 when the system runs without one).
+    serving_caches:
+        The serving stack's cumulative
+        :class:`~repro.service.cache.CacheSnapshot` after the run, or
+        ``None`` when the system runs without one.
     """
 
     latencies_by_user: dict[str, float] = field(default_factory=dict)
@@ -67,6 +74,14 @@ class ServiceReport:
     windows_processed: int = 0
     obfuscated_queries: int = 0
     server_settled_nodes: int = 0
+    cached_queries: int = 0
+    serving_caches: object | None = None
+
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-quantile of response latency (0 when empty)."""
+        from repro.service.stats import percentile
+
+        return percentile(sorted(self.latencies_by_user.values()), q)
 
     @property
     def mean_latency(self) -> float:
@@ -76,13 +91,19 @@ class ServiceReport:
         return sum(self.latencies_by_user.values()) / len(self.latencies_by_user)
 
     @property
+    def p50_latency(self) -> float:
+        """Median response latency (0 when empty)."""
+        return self.latency_percentile(0.50)
+
+    @property
     def p95_latency(self) -> float:
         """95th-percentile response latency (0 when empty)."""
-        if not self.latencies_by_user:
-            return 0.0
-        ordered = sorted(self.latencies_by_user.values())
-        index = min(len(ordered) - 1, math.ceil(0.95 * len(ordered)) - 1)
-        return ordered[max(index, 0)]
+        return self.latency_percentile(0.95)
+
+    @property
+    def p99_latency(self) -> float:
+        """99th-percentile response latency (0 when empty)."""
+        return self.latency_percentile(0.99)
 
     @property
     def mean_breach(self) -> float:
@@ -99,7 +120,10 @@ class BatchingObfuscationService:
     ----------
     system:
         The deployment handling each window's batch (its ``mode`` decides
-        independent vs. shared obfuscation).
+        independent vs. shared obfuscation).  Build it with a
+        :class:`~repro.service.serving.ServingStack` (``serving=``) to
+        serve windows through the preprocessing/result caches and the
+        concurrent dispatcher; the report then carries cache counters.
     window:
         Batching window length in seconds (> 0).  Window boundaries sit at
         multiples of ``window``; a request arriving at time ``a`` is
@@ -179,6 +203,12 @@ class BatchingObfuscationService:
             report.windows_processed += 1
             report.obfuscated_queries += len(system_report.records)
             report.server_settled_nodes += system_report.server_stats.settled_nodes
+            report.cached_queries += system_report.cached_queries
+        report.serving_caches = (
+            self.system.serving.snapshot()
+            if getattr(self.system, "serving", None) is not None
+            else None
+        )
         return results, report
 
 

@@ -1,0 +1,27 @@
+"""Shared latency-statistics helpers for the service layer.
+
+One quantile convention for every latency report —
+:class:`~repro.service.serving.ReplayReport` and
+:class:`~repro.service.simulator.ServiceReport` must agree on what
+"p95" means, so they both delegate here.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["percentile"]
+
+
+def percentile(ordered: Sequence[float], q: float) -> float:
+    """The ``q``-quantile of an ascending sequence (0 when empty).
+
+    Nearest-rank convention: the value at index ``ceil(q * n) - 1``,
+    clamped into range — no interpolation, so the result is always an
+    observed sample.
+    """
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1)
+    return ordered[max(index, 0)]

@@ -14,6 +14,12 @@ from repro.workloads.queries import (
     requests_from_queries,
     uniform_queries,
 )
+from repro.workloads.replay import (
+    WorkloadEntry,
+    read_workload,
+    synthesize_workload,
+    write_workload,
+)
 
 __all__ = [
     "uniform_queries",
@@ -22,4 +28,8 @@ __all__ = [
     "popularity_map",
     "popularity_weighted_queries",
     "requests_from_queries",
+    "WorkloadEntry",
+    "read_workload",
+    "write_workload",
+    "synthesize_workload",
 ]

@@ -1,0 +1,138 @@
+"""Workload files for ``repro serve-replay``.
+
+A workload file is the client-side traffic a serving stack is replayed
+against: one protected path query per line, in the plain-text idiom of
+:mod:`repro.network.io`:
+
+```
+# repro workload v1
+q <source> <destination> <f_s> <f_t>
+```
+
+``q`` lines carry the true endpoints plus the requested protection
+sizes.  :func:`read_workload` / :func:`write_workload` round-trip the
+format; :func:`synthesize_workload` generates one from the seeded query
+generators in :mod:`repro.workloads.queries`.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.query import ClientRequest, PathQuery, ProtectionSetting
+from repro.exceptions import ExperimentError
+from repro.network.graph import RoadNetwork
+
+__all__ = [
+    "WorkloadEntry",
+    "read_workload",
+    "write_workload",
+    "synthesize_workload",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadEntry:
+    """One protected path query of a replayable workload."""
+
+    query: PathQuery
+    setting: ProtectionSetting
+
+    def as_request(self, user: str) -> ClientRequest:
+        """Wrap the entry into a :class:`ClientRequest` for ``user``."""
+        return ClientRequest(user, self.query, self.setting)
+
+
+def write_workload(
+    entries: Sequence[WorkloadEntry], path: str | os.PathLike[str]
+) -> None:
+    """Write ``entries`` to ``path`` in the text format described above."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("# repro workload v1\n")
+        for entry in entries:
+            fh.write(
+                f"q {entry.query.source} {entry.query.destination} "
+                f"{entry.setting.f_s} {entry.setting.f_t}\n"
+            )
+
+
+def read_workload(path: str | os.PathLike[str]) -> list[WorkloadEntry]:
+    """Read a workload previously written by :func:`write_workload`.
+
+    Node ids are parsed as integers (the id type every generator in this
+    package produces).
+
+    Raises
+    ------
+    ExperimentError
+        On malformed lines or unknown record kinds.
+    """
+    entries: list[WorkloadEntry] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if fields[0] != "q" or len(fields) != 5:
+                raise ExperimentError(
+                    f"malformed workload line {line_no}: {line!r}"
+                )
+            try:
+                source, destination, f_s, f_t = (int(f) for f in fields[1:])
+            except ValueError as exc:
+                raise ExperimentError(
+                    f"malformed workload line {line_no}: {line!r}"
+                ) from exc
+            entries.append(
+                WorkloadEntry(
+                    query=PathQuery(source, destination),
+                    setting=ProtectionSetting(f_s, f_t),
+                )
+            )
+    return entries
+
+
+def synthesize_workload(
+    network: RoadNetwork,
+    count: int,
+    f_s: int = 3,
+    f_t: int = 3,
+    kind: str = "hotspot",
+    seed: int = 0,
+) -> list[WorkloadEntry]:
+    """Generate a seeded workload over ``network``.
+
+    Parameters
+    ----------
+    network:
+        Road network the endpoints are drawn from.
+    count:
+        Number of entries.
+    f_s, f_t:
+        Protection sizes applied to every entry.
+    kind:
+        ``"hotspot"`` (the paper's motivating mix; repeated popular
+        destinations make caches earn their keep) or ``"uniform"``.
+    seed:
+        Generator seed.
+
+    Raises
+    ------
+    ExperimentError
+        For an unknown ``kind``.
+    """
+    from repro.workloads.queries import hotspot_queries, uniform_queries
+
+    if kind == "hotspot":
+        queries = hotspot_queries(network, count, seed=seed)
+    elif kind == "uniform":
+        queries = uniform_queries(network, count, seed=seed)
+    else:
+        raise ExperimentError(
+            f"unknown workload kind {kind!r}; use 'hotspot' or 'uniform'"
+        )
+    setting = ProtectionSetting(f_s, f_t)
+    return [WorkloadEntry(query=q, setting=setting) for q in queries]

@@ -100,6 +100,68 @@ class TestProtect:
         assert "server saw S" in out
 
 
+class TestWorkload:
+    def test_writes_readable_workload(self, map_file, tmp_path, capsys):
+        out = str(tmp_path / "rush.txt")
+        assert main(["workload", map_file, "-o", out, "--count", "10"]) == 0
+        assert "wrote 10 hotspot queries" in capsys.readouterr().out
+        from repro.workloads.replay import read_workload
+
+        entries = read_workload(out)
+        assert len(entries) == 10
+        assert all(e.setting.f_s == 3 for e in entries)
+
+
+class TestServeReplay:
+    @pytest.fixture()
+    def workload_file(self, map_file, tmp_path):
+        out = str(tmp_path / "rush.txt")
+        assert main(
+            ["workload", map_file, "-o", out, "--count", "8", "--kind", "uniform"]
+        ) == 0
+        return out
+
+    def test_replay_reports_latency_and_hit_rates(
+        self, map_file, workload_file, capsys
+    ):
+        assert main(
+            [
+                "serve-replay", map_file, workload_file,
+                "--engine", "dijkstra", "--repeat", "3", "--batch", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "latency p50/p95/p99" in out
+        assert "result cache:        16 hits, 8 misses" in out
+        assert "hit rate 67%" in out
+
+    def test_replay_with_preprocessing_engine(
+        self, map_file, workload_file, capsys
+    ):
+        assert main(
+            ["serve-replay", map_file, workload_file, "--engine", "ch"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "preprocessing cache:" in out
+
+    def test_empty_workload_fails_cleanly(self, map_file, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("# repro workload v1\n")
+        assert main(["serve-replay", map_file, str(empty)]) == 1
+        assert "error: empty workload" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flag,value",
+        [("--batch", "0"), ("--repeat", "0"), ("--concurrency", "0"),
+         ("--result-capacity", "-1")],
+    )
+    def test_bad_flags_fail_cleanly(
+        self, map_file, workload_file, capsys, flag, value
+    ):
+        assert main(["serve-replay", map_file, workload_file, flag, value]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestExperiment:
     def test_runs_selected_experiment(self, capsys):
         assert main(["experiment", "e1"]) == 0
@@ -114,7 +176,15 @@ class TestParser:
     def test_parser_has_all_subcommands(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("generate", "summarize", "route", "protect", "experiment"):
+        for command in (
+            "generate",
+            "summarize",
+            "route",
+            "protect",
+            "workload",
+            "serve-replay",
+            "experiment",
+        ):
             assert command in text
 
     def test_module_entrypoint_importable(self):

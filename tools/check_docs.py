@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Docs gate: internal links, doctests, and public-docstring audit.
+
+Run from the repo root (CI's docs job does exactly this):
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Three checks, all stdlib-only:
+
+1. every relative markdown link in ``docs/*.md`` and ``README.md``
+   resolves to an existing file;
+2. ``doctest`` passes on the doctest-bearing modules;
+3. every public module/class/function/method in the documented modules
+   (the serving layer, the engine registry, the MSMD processors, the
+   workload replay format) has a docstring — the stdlib mirror of
+   ruff's D1 rules, so the gate also runs where ruff isn't installed.
+"""
+
+from __future__ import annotations
+
+import ast
+import doctest
+import importlib
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+MARKDOWN_FILES = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
+
+DOCTEST_MODULES = [
+    "repro",
+    "repro.service.cache",
+]
+
+DOCSTRING_AUDIT_FILES = [
+    "src/repro/search/__init__.py",
+    "src/repro/search/multi.py",
+    "src/repro/service/__init__.py",
+    "src/repro/service/cache.py",
+    "src/repro/service/serving.py",
+    "src/repro/service/simulator.py",
+    "src/repro/service/stats.py",
+    "src/repro/workloads/replay.py",
+]
+
+# Dunders where a docstring adds nothing over the data-model contract.
+_EXEMPT = {"__init__", "__repr__", "__str__", "__post_init__"}
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_links() -> list[str]:
+    """Return one error string per broken relative markdown link."""
+    errors = []
+    for md in MARKDOWN_FILES:
+        for target in _LINK.findall(md.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = (md.parent / target.split("#", 1)[0]).resolve()
+            if not path.exists():
+                errors.append(f"{md.relative_to(REPO)}: broken link -> {target}")
+    return errors
+
+
+def run_doctests() -> list[str]:
+    """Return one error string per failing doctest module."""
+    errors = []
+    for name in DOCTEST_MODULES:
+        module = importlib.import_module(name)
+        result = doctest.testmod(module)
+        if result.failed:
+            errors.append(
+                f"{name}: {result.failed}/{result.attempted} doctests failed"
+            )
+    return errors
+
+
+def _audit_node(node: ast.AST, where: str, errors: list[str]) -> None:
+    for child in ast.iter_child_nodes(node):
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            name = child.name
+            public = not name.startswith("_") or (
+                name.startswith("__") and name.endswith("__")
+                and name not in _EXEMPT
+            )
+            if public and ast.get_docstring(child) is None:
+                errors.append(f"{where}: missing docstring on {name!r}")
+            if isinstance(child, ast.ClassDef) and public:
+                _audit_node(child, f"{where}::{name}", errors)
+
+
+def audit_docstrings() -> list[str]:
+    """Return one error string per public symbol lacking a docstring."""
+    errors: list[str] = []
+    for rel in DOCSTRING_AUDIT_FILES:
+        path = REPO / rel
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        if ast.get_docstring(tree) is None:
+            errors.append(f"{rel}: missing module docstring")
+        _audit_node(tree, rel, errors)
+    return errors
+
+
+def main() -> int:
+    """Run all three checks; print a summary and return an exit code."""
+    failures = []
+    for label, check in (
+        ("links", check_links),
+        ("doctests", run_doctests),
+        ("docstrings", audit_docstrings),
+    ):
+        errors = check()
+        status = "ok" if not errors else f"{len(errors)} error(s)"
+        print(f"[check_docs] {label}: {status}")
+        for error in errors:
+            print(f"  - {error}")
+        failures.extend(errors)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
