@@ -1,13 +1,21 @@
 """Ablation bench: point-to-point engines the server could run.
 
-Times Dijkstra, A* (Euclidean), bidirectional Dijkstra, ALT and
-Contraction Hierarchies on the same long-radius queries — the engine
-choice underneath the naive pairwise processor, and a sanity anchor for
-every settled-node comparison in the experiment suite.  Preprocessing
-(ALT landmarks, CH contraction) is deliberately excluded from the timed
-query regions — it is a build-time cost — and reported separately by the
-dedicated preprocessing/speedup tests below, which cover a >= 10k-node
-grid and a hub-heavy scale-free network.
+Times Dijkstra, A* (Euclidean), bidirectional Dijkstra, ALT,
+Contraction Hierarchies and the flat CSR kernels on the same long-radius
+queries — the engine choice underneath the naive pairwise processor, and
+a sanity anchor for every settled-node comparison in the experiment
+suite.  Preprocessing (ALT landmarks, CH contraction, CSR snapshots) is
+deliberately excluded from the timed query regions — it is a build-time
+cost — and reported separately by the dedicated preprocessing/speedup
+tests below, which cover a >= 10k-node grid and a hub-heavy scale-free
+network.
+
+The ``test_csr_*`` speedup tests are the acceptance anchors of the CSR
+kernel port: >= 3x point queries for ``dijkstra-csr`` vs ``dijkstra``
+and >= 2x shared-tree MSMD batches on the 10k-node grid, identical
+distances required.  The CI perf gate (tools/bench_quick.py +
+tools/bench_gate.py) tracks the same ratios on a smaller grid on every
+push.
 """
 
 from __future__ import annotations
@@ -17,17 +25,28 @@ import time
 
 import pytest
 
+from repro.network.csr import csr_snapshot
 from repro.network.generators import grid_network, scale_free_network
 from repro.search.alt import LandmarkIndex, alt_path
 from repro.search.astar import astar_path
 from repro.search.bidirectional import bidirectional_dijkstra_path
 from repro.search.ch import ch_path, contract_network
 from repro.search.dijkstra import dijkstra_path
+from repro.search.kernels import (
+    CSRHierarchy,
+    CSRSharedTreeProcessor,
+    csr_bidirectional_path,
+    csr_ch_path,
+    csr_dijkstra_path,
+)
+from repro.search.multi import SharedTreeProcessor
 
 _NET = grid_network(50, 50, perturbation=0.1, seed=77)
 _NODES = list(_NET.nodes())
 _INDEX = LandmarkIndex(_NET, num_landmarks=6)
 _CH = contract_network(_NET)
+_CSR = csr_snapshot(_NET)
+_CSR_CH = CSRHierarchy(_CH)
 _PAIRS = [
     tuple(random.Random(seed).sample(_NODES, 2)) for seed in range(8)
 ]
@@ -69,6 +88,25 @@ def test_engine_alt(benchmark, reference_total):
 
 def test_engine_ch(benchmark, reference_total):
     total = benchmark(_run_all, lambda s, t: ch_path(_CH, s, t))
+    assert total == pytest.approx(reference_total)
+
+
+def test_engine_dijkstra_csr(benchmark, reference_total):
+    total = benchmark(
+        _run_all, lambda s, t: csr_dijkstra_path(_NET, s, t, csr=_CSR)
+    )
+    assert total == pytest.approx(reference_total)
+
+
+def test_engine_bidirectional_csr(benchmark, reference_total):
+    total = benchmark(
+        _run_all, lambda s, t: csr_bidirectional_path(_NET, s, t, csr=_CSR)
+    )
+    assert total == pytest.approx(reference_total)
+
+
+def test_engine_ch_csr(benchmark, reference_total):
+    total = benchmark(_run_all, lambda s, t: csr_ch_path(_CSR_CH, s, t))
     assert total == pytest.approx(reference_total)
 
 
@@ -133,3 +171,70 @@ def test_ch_speedup_scale_free():
     net = scale_free_network(2000, attachment=2, seed=3)
     t_dij, _t_alt, t_ch = _speedup_report("scale-free-2k", net, 30, seed=2)
     assert t_dij / t_ch >= 5.0
+
+
+def _best_of(fn, repeats=3):
+    """Best-of-N wall time for ratio stability on noisy CI machines."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_csr_point_speedup_grid_10k():
+    """Acceptance anchor: >= 3x point-query speedup for the CSR Dijkstra
+    kernel over dict-based Dijkstra on a >= 10k-node grid, identical
+    distances (snapshot build excluded: it is a one-time cost paid by
+    ``prepare``/the preprocessing cache, ~10ms for this grid)."""
+    net = grid_network(100, 100, perturbation=0.1, seed=7)
+    assert net.num_nodes >= 10_000
+    nodes = list(net.nodes())
+    rng = random.Random(1)
+    pairs = [tuple(rng.sample(nodes, 2)) for _ in range(20)]
+    csr = csr_snapshot(net)
+
+    t_dict, ref = _best_of(
+        lambda: [dijkstra_path(net, s, t).distance for s, t in pairs]
+    )
+    t_csr, got = _best_of(
+        lambda: [csr_dijkstra_path(net, s, t, csr=csr).distance for s, t in pairs]
+    )
+    assert ref == got  # identical float distances, not just approx
+    speedup = t_dict / t_csr
+    print(
+        f"\n[csr-point grid-100x100] dict={t_dict * 1000:.0f}ms "
+        f"csr={t_csr * 1000:.0f}ms speedup={speedup:.2f}x"
+    )
+    assert speedup >= 3.0
+
+
+def test_csr_msmd_speedup_grid_10k():
+    """Acceptance anchor: >= 2x MSMD (shared SSMD trees) speedup for the
+    CSR kernel on the 10k-node grid, identical distances and settled
+    counts."""
+    net = grid_network(100, 100, perturbation=0.1, seed=7)
+    nodes = list(net.nodes())
+    rng = random.Random(5)
+    sources = rng.sample(nodes, 4)
+    destinations = rng.sample(nodes, 4)
+    shared = SharedTreeProcessor()
+    csr_shared = CSRSharedTreeProcessor()
+    csr_shared.artifact_for(net)  # build the snapshot outside the timing
+
+    t_dict, ref = _best_of(lambda: shared.process(net, sources, destinations))
+    t_csr, got = _best_of(
+        lambda: csr_shared.process(net, sources, destinations)
+    )
+    assert set(got.paths) == set(ref.paths)
+    for pair, path in ref.paths.items():
+        assert got.paths[pair].distance == path.distance
+    assert got.stats.settled_nodes == ref.stats.settled_nodes
+    speedup = t_dict / t_csr
+    print(
+        f"\n[csr-msmd grid-100x100] dict={t_dict * 1000:.0f}ms "
+        f"csr={t_csr * 1000:.0f}ms speedup={speedup:.2f}x"
+    )
+    assert speedup >= 2.0

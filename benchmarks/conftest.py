@@ -12,6 +12,14 @@ with a single command:
 from __future__ import annotations
 
 import pathlib
+import sys
+
+# Make `pytest benchmarks/...` work from a plain checkout (no install,
+# no PYTHONPATH=src) by putting the src layout on the import path, the
+# same way the CI perf job and tools/bench_quick.py resolve the package.
+_SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
 import pytest
 

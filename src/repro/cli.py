@@ -5,6 +5,7 @@ Usage (also via ``python -m repro``):
     repro generate grid --width 20 --height 20 -o city.txt
     repro summarize city.txt
     repro route city.txt 21 352 --engine astar
+    repro route city.txt 21 352 --engine dijkstra-csr   # flat CSR kernel
     repro route city.txt 21 352 --avoid-highways
     repro protect city.txt 21 352 --f-s 3 --f-t 3
     repro workload city.txt -o rush.txt --count 40 --kind hotspot

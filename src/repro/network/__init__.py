@@ -8,6 +8,7 @@ algorithms account for disk I/O the way the paper's cost model assumes.
 """
 
 from repro.network.graph import RoadNetwork
+from repro.network.csr import CSRGraph, csr_snapshot
 from repro.network.generators import (
     grid_network,
     one_way_grid_network,
@@ -23,6 +24,8 @@ from repro.network.views import FilteredView, ReverseView, avoid_fast_roads
 
 __all__ = [
     "RoadNetwork",
+    "CSRGraph",
+    "csr_snapshot",
     "grid_network",
     "one_way_grid_network",
     "random_geometric_network",

@@ -49,6 +49,18 @@ from repro.search.ch import (
     ch_path,
     contract_network,
 )
+from repro.network.csr import CSRGraph, csr_snapshot
+from repro.search.kernels import (
+    CSRBidirectionalPairwiseProcessor,
+    CSRCHManyToManyProcessor,
+    CSRHierarchy,
+    CSRSharedTreeProcessor,
+    ch_csr_hierarchy,
+    csr_bidirectional_path,
+    csr_ch_path,
+    csr_dijkstra_path,
+    csr_dijkstra_to_many,
+)
 
 __all__ = [
     "PathResult",
@@ -75,6 +87,17 @@ __all__ = [
     "contract_network",
     "ch_path",
     "CHManyToManyProcessor",
+    "CSRGraph",
+    "csr_snapshot",
+    "CSRHierarchy",
+    "ch_csr_hierarchy",
+    "csr_dijkstra_path",
+    "csr_dijkstra_to_many",
+    "csr_bidirectional_path",
+    "csr_ch_path",
+    "CSRSharedTreeProcessor",
+    "CSRBidirectionalPairwiseProcessor",
+    "CSRCHManyToManyProcessor",
     "SearchEngine",
     "ENGINES",
     "get_engine",
@@ -141,6 +164,22 @@ def _route_ch(network, source, destination, context=None, stats=None):
     return ch_path(context, source, destination, stats=stats)
 
 
+def _route_dijkstra_csr(network, source, destination, context=None, stats=None):
+    return csr_dijkstra_path(network, source, destination, csr=context, stats=stats)
+
+
+def _route_bidirectional_csr(network, source, destination, context=None, stats=None):
+    return csr_bidirectional_path(
+        network, source, destination, csr=context, stats=stats
+    )
+
+
+def _route_ch_csr(network, source, destination, context=None, stats=None):
+    if context is None:
+        context = ch_csr_hierarchy(network)
+    return csr_ch_path(context, source, destination, stats=stats)
+
+
 #: every registered engine, keyed by name
 ENGINES: dict[str, SearchEngine] = {
     engine.name: engine
@@ -182,6 +221,33 @@ ENGINES: dict[str, SearchEngine] = {
             prepare=contract_network,
             route=_route_ch,
             make_processor=CHManyToManyProcessor,
+        ),
+        SearchEngine(
+            name="dijkstra-csr",
+            description=(
+                "Dijkstra on the flat CSR kernel "
+                "(shared CSR SSMD trees for batches)"
+            ),
+            prepare=csr_snapshot,
+            route=_route_dijkstra_csr,
+            make_processor=CSRSharedTreeProcessor,
+        ),
+        SearchEngine(
+            name="bidirectional-csr",
+            description="bidirectional Dijkstra on the flat CSR kernel, per pair",
+            prepare=csr_snapshot,
+            route=_route_bidirectional_csr,
+            make_processor=CSRBidirectionalPairwiseProcessor,
+        ),
+        SearchEngine(
+            name="ch-csr",
+            description=(
+                "Contraction Hierarchies on flat CSR arrays "
+                "(preprocessed, batch buckets)"
+            ),
+            prepare=ch_csr_hierarchy,
+            route=_route_ch_csr,
+            make_processor=CSRCHManyToManyProcessor,
         ),
     )
 }

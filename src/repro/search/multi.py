@@ -261,6 +261,12 @@ _PROCESSORS: dict[str, type[MultiSourceMultiDestProcessor]] = {
 _LAZY_PROCESSORS: dict[str, tuple[str, str]] = {
     "ch": ("repro.search.ch.manytomany", "CHManyToManyProcessor"),
     "alt": ("repro.search.alt", "ALTPairwiseProcessor"),
+    "dijkstra-csr": ("repro.search.kernels", "CSRSharedTreeProcessor"),
+    "bidirectional-csr": (
+        "repro.search.kernels",
+        "CSRBidirectionalPairwiseProcessor",
+    ),
+    "ch-csr": ("repro.search.kernels", "CSRCHManyToManyProcessor"),
 }
 
 

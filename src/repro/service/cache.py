@@ -269,8 +269,8 @@ class PreprocessingCache:
             )
 
     # ------------------------------------------------------------------
-    # Disk spill (contracted graphs only — the one artifact with a
-    # serialization format; see repro.search.ch.persist)
+    # Disk spill (contracted graphs — directly for "ch", via the wrapped
+    # graph for "ch-csr" flat hierarchies; see repro.search.ch.persist)
     # ------------------------------------------------------------------
     def _spill_path(self, key: tuple[str, str]) -> Path | None:
         if self._spill_dir is None:
@@ -281,9 +281,16 @@ class PreprocessingCache:
     def _spill(self, key: tuple[str, str], artifact: object) -> None:
         from repro.search.ch import ContractedGraph
         from repro.search.ch.persist import write_contracted
+        from repro.search.kernels import CSRHierarchy
 
         path = self._spill_path(key)
-        if path is None or not isinstance(artifact, ContractedGraph):
+        if path is None:
+            return
+        if isinstance(artifact, CSRHierarchy):
+            # The flat arrays are a cheap derivative; persist the wrapped
+            # contracted graph and re-flatten on reload.
+            artifact = artifact.contracted
+        if not isinstance(artifact, ContractedGraph):
             return
         if path.exists():  # an earlier eviction already persisted it
             return
@@ -296,7 +303,12 @@ class PreprocessingCache:
         path = self._spill_path(key)
         if path is None or not path.exists():
             return None
-        return read_contracted(path)
+        graph = read_contracted(path)
+        if key[1] == "ch-csr":
+            from repro.search.kernels import CSRHierarchy
+
+            return CSRHierarchy(graph)
+        return graph
 
 
 class ResultCache:

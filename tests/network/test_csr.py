@@ -1,0 +1,156 @@
+"""Unit tests for the flat CSR snapshot (`repro.network.csr`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import UnknownNodeError
+from repro.network.csr import CSRGraph, csr_snapshot
+from repro.network.generators import grid_network, one_way_grid_network
+from repro.network.graph import RoadNetwork
+from repro.service.cache import network_fingerprint
+
+
+def _disconnected_network(directed: bool = False) -> RoadNetwork:
+    net = RoadNetwork(directed=directed)
+    for i in range(6):
+        net.add_node(i, float(i), float(i % 2))
+    net.add_edge(0, 1, 1.0)
+    net.add_edge(1, 2, 2.0)
+    net.add_edge(3, 4, 0.5)
+    # node 5 is fully isolated
+    return net
+
+
+class TestConstruction:
+    def test_shape_matches_network(self, small_grid):
+        csr = CSRGraph.from_network(small_grid)
+        assert csr.num_nodes == small_grid.num_nodes
+        # Undirected adjacency stores both arc directions.
+        assert csr.num_arcs == 2 * small_grid.num_edges
+        assert len(csr.offsets) == csr.num_nodes + 1
+        assert csr.offsets[0] == 0 and csr.offsets[-1] == csr.num_arcs
+
+    def test_offsets_monotone(self, small_grid):
+        csr = CSRGraph.from_network(small_grid)
+        offsets = list(csr.offsets)
+        assert offsets == sorted(offsets)
+
+    def test_adjacency_matches_neighbors(self, small_grid):
+        csr = CSRGraph.from_network(small_grid)
+        for node in small_grid.nodes():
+            i = csr.index(node)
+            got = {csr.node_ids[j]: w for j, w in csr.arcs_from(i)}
+            assert got == small_grid.neighbors(node)
+            assert csr.degree(i) == small_grid.degree(node)
+
+    def test_positions_preserved(self, small_grid):
+        csr = CSRGraph.from_network(small_grid)
+        for node in small_grid.nodes():
+            i = csr.index(node)
+            p = small_grid.position(node)
+            assert (csr.xs[i], csr.ys[i]) == (p.x, p.y)
+
+    def test_empty_network(self):
+        csr = CSRGraph.from_network(RoadNetwork())
+        assert csr.num_nodes == 0 and csr.num_arcs == 0
+        assert list(csr.offsets) == [0]
+        assert csr.to_network().num_nodes == 0
+
+    def test_unknown_node_raises(self, small_grid):
+        csr = CSRGraph.from_network(small_grid)
+        with pytest.raises(UnknownNodeError):
+            csr.index("nope")
+        assert "nope" not in csr
+        assert 0 in csr
+
+
+class TestReverseView:
+    def test_undirected_reverse_aliases_forward(self, small_grid):
+        csr = CSRGraph.from_network(small_grid)
+        assert csr.rtargets is csr.targets
+        assert csr.rweights is csr.weights
+        assert csr.reverse_kernel_view() is csr.kernel_view()
+
+    def test_directed_reverse_transposes(self):
+        net = one_way_grid_network(5, 5, seed=3)
+        csr = CSRGraph.from_network(net)
+        assert csr.directed
+        forward = {
+            (u, csr.targets[e], csr.weights[e])
+            for u in range(csr.num_nodes)
+            for e in range(csr.offsets[u], csr.offsets[u + 1])
+        }
+        backward = {
+            (csr.rtargets[e], v, csr.rweights[e])
+            for v in range(csr.num_nodes)
+            for e in range(csr.roffsets[v], csr.roffsets[v + 1])
+        }
+        assert forward == backward
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_disconnected_round_trip(self, directed):
+        net = _disconnected_network(directed)
+        rebuilt = csr_snapshot(net).to_network()
+        assert network_fingerprint(rebuilt) == network_fingerprint(net)
+
+    def test_grid_round_trip(self, small_grid):
+        rebuilt = csr_snapshot(small_grid).to_network()
+        assert network_fingerprint(rebuilt) == network_fingerprint(small_grid)
+        assert rebuilt.num_edges == small_grid.num_edges
+
+    def test_directed_grid_round_trip(self):
+        net = one_way_grid_network(6, 6, seed=1)
+        rebuilt = csr_snapshot(net).to_network()
+        assert rebuilt.directed
+        assert network_fingerprint(rebuilt) == network_fingerprint(net)
+
+
+class TestSnapshotMemo:
+    def test_same_version_reuses_snapshot(self, small_grid):
+        assert csr_snapshot(small_grid) is csr_snapshot(small_grid)
+
+    def test_mutation_invalidates(self):
+        net = grid_network(4, 4, perturbation=0.1, seed=2)
+        before = csr_snapshot(net)
+        net.add_node(99, 0.5, 0.5)
+        after = csr_snapshot(net)
+        assert after is not before
+        assert after.num_nodes == before.num_nodes + 1
+        # The new snapshot is the memoized one now.
+        assert csr_snapshot(net) is after
+
+    def test_versionless_views_rebuild_per_call(self, small_grid):
+        class Bare:
+            """Minimal read interface without a version stamp."""
+
+            directed = False
+
+            def nodes(self):
+                return small_grid.nodes()
+
+            def neighbors(self, node):
+                return small_grid.neighbors(node)
+
+            def position(self, node):
+                return small_grid.position(node)
+
+        view = Bare()
+        assert csr_snapshot(view) is not csr_snapshot(view)
+
+
+class TestNumpyView:
+    def test_zero_copy_views(self, small_grid):
+        np = pytest.importorskip("numpy")
+        csr = csr_snapshot(small_grid)
+        views = csr.as_numpy()
+        assert views["targets"].shape == (csr.num_arcs,)
+        assert views["offsets"][-1] == csr.num_arcs
+        assert float(views["weights"].sum()) == pytest.approx(
+            sum(csr.weights)
+        )
+        assert np.shares_memory(
+            views["weights"], np.frombuffer(csr.weights)
+        )

@@ -1,0 +1,146 @@
+"""Property-based tests: CSR kernels vs. the dict-based oracles.
+
+Strategy mirrors ``test_property_ch.py``: random weighted networks —
+directed or undirected, connected or not — snapshotted/contracted once,
+then every sampled query must agree with the dict-based engine,
+including on unreachable pairs.  This is the flat-kernel port's main
+correctness net: snapshot construction, reverse-CSR transposition,
+generation-stamped scratch reuse and index/id mapping all conspire in
+one observable (the returned path).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NoPathError
+from repro.network.csr import csr_snapshot
+from repro.network.graph import RoadNetwork
+from repro.search.dijkstra import dijkstra_path
+from repro.search.kernels import (
+    ch_csr_hierarchy,
+    csr_bidirectional_path,
+    csr_ch_path,
+    csr_dijkstra_path,
+)
+from repro.search.multi import NaivePairwiseProcessor, get_processor
+
+
+@st.composite
+def arbitrary_networks(draw, min_nodes=2, max_nodes=24):
+    """A random weighted network — possibly directed, possibly disconnected."""
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    directed = draw(st.booleans())
+    density = draw(st.floats(min_value=0.3, max_value=3.0))
+    rng = random.Random(seed)
+    net = RoadNetwork(directed=directed)
+    for node in range(n):
+        net.add_node(node, rng.uniform(0, 10), rng.uniform(0, 10))
+    num_edges = int(density * n)
+    for _ in range(num_edges):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not net.has_edge(u, v):
+            net.add_edge(u, v, rng.uniform(0.1, 5.0))
+    return net
+
+
+@given(arbitrary_networks(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_csr_kernels_match_dijkstra_including_unreachable(net, data):
+    csr = csr_snapshot(net)
+    hierarchy = ch_csr_hierarchy(net)
+    nodes = list(net.nodes())
+    for _ in range(5):
+        s = data.draw(st.sampled_from(nodes))
+        t = data.draw(st.sampled_from(nodes))
+        kernels = (
+            lambda: csr_dijkstra_path(net, s, t, csr=csr),
+            lambda: csr_bidirectional_path(net, s, t, csr=csr),
+            lambda: csr_ch_path(hierarchy, s, t),
+        )
+        try:
+            ref = dijkstra_path(net, s, t)
+        except NoPathError:
+            for kernel in kernels:
+                try:
+                    found = kernel()
+                except NoPathError:
+                    continue
+                raise AssertionError(
+                    f"kernel found a path {found.nodes} where Dijkstra "
+                    f"found none"
+                )
+            continue
+        for kernel in kernels:
+            assert abs(kernel().distance - ref.distance) < 1e-9
+
+
+@given(arbitrary_networks(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_csr_paths_are_walkable(net, data):
+    csr = csr_snapshot(net)
+    nodes = list(net.nodes())
+    s = data.draw(st.sampled_from(nodes))
+    t = data.draw(st.sampled_from(nodes))
+    try:
+        path = csr_dijkstra_path(net, s, t, csr=csr)
+    except NoPathError:
+        return
+    assert path.nodes[0] == s and path.nodes[-1] == t
+    total = 0.0
+    for u, v in path.edges():
+        assert net.has_edge(u, v)
+        total += net.edge_weight(u, v)
+    assert abs(total - path.distance) < 1e-9
+
+
+@given(arbitrary_networks(min_nodes=4), st.data())
+@settings(max_examples=30, deadline=None)
+def test_csr_processors_match_naive(net, data):
+    nodes = list(net.nodes())
+    sources = data.draw(
+        st.lists(st.sampled_from(nodes), min_size=1, max_size=3, unique=True)
+    )
+    destinations = data.draw(
+        st.lists(st.sampled_from(nodes), min_size=1, max_size=3, unique=True)
+    )
+    naive = NaivePairwiseProcessor()
+    for name in ("dijkstra-csr", "ch-csr"):
+        processor = get_processor(name)
+        try:
+            ref = naive.process(net, sources, destinations)
+        except NoPathError:
+            try:
+                processor.process(net, sources, destinations)
+            except NoPathError:
+                continue
+            raise AssertionError(
+                f"{name} answered a query with an unreachable pair"
+            )
+        got = processor.process(net, sources, destinations)
+        assert set(got.paths) == set(ref.paths)
+        for pair, ref_path in ref.paths.items():
+            assert abs(got.paths[pair].distance - ref_path.distance) < 1e-9
+
+
+@given(arbitrary_networks(), st.data())
+@settings(max_examples=25, deadline=None)
+def test_round_trip_preserves_kernel_distances(net, data):
+    """`CSRGraph.to_network` round trip answers queries identically."""
+    rebuilt = csr_snapshot(net).to_network()
+    nodes = list(net.nodes())
+    s = data.draw(st.sampled_from(nodes))
+    t = data.draw(st.sampled_from(nodes))
+    try:
+        original = dijkstra_path(net, s, t).distance
+    except NoPathError:
+        try:
+            dijkstra_path(rebuilt, s, t)
+        except NoPathError:
+            return
+        raise AssertionError("round trip changed reachability")
+    assert dijkstra_path(rebuilt, s, t).distance == original

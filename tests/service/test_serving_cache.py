@@ -99,6 +99,28 @@ class TestPreprocessingCache:
         assert reloaded.num_nodes == built.num_nodes
         assert reloaded.num_shortcuts == built.num_shortcuts
 
+    def test_disk_spill_round_trip_ch_csr(self, tmp_path):
+        from repro.search.kernels import CSRHierarchy, csr_ch_path
+
+        net_a = grid_network(4, 4, perturbation=0.1, seed=1)
+        net_b = grid_network(5, 5, perturbation=0.1, seed=2)
+        cache = PreprocessingCache(capacity=1, spill_dir=tmp_path)
+        built = cache.get(net_a, "ch-csr")
+        assert isinstance(built, CSRHierarchy)
+        cache.get(net_b, "ch-csr")  # evicts net_a; spills the wrapped graph
+        assert cache.evictions == 1
+        assert list(tmp_path.glob("*-ch-csr.ch")), "hierarchy was not spilled"
+        reloaded = cache.get(net_a, "ch-csr")
+        assert cache.disk_loads == 1
+        assert isinstance(reloaded, CSRHierarchy)
+        assert reloaded.num_nodes == built.num_nodes
+        # The reloaded hierarchy answers queries identically.
+        nodes = list(net_a.nodes())
+        for s, t in [(nodes[0], nodes[-1]), (nodes[3], nodes[7])]:
+            assert csr_ch_path(reloaded, s, t).distance == pytest.approx(
+                csr_ch_path(built, s, t).distance
+            )
+
     def test_invalidate(self, small_grid):
         cache = PreprocessingCache(capacity=2)
         cache.get(small_grid, "ch")

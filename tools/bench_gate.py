@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: compare a bench run against the baseline.
+
+Reads two JSON documents produced by ``tools/bench_quick.py`` — the
+fresh ``BENCH_PR.json`` and the committed ``benchmarks/baseline.json``
+— and fails (exit code 1) when any tracked metric regressed by more
+than the tolerance (default 25%):
+
+* ``direction: higher`` metrics (speedup ratios) regress when
+  ``value < baseline * (1 - tolerance)``;
+* ``direction: lower`` metrics (settled-node counters) regress when
+  ``value > baseline * (1 + tolerance)``.
+
+Metrics present in the run but absent from the baseline are reported as
+``new`` and never gated (commit a refreshed baseline to start tracking
+them); metrics present only in the baseline fail the gate — a silently
+dropped metric is how perf coverage rots.  Usage::
+
+    python tools/bench_quick.py -o BENCH_PR.json
+    python tools/bench_gate.py BENCH_PR.json benchmarks/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def _load(path: str) -> dict:
+    doc = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    if doc.get("schema") != 1 or "metrics" not in doc:
+        raise SystemExit(f"{path}: not a bench_quick schema-1 document")
+    return doc
+
+
+def compare(run: dict, baseline: dict, tolerance: float) -> tuple[list[str], list[str]]:
+    """Compare two bench documents; returns ``(report_lines, failures)``."""
+    lines: list[str] = []
+    failures: list[str] = []
+    run_metrics = run["metrics"]
+    base_metrics = baseline["metrics"]
+    if run.get("mode") != baseline.get("mode"):
+        failures.append(
+            f"mode mismatch: run={run.get('mode')!r} "
+            f"baseline={baseline.get('mode')!r} (not comparable)"
+        )
+    for name, base in sorted(base_metrics.items()):
+        got = run_metrics.get(name)
+        if got is None:
+            failures.append(f"{name}: tracked metric missing from the run")
+            continue
+        value, ref = got["value"], base["value"]
+        direction = base.get("direction", "lower")
+        if direction == "higher":
+            bound = ref * (1.0 - tolerance)
+            ok = value >= bound
+            verdict = f">= {bound:.3f}"
+        else:
+            bound = ref * (1.0 + tolerance)
+            ok = value <= bound
+            verdict = f"<= {bound:.3f}"
+        status = "ok " if ok else "REGRESSION"
+        lines.append(
+            f"  {status:10s} {name:32s} value={value:<10} "
+            f"baseline={ref:<10} gate {verdict}"
+        )
+        if not ok:
+            failures.append(
+                f"{name}: {value} vs baseline {ref} "
+                f"(allowed {verdict}, {direction} is better)"
+            )
+    for name in sorted(set(run_metrics) - set(base_metrics)):
+        lines.append(
+            f"  new        {name:32s} value={run_metrics[name]['value']} "
+            f"(not gated; refresh the baseline to track)"
+        )
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("run", help="fresh BENCH_PR.json from bench_quick")
+    parser.add_argument("baseline", help="committed benchmarks/baseline.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression per metric (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    run = _load(args.run)
+    baseline = _load(args.baseline)
+    lines, failures = compare(run, baseline, args.tolerance)
+    print(
+        f"[bench-gate] {args.run} (grid {run.get('grid')}) vs "
+        f"{args.baseline}, tolerance {args.tolerance:.0%}"
+    )
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"[bench-gate] FAILED: {len(failures)} regression(s)")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("[bench-gate] OK: no tracked metric regressed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

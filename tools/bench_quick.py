@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Quick-mode benchmark runner for the CI perf gate.
+
+Measures a small tracked-metric suite in a few seconds and writes it as
+``BENCH_PR.json``; ``tools/bench_gate.py`` then compares that file
+against the committed ``benchmarks/baseline.json`` and fails the build
+on a >25% regression.  Two metric kinds are tracked:
+
+* **counters** (``settled_*``) — deterministic algorithmic work, exact
+  on every machine; any change is a real behavior change;
+* **ratios** (``speedup_*``) — same-machine wall-clock ratios (best-of-N
+  on both sides), which transfer across hardware far better than
+  absolute times.
+
+Absolute wall-clock values are recorded for humans under ``info`` but
+never gated.  Usage::
+
+    python tools/bench_quick.py -o BENCH_PR.json          # quick mode
+    python tools/bench_quick.py --full -o BENCH_FULL.json # 10k-node grid
+
+Refreshing the committed baseline after an intentional perf change::
+
+    python tools/bench_quick.py -o benchmarks/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import random
+import sys
+import time
+
+_SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.network.csr import csr_snapshot  # noqa: E402
+from repro.network.generators import grid_network  # noqa: E402
+from repro.search.ch import contract_network  # noqa: E402
+from repro.search.ch.manytomany import ch_many_to_many  # noqa: E402
+from repro.search.dijkstra import dijkstra_path  # noqa: E402
+from repro.search.kernels import (  # noqa: E402
+    CSRHierarchy,
+    CSRSharedTreeProcessor,
+    csr_ch_many_to_many,
+    csr_dijkstra_path,
+)
+from repro.search.multi import SharedTreeProcessor  # noqa: E402
+from repro.search.result import SearchStats  # noqa: E402
+
+
+def _best_of(fn, repeats: int):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_suite(full: bool = False, repeats: int = 3) -> dict:
+    """Run the tracked-metric suite; returns the BENCH json document."""
+    side = 100 if full else 40
+    num_pairs = 20 if full else 12
+    net = grid_network(side, side, perturbation=0.1, seed=7)
+    nodes = list(net.nodes())
+    rng = random.Random(1)
+    pairs = [tuple(rng.sample(nodes, 2)) for _ in range(num_pairs)]
+
+    t0 = time.perf_counter()
+    csr = csr_snapshot(net)
+    t_snapshot = time.perf_counter() - t0
+
+    # Point queries: dict Dijkstra vs the CSR kernel.
+    t_dict, ref = _best_of(
+        lambda: [dijkstra_path(net, s, t).distance for s, t in pairs], repeats
+    )
+    t_csr, got = _best_of(
+        lambda: [csr_dijkstra_path(net, s, t, csr=csr).distance for s, t in pairs],
+        repeats,
+    )
+    if ref != got:
+        raise SystemExit("FATAL: dijkstra-csr distances diverge from dijkstra")
+
+    # Deterministic algorithmic-work counter for the same workload.
+    stats = SearchStats()
+    for s, t in pairs:
+        csr_dijkstra_path(net, s, t, csr=csr, stats=stats)
+    settled_point = stats.settled_nodes
+
+    # MSMD: the paper's shared SSMD trees, dict vs CSR.
+    rng2 = random.Random(5)
+    sources = rng2.sample(nodes, 4)
+    destinations = rng2.sample(nodes, 4)
+    shared = SharedTreeProcessor()
+    csr_shared = CSRSharedTreeProcessor()
+    csr_shared.artifact_for(net)
+    t_msmd_dict, ref_msmd = _best_of(
+        lambda: shared.process(net, sources, destinations), repeats
+    )
+    t_msmd_csr, got_msmd = _best_of(
+        lambda: csr_shared.process(net, sources, destinations), repeats
+    )
+    for pair, path in ref_msmd.paths.items():
+        if got_msmd.paths[pair].distance != path.distance:
+            raise SystemExit("FATAL: CSR MSMD distances diverge from shared trees")
+
+    # CH many-to-many: dict buckets vs CSR buckets (one shared contraction).
+    contracted = contract_network(net)
+    hierarchy = CSRHierarchy(contracted)
+    t_m2m_dict, _ = _best_of(
+        lambda: ch_many_to_many(contracted, sources, destinations), repeats
+    )
+    t_m2m_csr, _ = _best_of(
+        lambda: csr_ch_many_to_many(hierarchy, sources, destinations), repeats
+    )
+    ch_stats = SearchStats()
+    csr_ch_many_to_many(hierarchy, sources, destinations, stats=ch_stats)
+
+    metrics = {
+        "speedup_point_dijkstra_csr": {
+            "value": round(t_dict / t_csr, 3),
+            "direction": "higher",
+            "desc": "point-query wall ratio, dijkstra vs dijkstra-csr",
+        },
+        "speedup_msmd_shared_csr": {
+            "value": round(t_msmd_dict / t_msmd_csr, 3),
+            "direction": "higher",
+            "desc": "shared-SSMD-tree wall ratio, dict vs CSR kernel",
+        },
+        "settled_point_dijkstra_csr": {
+            "value": settled_point,
+            "direction": "lower",
+            "desc": "nodes settled by dijkstra-csr over the point workload",
+        },
+        "settled_msmd_shared_csr": {
+            "value": got_msmd.stats.settled_nodes,
+            "direction": "lower",
+            "desc": "nodes settled by the CSR shared trees (MSMD workload)",
+        },
+        "settled_m2m_ch_csr": {
+            "value": ch_stats.settled_nodes,
+            "direction": "lower",
+            "desc": "nodes settled by the CSR CH buckets (MSMD workload)",
+        },
+    }
+    return {
+        "schema": 1,
+        "mode": "full" if full else "quick",
+        "grid": f"{side}x{side}",
+        "metrics": metrics,
+        "info": {
+            "python": platform.python_version(),
+            "csr_snapshot_ms": round(t_snapshot * 1000, 2),
+            "point_dict_ms": round(t_dict * 1000, 2),
+            "point_csr_ms": round(t_csr * 1000, 2),
+            "msmd_dict_ms": round(t_msmd_dict * 1000, 2),
+            "msmd_csr_ms": round(t_msmd_csr * 1000, 2),
+            # CH m2m finishes in ~10ms on the quick grid, so its wall
+            # ratio is too noisy to gate — recorded for humans only.
+            "m2m_ch_dict_ms": round(t_m2m_dict * 1000, 2),
+            "m2m_ch_csr_ms": round(t_m2m_csr * 1000, 2),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output", default="BENCH_PR.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="10k-node grid instead of the quick 1.6k-node one",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    args = parser.parse_args(argv)
+    doc = run_suite(full=args.full, repeats=args.repeats)
+    path = pathlib.Path(args.output)
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    print(f"[bench-quick] mode={doc['mode']} grid={doc['grid']} -> {path}")
+    for name, m in doc["metrics"].items():
+        print(f"  {name:32s} {m['value']:>10}  ({m['direction']} is better)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

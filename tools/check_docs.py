@@ -35,7 +35,9 @@ DOCTEST_MODULES = [
 ]
 
 DOCSTRING_AUDIT_FILES = [
+    "src/repro/network/csr.py",
     "src/repro/search/__init__.py",
+    "src/repro/search/kernels.py",
     "src/repro/search/multi.py",
     "src/repro/service/__init__.py",
     "src/repro/service/cache.py",
