@@ -21,7 +21,10 @@ def test_e10_table(benchmark, record_result):
     breaches = result.column("mean_breach")
     assert latencies == sorted(latencies)
     assert breaches == sorted(breaches, reverse=True)
-    assert result.rows[-1]["settled_nodes"] <= result.rows[0]["settled_nodes"]
+    assert result.rows[-1]["settled_cold"] <= result.rows[0]["settled_cold"]
+    for row in result.rows:
+        # Coalescing the window's sessions never exceeds solo dispatch.
+        assert row["settled_coalesced"] <= row["settled_solo"]
 
 
 def test_e10_service_run_time(benchmark):

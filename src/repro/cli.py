@@ -10,6 +10,7 @@ Usage (also via ``python -m repro``):
     repro protect city.txt 21 352 --f-s 3 --f-t 3
     repro workload city.txt -o rush.txt --count 40 --kind hotspot
     repro serve-replay city.txt rush.txt --engine ch --repeat 3
+    repro serve-replay city.txt rush.txt --engine ch-csr --coalesce-window 8
     repro experiment E1 E4
 """
 
@@ -149,6 +150,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for evicted preprocessing artifacts (CH graphs)",
     )
+    serve.add_argument(
+        "--coalesce-window",
+        type=int,
+        default=0,
+        help=(
+            "coalesce up to N concurrent queries into one shared union "
+            "kernel pass (0 disables coalescing)"
+        ),
+    )
+    serve.add_argument(
+        "--coalesce-wait-ms",
+        type=float,
+        default=2.0,
+        help="max milliseconds a query waits for window-mates",
+    )
     serve.add_argument("--seed", type=int, default=0)
 
     exp = sub.add_parser("experiment", help="run experiments (E1..E12)")
@@ -250,7 +266,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
 def _cmd_serve_replay(args: argparse.Namespace) -> int:
     from repro.core.obfuscator import PathQueryObfuscator
     from repro.service.cache import ResultCache
-    from repro.service.serving import ServingStack, replay
+    from repro.service.serving import CoalesceConfig, ServingStack, replay
     from repro.workloads.replay import read_workload
 
     if args.repeat < 1 or args.batch < 1 or args.concurrency < 1:
@@ -261,6 +277,12 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         return 1
     if args.result_capacity < 0:
         print("error: --result-capacity must be >= 0", file=sys.stderr)
+        return 1
+    if args.coalesce_window < 0 or args.coalesce_wait_ms < 0:
+        print(
+            "error: --coalesce-window and --coalesce-wait-ms must be >= 0",
+            file=sys.stderr,
+        )
         return 1
     net = read_network(args.network)
     entries = read_workload(args.workload)
@@ -275,16 +297,26 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     records = obfuscator.obfuscate_batch(requests, mode=args.mode)
     queries = [record.query for record in records]
 
+    coalesce = (
+        CoalesceConfig(
+            max_batch=args.coalesce_window,
+            max_wait_s=args.coalesce_wait_ms / 1000.0,
+        )
+        if args.coalesce_window
+        else None
+    )
     with ServingStack(
         net,
         engine=args.engine,
         result_cache=ResultCache(capacity=args.result_capacity),
         max_workers=args.concurrency,
         spill_dir=args.spill_dir,
+        coalesce=coalesce,
     ) as stack:
         report = replay(
             stack, queries, repeats=args.repeat, batch_size=args.batch
         )
+        coalescing = stack.coalesce_snapshot()
     cache = report.cache
     print(
         f"replayed {report.queries} obfuscated queries "
@@ -307,6 +339,15 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         f"{cache.preprocessing_disk_loads} disk loads "
         f"(hit rate {cache.preprocessing_hit_rate:.0%})"
     )
+    if coalescing is not None:
+        print(
+            f"coalescing:          {coalescing.windows} windows "
+            f"(mean batch {coalescing.mean_window:.1f}, "
+            f"max {coalescing.max_window}), "
+            f"{coalescing.coalesced_queries} queries shared "
+            f"{coalescing.shared_windows} union passes "
+            f"({coalescing.union_pairs} union pairs)"
+        )
     return 0
 
 

@@ -48,11 +48,19 @@ class ServerResponse:
         fresh search work (result-cache hit, or a duplicate query in
         the same batch); ``candidates.stats`` then describes the
         *original* computation, not work done for this response.
+    coalesced:
+        ``True`` when the table was sliced out of a shared union kernel
+        pass that merged >= 2 concurrent queries
+        (:class:`~repro.service.serving.QueryCoalescer`).  The pass's
+        total search work is attributed to the first sliced table, so
+        the other coalesced responses carry zero stats and counters
+        never double-count shared work.
     """
 
     query: ObfuscatedPathQuery
     candidates: MSMDResult
     from_cache: bool = False
+    coalesced: bool = False
 
     @property
     def num_paths(self) -> int:
@@ -62,10 +70,16 @@ class ServerResponse:
 
 @dataclass(slots=True)
 class ServerCounters:
-    """Cumulative server-side load counters."""
+    """Cumulative server-side load counters.
+
+    ``coalesced_queries`` counts responses sliced from shared union
+    kernel passes (queries that were answered together with concurrent
+    queries of other sessions instead of paying their own pass).
+    """
 
     queries_served: int = 0
     paths_returned: int = 0
+    coalesced_queries: int = 0
     stats: SearchStats = field(default_factory=SearchStats)
 
 
@@ -164,6 +178,8 @@ class DirectionsServer:
     def _account(self, response: ServerResponse) -> None:
         self.counters.queries_served += 1
         self.counters.paths_returned += response.num_paths
+        if response.coalesced:
+            self.counters.coalesced_queries += 1
         if not response.from_cache:
             self.counters.stats.merge(response.candidates.stats)
 

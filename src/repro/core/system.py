@@ -53,6 +53,13 @@ class SessionReport:
     cached_queries:
         Obfuscated queries of this batch answered from the serving
         layer's result cache (0 without a serving stack).
+    coalesced_queries:
+        Obfuscated queries of this batch answered by a shared union
+        kernel pass merged with concurrent queries
+        (:class:`~repro.service.serving.QueryCoalescer`; 0 without a
+        coalescing serving stack).  ``server_stats`` still totals the
+        work exactly once: a shared pass's cost rides on its first
+        sliced response.
     serving_caches:
         Cumulative :class:`~repro.service.cache.CacheSnapshot` of the
         serving stack's hit/miss/eviction counters, or ``None`` when the
@@ -67,6 +74,7 @@ class SessionReport:
     discarded_paths: int = 0
     candidate_results: list[PathResult] = field(default_factory=list)
     cached_queries: int = 0
+    coalesced_queries: int = 0
     serving_caches: object | None = None
 
     @property
@@ -220,6 +228,8 @@ class OpaqueSystem:
                 report.cached_queries += 1
             else:
                 report.server_stats.merge(response.candidates.stats)
+            if getattr(response, "coalesced", False):
+                report.coalesced_queries += 1
             report.candidate_paths += response.num_paths
             report.candidate_results.extend(response.candidates.paths.values())
             report.traffic.record(

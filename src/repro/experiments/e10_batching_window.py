@@ -16,6 +16,15 @@ Each window is additionally run twice through one
 and a warm pass replaying the same traffic, showing the serving layer
 turning repeated workloads into result-cache hits (``settled_warm``
 collapses toward 0).
+
+The cross-session columns replay each window's server-visible
+obfuscated stream through the ``coalesce_engine`` twice more: once with
+per-session dispatch (every query pays its own bucket pass) and once
+through the :class:`~repro.service.serving.QueryCoalescer`, which
+merges all of the window's concurrent queries into one shared union
+kernel pass.  Hotspot destinations repeat across sessions, so the union
+pass shares their backward sweeps and ``settled_coalesced`` drops below
+``settled_solo`` while the per-session answers stay byte-identical.
 """
 
 from __future__ import annotations
@@ -26,7 +35,8 @@ from repro.core.query import ProtectionSetting
 from repro.core.system import OpaqueSystem
 from repro.experiments.harness import ExperimentResult
 from repro.network.generators import grid_network
-from repro.service.serving import ServingStack
+from repro.service.cache import PreprocessingCache
+from repro.service.serving import CoalesceConfig, ServingStack
 from repro.service.simulator import BatchingObfuscationService, poisson_arrivals
 from repro.workloads.queries import hotspot_queries, requests_from_queries
 
@@ -46,6 +56,9 @@ class Config:
     f_t: int = 3
     num_hotspots: int = 2
     engine: str = "dijkstra"
+    #: engine for the cross-session coalescing columns (a bucket
+    #: many-to-many engine, so union passes share per-endpoint sweeps)
+    coalesce_engine: str = "ch-csr"
     seed: int = 10
 
 
@@ -72,11 +85,17 @@ def run(config: Config | None = None) -> ExperimentResult:
             "settled_cold",
             "settled_warm",
             "warm_hit_rate",
+            "settled_solo",
+            "settled_coalesced",
+            "coalesced_queries",
         ],
         expectation=(
             "latency grows ~linearly with the window; breach and server "
             "cost fall as more requests share each window; the warm pass "
-            "serves repeated queries from cache (settled_warm << cold)"
+            "serves repeated queries from cache (settled_warm << cold); "
+            "coalescing the window's concurrent queries into one union "
+            "pass never exceeds per-session dispatch "
+            "(settled_coalesced <= settled_solo)"
         ),
     )
     requests = requests_from_queries(
@@ -85,6 +104,9 @@ def run(config: Config | None = None) -> ExperimentResult:
     arrivals = poisson_arrivals(
         requests, rate=config.arrival_rate, seed=config.seed
     )
+    # One preprocessing build (e.g. ch-csr contraction) shared by every
+    # window's solo and coalesced replays.
+    preprocessing = PreprocessingCache()
     for window in config.windows:
         # Cold pass: fresh serving stack, every query pays full search.
         stack = ServingStack(network, engine=config.engine)
@@ -93,6 +115,9 @@ def run(config: Config | None = None) -> ExperimentResult:
         )
         service = BatchingObfuscationService(system, window=window)
         _results, report = service.run(arrivals)
+        # The server-visible stream of this window sweep — replayed
+        # below as "concurrent sessions" for the coalescing columns.
+        observed = list(stack.server.observed_queries)
 
         # Warm pass: same stack, same traffic (a fresh same-seed system
         # rebuilds identical obfuscated queries) — cache hits replace work.
@@ -102,6 +127,27 @@ def run(config: Config | None = None) -> ExperimentResult:
         warm_service = BatchingObfuscationService(warm_system, window=window)
         _warm_results, warm_report = warm_service.run(arrivals)
         stack.close()
+
+        # Cross-session columns: per-session dispatch vs one coalesced
+        # union pass over the same stream, on the bucket engine.
+        with ServingStack(
+            network,
+            engine=config.coalesce_engine,
+            preprocessing_cache=preprocessing,
+        ) as solo_stack:
+            solo_stack.answer_batch(observed)
+            settled_solo = solo_stack.server.counters.stats.settled_nodes
+        with ServingStack(
+            network,
+            engine=config.coalesce_engine,
+            preprocessing_cache=preprocessing,
+            coalesce=CoalesceConfig(
+                max_batch=max(len(observed), 1), max_wait_s=60.0
+            ),
+        ) as co_stack:
+            co_stack.answer_batch(observed)
+            settled_coalesced = co_stack.server.counters.stats.settled_nodes
+            coalesced_queries = co_stack.server.counters.coalesced_queries
 
         warm_total = warm_report.obfuscated_queries
         result.rows.append(
@@ -116,6 +162,9 @@ def run(config: Config | None = None) -> ExperimentResult:
                 "warm_hit_rate": (
                     warm_report.cached_queries / warm_total if warm_total else 0.0
                 ),
+                "settled_solo": settled_solo,
+                "settled_coalesced": settled_coalesced,
+                "coalesced_queries": coalesced_queries,
             }
         )
     return result

@@ -31,6 +31,7 @@ from repro.search.multi import (
     NaivePairwiseProcessor,
     SharedTreeProcessor,
     SideSelectingProcessor,
+    UnionPassResult,
     get_processor,
 )
 from repro.search.cost_model import (
@@ -72,6 +73,7 @@ __all__ = [
     "euclidean_heuristic",
     "bidirectional_dijkstra_path",
     "MSMDResult",
+    "UnionPassResult",
     "MultiSourceMultiDestProcessor",
     "NaivePairwiseProcessor",
     "SharedTreeProcessor",

@@ -31,6 +31,10 @@ from repro.search.ch.query import _overlay_route, _upward_sweep, unpack_path
 from repro.search.multi import (
     MSMDResult,
     PreprocessingProcessor,
+    UnionPassResult,
+    _screen_union_queries,
+    _slice_union_tables,
+    _union_order,
     _validate,
 )
 from repro.search.result import PathResult, SearchStats
@@ -164,3 +168,37 @@ class CHManyToManyProcessor(PreprocessingProcessor):
                 result.paths[(s, t)] = path
         result.searches = len(sources) + len(destinations)
         return result
+
+    def process_union(self, network, set_queries) -> UnionPassResult:
+        """One bucket pass over the unions of all coalesced queries.
+
+        The backward sweep from a destination and the forward sweep from
+        a source are both independent of the rest of the query, so one
+        sweep per *distinct* endpoint across every coalesced query
+        answers them all: ``|union S| + |union T|`` sweeps instead of
+        ``sum (|S_i| + |T_i|)``.  Per-pair minimization over the buckets
+        is also pairwise-independent, so each sliced table is
+        bit-identical to evaluating its query alone.
+        """
+        graph = self.graph_for(network)
+        checked = _screen_union_queries(graph, set_queries)
+        union_sources, union_destinations = _union_order(
+            [q for q, e in zip(set_queries, checked.errors) if e is None]
+        )
+        union_stats = SearchStats()
+        paths: dict[tuple[NodeId, NodeId], PathResult] = {}
+        if union_sources and union_destinations:
+            paths = ch_many_to_many(
+                graph,
+                list(union_sources),
+                list(union_destinations),
+                stats=union_stats,
+            )
+        return _slice_union_tables(
+            set_queries,
+            checked.errors,
+            lambda s, t: paths.get((s, t)),
+            union_stats=union_stats,
+            union_searches=len(union_sources) + len(union_destinations),
+            pairs_computed=len(union_sources) * len(union_destinations),
+        )

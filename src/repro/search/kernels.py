@@ -55,7 +55,15 @@ from repro.network.csr import CSRGraph, csr_snapshot
 from repro.network.graph import NodeId
 from repro.search.ch.contract import ContractedGraph, contract_network
 from repro.search.ch.query import unpack_path
-from repro.search.multi import MSMDResult, PreprocessingProcessor, _validate
+from repro.search.multi import (
+    MSMDResult,
+    PreprocessingProcessor,
+    UnionPassResult,
+    _screen_union_queries,
+    _slice_union_tables,
+    _union_order,
+    _validate,
+)
 from repro.search.result import PathResult, SearchStats
 
 __all__ = [
@@ -869,6 +877,46 @@ class CSRSharedTreeProcessor(PreprocessingProcessor):
             result.searches += 1
         return result
 
+    def process_union(self, network, set_queries) -> UnionPassResult:
+        """One CSR tree per distinct source across all coalesced queries.
+
+        The flat-kernel twin of
+        :meth:`repro.search.multi.SharedTreeProcessor.process_union`:
+        each distinct source grows one tree truncated at the union of
+        the destinations any coalesced query needs from it, and the
+        settled prefix — hence every sliced path — is bit-identical to a
+        solo evaluation of that query.
+        """
+        csr = self.artifact_for(network)
+        checked = _screen_union_queries(csr, set_queries)
+        needed: dict[NodeId, dict[NodeId, None]] = {}
+        for k, (sources, destinations) in enumerate(set_queries):
+            if checked.errors[k] is not None:
+                continue
+            for s in sources:
+                dests = needed.setdefault(s, {})
+                for t in destinations:
+                    dests[t] = None
+        union_stats = SearchStats()
+        trees: dict[NodeId, dict[NodeId, PathResult]] = {}
+        for s, dests in needed.items():
+            trees[s] = csr_dijkstra_to_many(
+                network,
+                s,
+                list(dests),
+                csr=csr,
+                stats=union_stats,
+                strict=False,
+            )
+        return _slice_union_tables(
+            set_queries,
+            checked.errors,
+            lambda s, t: trees[s].get(t),
+            union_stats=union_stats,
+            union_searches=len(needed),
+            pairs_computed=sum(len(dests) for dests in needed.values()),
+        )
+
 
 class CSRBidirectionalPairwiseProcessor(PreprocessingProcessor):
     """One CSR bidirectional search per pair (``"bidirectional-csr"``)."""
@@ -937,3 +985,34 @@ class CSRCHManyToManyProcessor(PreprocessingProcessor):
                 result.paths[(s, t)] = path
         result.searches = len(sources) + len(destinations)
         return result
+
+    def process_union(self, network, set_queries) -> UnionPassResult:
+        """One flat bucket pass over the unions of all coalesced queries.
+
+        Same sharing argument as
+        :meth:`repro.search.ch.manytomany.CHManyToManyProcessor.process_union`
+        (sweeps are per-endpoint, pair minimization is independent), run
+        on the :class:`CSRHierarchy` kernels.
+        """
+        hierarchy = self.hierarchy_for(network)
+        checked = _screen_union_queries(hierarchy, set_queries)
+        union_sources, union_destinations = _union_order(
+            [q for q, e in zip(set_queries, checked.errors) if e is None]
+        )
+        union_stats = SearchStats()
+        paths: dict[tuple[NodeId, NodeId], PathResult] = {}
+        if union_sources and union_destinations:
+            paths = csr_ch_many_to_many(
+                hierarchy,
+                list(union_sources),
+                list(union_destinations),
+                stats=union_stats,
+            )
+        return _slice_union_tables(
+            set_queries,
+            checked.errors,
+            lambda s, t: paths.get((s, t)),
+            union_stats=union_stats,
+            union_searches=len(union_sources) + len(union_destinations),
+            pairs_computed=len(union_sources) * len(union_destinations),
+        )

@@ -27,7 +27,7 @@ import weakref
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-from repro.exceptions import QueryError
+from repro.exceptions import NoPathError, QueryError, ReproError
 from repro.network.graph import NodeId
 from repro.search.bidirectional import bidirectional_dijkstra_path
 from repro.search.dijkstra import dijkstra_path, dijkstra_to_many
@@ -35,6 +35,7 @@ from repro.search.result import PathResult, SearchStats
 
 __all__ = [
     "MSMDResult",
+    "UnionPassResult",
     "MultiSourceMultiDestProcessor",
     "PreprocessingProcessor",
     "NaivePairwiseProcessor",
@@ -79,6 +80,162 @@ class MSMDResult:
         return len(self.paths)
 
 
+@dataclass(slots=True)
+class UnionPassResult:
+    """Outcome of one shared *union pass* over several set queries.
+
+    A union pass answers a list of set queries ``[(S_1, T_1), ...]`` —
+    typically concurrent obfuscated queries coalesced by the serving
+    layer — with one shared kernel evaluation over the unions of their
+    endpoint sets, then slices the pair table back per query.  Slicing
+    is exact: ``tables[i]`` contains precisely the ``S_i x T_i`` pairs of
+    query ``i``, in the same wire order and with the same
+    :class:`~repro.search.result.PathResult` content that a separate
+    ``process(network, S_i, T_i)`` call would have produced.
+
+    Attributes
+    ----------
+    tables:
+        One sliced :class:`MSMDResult` per input query, or ``None`` when
+        that query failed (see ``errors``).  The total search work of
+        the pass is attributed to the *first* successful table (the
+        remaining tables carry zero stats), so summing per-table stats
+        equals ``union_stats`` and no work is double-counted; when every
+        query fails, the work is recorded only in ``union_stats``.
+    errors:
+        Per-query exception (:class:`~repro.exceptions.NoPathError`,
+        :class:`~repro.exceptions.QueryError`, ...) or ``None``; a
+        failing query matches what evaluating it alone would raise and
+        never poisons its window-mates.
+    union_sources, union_destinations:
+        First-seen-ordered unions of the queries' endpoint sets.
+    union_stats:
+        Aggregate search cost of the whole shared pass.
+    union_searches:
+        Distinct graph searches (trees or sweeps) the pass performed.
+    pairs_computed:
+        Distinct ``(s, t)`` pairs the shared kernels evaluated — the
+        deterministic work counter the coalescing benchmarks gate on.
+    """
+
+    tables: list[MSMDResult | None] = field(default_factory=list)
+    errors: list[Exception | None] = field(default_factory=list)
+    union_sources: tuple[NodeId, ...] = ()
+    union_destinations: tuple[NodeId, ...] = ()
+    union_stats: SearchStats = field(default_factory=SearchStats)
+    union_searches: int = 0
+    pairs_computed: int = 0
+
+    @property
+    def num_queries(self) -> int:
+        """Number of set queries answered by the pass."""
+        return len(self.tables)
+
+
+def _union_order(
+    set_queries: Sequence[tuple[Sequence[NodeId], Sequence[NodeId]]],
+) -> tuple[tuple[NodeId, ...], tuple[NodeId, ...]]:
+    """First-seen-ordered unions of the queries' source/destination sets."""
+    sources: dict[NodeId, None] = {}
+    destinations: dict[NodeId, None] = {}
+    for query_sources, query_destinations in set_queries:
+        for s in query_sources:
+            sources.setdefault(s, None)
+        for t in query_destinations:
+            destinations.setdefault(t, None)
+    return tuple(sources), tuple(destinations)
+
+
+@dataclass(slots=True)
+class _ScreenedQueries:
+    """Per-query validation outcome of a union pass (internal)."""
+
+    errors: list[Exception | None]
+
+
+def _screen_union_queries(container, set_queries) -> _ScreenedQueries:
+    """Validate every set query of a union pass independently.
+
+    ``container`` is whatever the engine resolves endpoints against (the
+    network, a contracted graph, a CSR hierarchy — anything supporting
+    ``in``).  A query that would fail on its own (empty or duplicated
+    sets, unknown endpoint) gets the same exception recorded and is
+    excluded from the shared pass, instead of poisoning its window-mates.
+    """
+    from repro.exceptions import UnknownNodeError
+
+    errors: list[Exception | None] = []
+    for sources, destinations in set_queries:
+        try:
+            _validate(list(sources), list(destinations))
+            for node in (*sources, *destinations):
+                if node not in container:
+                    raise UnknownNodeError(node)
+        except ReproError as exc:
+            errors.append(exc)
+        else:
+            errors.append(None)
+    return _ScreenedQueries(errors=errors)
+
+
+def _slice_union_tables(
+    set_queries,
+    errors: list[Exception | None],
+    lookup,
+    union_stats: SearchStats,
+    union_searches: int,
+    pairs_computed: int,
+) -> UnionPassResult:
+    """Slice a shared pass back into exact per-query tables.
+
+    ``lookup(s, t)`` returns the pass's :class:`PathResult` for a pair
+    or ``None`` when unreachable.  Pairs are emitted in each query's own
+    ``S_i x T_i`` wire order (identical to a solo ``process`` call), a
+    missing pair turns into the :class:`~repro.exceptions.NoPathError`
+    the solo call would raise, and the pass's total stats are attributed
+    to the first successful table so nothing is double-counted.
+    """
+    union_sources, union_destinations = _union_order(
+        [query for query, error in zip(set_queries, errors) if error is None]
+    )
+    tables: list[MSMDResult | None] = []
+    out_errors = list(errors)
+    attributed = False
+    for k, (sources, destinations) in enumerate(set_queries):
+        if out_errors[k] is not None:
+            tables.append(None)
+            continue
+        table = MSMDResult()
+        error: Exception | None = None
+        for s in sources:
+            for t in destinations:
+                path = lookup(s, t)
+                if path is None:
+                    error = NoPathError(s, t)
+                    break
+                table.paths[(s, t)] = path
+            if error is not None:
+                break
+        if error is not None:
+            out_errors[k] = error
+            tables.append(None)
+            continue
+        if not attributed:
+            table.stats.merge(union_stats)
+            table.searches = union_searches
+            attributed = True
+        tables.append(table)
+    return UnionPassResult(
+        tables=tables,
+        errors=out_errors,
+        union_sources=union_sources,
+        union_destinations=union_destinations,
+        union_stats=union_stats,
+        union_searches=union_searches,
+        pairs_computed=pairs_computed,
+    )
+
+
 def _validate(sources: Sequence[NodeId], destinations: Sequence[NodeId]) -> None:
     if not sources:
         raise QueryError("obfuscated query needs at least one source")
@@ -108,6 +265,41 @@ class MultiSourceMultiDestProcessor:
     ) -> MSMDResult:
         """Evaluate the obfuscated query; see :class:`MSMDResult`."""
         raise NotImplementedError
+
+    def process_union(
+        self,
+        network,
+        set_queries: Sequence[tuple[Sequence[NodeId], Sequence[NodeId]]],
+    ) -> UnionPassResult:
+        """Answer several set queries in one (possibly shared) pass.
+
+        The contract is *exactness*: ``tables[i]`` must be
+        byte-identical — same pairs, same order, same paths, same
+        distances — to ``process(network, S_i, T_i)``, and ``errors[i]``
+        must be the exception that call would raise.  This default
+        simply evaluates each query independently, so every processor
+        (including future registrations) satisfies the contract for
+        free; strategies whose cost is sublinear in the union of the
+        endpoint sets (shared SSMD trees, CH buckets) override it to
+        actually share work across the queries.
+        """
+        out = UnionPassResult()
+        answered = []
+        for sources, destinations in set_queries:
+            try:
+                table = self.process(network, list(sources), list(destinations))
+            except ReproError as exc:
+                out.tables.append(None)
+                out.errors.append(exc)
+                continue
+            out.tables.append(table)
+            out.errors.append(None)
+            out.union_stats.merge(table.stats)
+            out.union_searches += table.searches
+            out.pairs_computed += table.num_paths
+            answered.append((sources, destinations))
+        out.union_sources, out.union_destinations = _union_order(answered)
+        return out
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -212,6 +404,41 @@ class SharedTreeProcessor(MultiSourceMultiDestProcessor):
             result.stats.merge(stats)
             result.searches += 1
         return result
+
+    def process_union(self, network, set_queries) -> UnionPassResult:
+        """One tree per *distinct* source across all coalesced queries.
+
+        For each source the tree is truncated at the union of the
+        destinations any query needs from it — a superset of every
+        single query's truncation point, so the paths each query reads
+        off are bit-identical to its own ``process`` call (a Dijkstra
+        tree's settled prefix does not change when the tree grows
+        further).  Queries sharing sources therefore share trees; the
+        pass cost is ``O(|union S|)`` trees instead of ``O(sum |S_i|)``.
+        """
+        checked = _screen_union_queries(network, set_queries)
+        needed: dict[NodeId, dict[NodeId, None]] = {}
+        for k, (sources, destinations) in enumerate(set_queries):
+            if checked.errors[k] is not None:
+                continue
+            for s in sources:
+                dests = needed.setdefault(s, {})
+                for t in destinations:
+                    dests[t] = None
+        union_stats = SearchStats()
+        trees: dict[NodeId, dict[NodeId, PathResult]] = {}
+        for s, dests in needed.items():
+            trees[s] = dijkstra_to_many(
+                network, s, list(dests), stats=union_stats, strict=False
+            )
+        return _slice_union_tables(
+            set_queries,
+            checked.errors,
+            lambda s, t: trees[s].get(t),
+            union_stats=union_stats,
+            union_searches=len(needed),
+            pairs_computed=sum(len(dests) for dests in needed.values()),
+        )
 
 
 class SideSelectingProcessor(MultiSourceMultiDestProcessor):

@@ -10,9 +10,11 @@ subpackage models that dimension twice over:
 * :mod:`repro.service.serving` + :mod:`repro.service.cache` — the
   production serving layer: a thread-safe :class:`ServingStack` fronting
   the directions server with a preprocessing-artifact cache, a
-  many-to-many result cache, and a concurrent dispatcher, so repeated
-  traffic on the same road network stops paying preprocessing and
-  repeated obfuscated queries stop paying search.
+  many-to-many result cache, a concurrent dispatcher, and an optional
+  cross-session :class:`QueryCoalescer` merging concurrent obfuscated
+  queries into shared union kernel passes — so repeated traffic stops
+  paying preprocessing, repeated obfuscated queries stop paying search,
+  and concurrent overlapping queries share one pass.
 """
 
 from repro.service.cache import (
@@ -22,7 +24,10 @@ from repro.service.cache import (
     network_fingerprint,
 )
 from repro.service.serving import (
+    CoalesceConfig,
+    CoalesceSnapshot,
     ConcurrentDispatcher,
+    QueryCoalescer,
     ReplayReport,
     ServingStack,
     replay,
@@ -44,6 +49,9 @@ __all__ = [
     "PreprocessingCache",
     "ResultCache",
     "ConcurrentDispatcher",
+    "CoalesceConfig",
+    "CoalesceSnapshot",
+    "QueryCoalescer",
     "ServingStack",
     "ReplayReport",
     "replay",

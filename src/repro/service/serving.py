@@ -12,11 +12,26 @@ deployment puts between the obfuscator and the
    query ``Q(S, T)`` is answered with zero search work;
 3. a :class:`ConcurrentDispatcher` that evaluates independent obfuscated
    queries of one batch across a thread pool, each worker holding its
-   own engine handle (MSMD processor) over the shared artifact.
+   own engine handle (MSMD processor) over the shared artifact;
+4. optionally a :class:`QueryCoalescer` (``coalesce=`` parameter) — a
+   micro-batching window that merges *concurrent* obfuscated queries,
+   across sessions, into one shared union kernel pass
+   (:meth:`~repro.search.multi.MultiSourceMultiDestProcessor.process_union`)
+   and slices the pair table back per session.
 
 Results are deterministic: responses come back in submission order and
 each query is evaluated by the same pure search code concurrently or
-serially, so a concurrent batch is byte-identical to a serial one.
+serially, so a concurrent batch is byte-identical to a serial one.  The
+coalescer keeps the same contract — sliced tables carry exactly each
+query's ``S x T`` pairs in its own wire order, so a coalesced response
+is byte-identical to the serial answer and nothing about a session's
+window-mates (who they were, how many, which of their pairs were real)
+leaks into any response.  One deliberate divergence on *failing*
+queries: serial ``answer_batch`` fails the whole batch before recording
+anything, while a coalesced window still answers, records and caches
+the failing query's window-mates (they may belong to other sessions,
+which must never see a stranger's error) and raises only toward the
+submitter of the failing query.
 
 The stack preserves the server's adversary model — every query (cache
 hit or not) is appended to ``server.observed_queries`` and counted in
@@ -28,7 +43,7 @@ from __future__ import annotations
 
 import threading
 import time
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -38,6 +53,7 @@ from repro.search.multi import (
     MSMDResult,
     MultiSourceMultiDestProcessor,
     PreprocessingProcessor,
+    UnionPassResult,
 )
 from repro.service.cache import (
     CacheSnapshot,
@@ -49,6 +65,9 @@ from repro.service.stats import percentile
 
 __all__ = [
     "ConcurrentDispatcher",
+    "CoalesceConfig",
+    "CoalesceSnapshot",
+    "QueryCoalescer",
     "ServingStack",
     "ReplayReport",
     "replay",
@@ -153,12 +172,235 @@ class ConcurrentDispatcher:
         ]
         return [f.result() for f in futures]
 
+    def evaluate_union(
+        self,
+        network,
+        set_queries: Sequence[tuple[tuple, tuple]],
+        artifact: object = None,
+    ) -> UnionPassResult:
+        """Answer several set queries in one shared union pass.
+
+        Runs on the calling thread with its private engine handle (a
+        union pass is already the merged evaluation — there is nothing
+        left to parallelize across the pool); see
+        :meth:`repro.search.multi.MultiSourceMultiDestProcessor.process_union`
+        for the exactness contract.
+        """
+        handle = self._handle()
+        if artifact is not None and isinstance(handle, PreprocessingProcessor):
+            handle.use_artifact(artifact)
+        return handle.process_union(network, set_queries)
+
     def shutdown(self) -> None:
         """Tear down the thread pool (idempotent; a later dispatch rebuilds it)."""
         with self._executor_lock:
             if self._executor is not None:
                 self._executor.shutdown(wait=True)
                 self._executor = None
+
+
+@dataclass(frozen=True, slots=True)
+class CoalesceConfig:
+    """Knobs of the serving stack's cross-session query coalescer.
+
+    Attributes
+    ----------
+    max_batch:
+        Count threshold: a window flushes as soon as this many queries
+        are pending, evaluated as one shared union pass.
+    max_wait_s:
+        Time threshold: a submitter whose window has not filled by this
+        many seconds (measured on ``clock``) flushes whatever is
+        pending, bounding the latency cost of waiting for window-mates.
+    clock:
+        Monotonic time source used for the window deadline.  Tests
+        inject a fake clock to drive window expiry deterministically;
+        production uses :func:`time.monotonic`.
+    """
+
+    max_batch: int = 8
+    max_wait_s: float = 0.002
+    clock: Callable[[], float] = time.monotonic
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class CoalesceSnapshot:
+    """Point-in-time counters of a :class:`QueryCoalescer`.
+
+    Attributes
+    ----------
+    windows:
+        Micro-batch windows flushed so far.
+    queries:
+        Obfuscated queries answered through the coalescer.
+    shared_windows:
+        Windows whose union pass merged >= 2 distinct queries (actual
+        cross-query sharing happened).
+    coalesced_queries:
+        Queries answered by a shared union pass (their responses carry
+        ``coalesced=True``).
+    union_pairs:
+        Deterministic work counter: distinct ``(s, t)`` pairs evaluated
+        by union kernel passes (compare against the ``sum |S_i|x|T_i|``
+        a per-session dispatch would have paid).
+    max_window:
+        Largest window flushed.
+    """
+
+    windows: int = 0
+    queries: int = 0
+    shared_windows: int = 0
+    coalesced_queries: int = 0
+    union_pairs: int = 0
+    max_window: int = 0
+
+    @property
+    def mean_window(self) -> float:
+        """Average queries per flushed window (0 when idle)."""
+        return self.queries / self.windows if self.windows else 0.0
+
+
+class _Ticket:
+    """One in-flight coalesced query and its rendezvous event."""
+
+    __slots__ = ("query", "event", "response", "error")
+
+    def __init__(self, query: ObfuscatedPathQuery) -> None:
+        self.query = query
+        self.event = threading.Event()
+        self.response: ServerResponse | None = None
+        self.error: Exception | None = None
+
+
+class QueryCoalescer:
+    """Micro-batching window merging concurrent queries into union passes.
+
+    Arrivals from any thread (any session) are parked in a pending
+    window.  The window closes when ``max_batch`` queries are pending
+    (count threshold — the closing submitter evaluates inline) or when a
+    parked submitter's ``max_wait_s`` deadline expires (time threshold —
+    the earliest waiter flushes).  A closed window is answered by
+    :meth:`ServingStack._coalesced_window`: result-cache consultation
+    per query, one shared union kernel pass over the distinct misses,
+    exact per-query slicing, per-query cache population.
+
+    Determinism: the *partition* of arrivals into windows depends on
+    timing, but every response is byte-identical to the serial answer
+    for any partition, so concurrency never changes what a session
+    receives (the property suite locks this down for arbitrary
+    partitions).  Tests drive partitions explicitly via ``max_batch``,
+    :meth:`flush`, or an injected :attr:`CoalesceConfig.clock`.
+    """
+
+    def __init__(self, stack: "ServingStack", config: CoalesceConfig) -> None:
+        self._stack = stack
+        self.config = config
+        self._lock = threading.Lock()
+        self._pending: list[_Ticket] = []
+        self._windows = 0
+        self._queries = 0
+        self._shared_windows = 0
+        self._coalesced_queries = 0
+        self._union_pairs = 0
+        self._max_window = 0
+
+    def submit_many(
+        self, queries: Sequence[ObfuscatedPathQuery]
+    ) -> list[ServerResponse]:
+        """Enqueue ``queries`` and block until every one is answered.
+
+        The whole argument enters the current window atomically (a
+        session's own batch always coalesces with itself).  Raises the
+        per-query error (e.g. :class:`~repro.exceptions.NoPathError`)
+        of the first failing query, like serial evaluation would.
+        """
+        if not queries:
+            return []
+        tickets = [_Ticket(query) for query in queries]
+        closed: list[_Ticket] | None = None
+        with self._lock:
+            self._pending.extend(tickets)
+            if len(self._pending) >= self.config.max_batch:
+                closed, self._pending = self._pending, []
+        if closed is not None:
+            self._run_window(closed)
+        clock = self.config.clock
+        deadline = clock() + self.config.max_wait_s
+        for ticket in tickets:
+            while not ticket.event.is_set():
+                remaining = deadline - clock()
+                if remaining > 0:
+                    ticket.event.wait(remaining)
+                    continue
+                self.flush()
+                if not ticket.event.is_set():
+                    # Drained by another thread's window, still being
+                    # evaluated there — wait for its result.
+                    ticket.event.wait()
+        responses: list[ServerResponse] = []
+        for ticket in tickets:
+            if ticket.error is not None:
+                raise ticket.error
+            assert ticket.response is not None
+            responses.append(ticket.response)
+        return responses
+
+    def flush(self) -> int:
+        """Force-close the open window; returns how many queries it held."""
+        with self._lock:
+            closed, self._pending = self._pending, []
+        if closed:
+            self._run_window(closed)
+        return len(closed)
+
+    def _run_window(self, tickets: list[_Ticket]) -> None:
+        """Answer one closed window and wake its submitters."""
+        try:
+            outcomes, unique_misses, union_pairs = (
+                self._stack._coalesced_window([t.query for t in tickets])
+            )
+        except BaseException as exc:  # never strand a parked submitter
+            for ticket in tickets:
+                ticket.error = exc if isinstance(exc, Exception) else (
+                    RuntimeError(f"coalesced window died: {exc!r}")
+                )
+                ticket.event.set()
+            raise
+        coalesced = 0
+        for ticket, outcome in zip(tickets, outcomes):
+            if isinstance(outcome, Exception):
+                ticket.error = outcome
+            else:
+                ticket.response = outcome
+                if outcome.coalesced:
+                    coalesced += 1
+            ticket.event.set()
+        with self._lock:
+            self._windows += 1
+            self._queries += len(tickets)
+            self._union_pairs += union_pairs
+            self._max_window = max(self._max_window, len(tickets))
+            if unique_misses >= 2:
+                self._shared_windows += 1
+                self._coalesced_queries += coalesced
+
+    def snapshot(self) -> CoalesceSnapshot:
+        """Current counters as a :class:`CoalesceSnapshot`."""
+        with self._lock:
+            return CoalesceSnapshot(
+                windows=self._windows,
+                queries=self._queries,
+                shared_windows=self._shared_windows,
+                coalesced_queries=self._coalesced_queries,
+                union_pairs=self._union_pairs,
+                max_window=self._max_window,
+            )
 
 
 class ServingStack:
@@ -187,6 +429,12 @@ class ServingStack:
     spill_dir:
         Disk-spill directory for the default preprocessing cache
         (ignored when ``preprocessing_cache`` is given).
+    coalesce:
+        A :class:`CoalesceConfig` to enable the cross-session
+        :class:`QueryCoalescer`: concurrent queries (from any thread or
+        session) are merged into shared union kernel passes and sliced
+        back per session, byte-identical to serial answers.  ``None``
+        (default) keeps the per-query dispatch path.
 
     Notes
     -----
@@ -203,6 +451,7 @@ class ServingStack:
         result_cache: ResultCache | None = None,
         max_workers: int = 4,
         spill_dir=None,
+        coalesce: CoalesceConfig | None = None,
     ) -> None:
         from repro.search import get_engine
 
@@ -220,6 +469,10 @@ class ServingStack:
         )
         self.server = DirectionsServer(
             network, processor=self._engine.make_processor()
+        )
+        #: cross-session micro-batching window, or None when disabled
+        self.coalescer = (
+            QueryCoalescer(self, coalesce) if coalesce is not None else None
         )
         self._lock = threading.Lock()
         self._fingerprint_memo: tuple[int, str] | None = None
@@ -253,13 +506,23 @@ class ServingStack:
         )
 
     def answer(self, query: ObfuscatedPathQuery) -> ServerResponse:
-        """Answer one obfuscated query through the caches."""
+        """Answer one obfuscated query through the caches.
+
+        With coalescing enabled the query is parked in the current
+        micro-batch window first, so it may share one union kernel pass
+        with other sessions' concurrent queries.
+        """
         return self.answer_batch([query])[0]
 
     def answer_batch(
         self, queries: Sequence[ObfuscatedPathQuery]
     ) -> list[ServerResponse]:
         """Answer a batch of independent obfuscated queries.
+
+        With coalescing enabled (``coalesce=`` constructor parameter)
+        the batch enters the :class:`QueryCoalescer` window — possibly
+        merging with concurrent callers — and each response comes back
+        byte-identical to what the per-query path below would produce.
 
         Cache hits are returned without search work; distinct misses are
         evaluated concurrently by the dispatcher (identical queries
@@ -282,28 +545,11 @@ class ServingStack:
         """
         if not queries:
             return []
+        if self.coalescer is not None:
+            return self.coalescer.submit_many(list(queries))
         fingerprint = self._fingerprint()
         responses: list[ServerResponse | None] = [None] * len(queries)
-        misses: dict[
-            tuple[tuple, tuple], list[int]
-        ] = {}  # (S, T) -> batch indices, first occurrence evaluates
-        with self._lock:
-            for i, query in enumerate(queries):
-                key = (query.sources, query.destinations)
-                if key in misses:  # in-batch duplicate: shares the work
-                    misses[key].append(i)
-                    self.results.count_shared_hit()
-                    continue
-                cached = self.results.get(
-                    fingerprint, query.sources, query.destinations,
-                    self.engine_name,
-                )
-                if cached is not None:
-                    responses[i] = ServerResponse(
-                        query=query, candidates=cached, from_cache=True
-                    )
-                else:
-                    misses[key] = [i]
+        misses = self._consult_result_cache(queries, fingerprint, responses)
         artifact = None
         if misses:
             artifact = self.preprocessing.get(
@@ -336,6 +582,113 @@ class ServingStack:
                 final.append(response)
         return final
 
+    def _consult_result_cache(
+        self,
+        queries: Sequence[ObfuscatedPathQuery],
+        fingerprint: str,
+        outcomes: list,
+    ) -> dict[tuple[tuple, tuple], list[int]]:
+        """Resolve cache hits and collect the distinct misses of a batch.
+
+        Fills ``outcomes[i]`` with a ``from_cache`` response for every
+        result-cache hit and returns ``{(S, T): batch indices}`` for the
+        misses — the first index of each key evaluates, later ones are
+        in-batch duplicates counted as shared hits.  Shared by the
+        per-query dispatch path (:meth:`answer_batch`) and the coalesced
+        window path (:meth:`_coalesced_window`) so their cache semantics
+        can never drift apart.
+        """
+        misses: dict[tuple[tuple, tuple], list[int]] = {}
+        with self._lock:
+            for i, query in enumerate(queries):
+                key = (query.sources, query.destinations)
+                if key in misses:  # in-batch duplicate: shares the work
+                    misses[key].append(i)
+                    self.results.count_shared_hit()
+                    continue
+                cached = self.results.get(
+                    fingerprint, query.sources, query.destinations,
+                    self.engine_name,
+                )
+                if cached is not None:
+                    outcomes[i] = ServerResponse(
+                        query=query, candidates=cached, from_cache=True
+                    )
+                else:
+                    misses[key] = [i]
+        return misses
+
+    def _coalesced_window(
+        self, queries: Sequence[ObfuscatedPathQuery]
+    ) -> tuple[list[ServerResponse | Exception], int, int]:
+        """Answer one closed coalescing window.
+
+        The cache interplay mirrors :meth:`answer_batch` exactly —
+        result-cache consultation per query, in-window duplicate
+        deduplication, per-query cache population — but the distinct
+        misses are evaluated by ONE shared union kernel pass instead of
+        per-query dispatch.  Responses answered by a shared pass (>= 2
+        distinct misses in the window) carry ``coalesced=True``.
+
+        Returns ``(outcomes, unique_misses, union_pairs)`` where each
+        outcome is a :class:`~repro.core.server.ServerResponse` or the
+        exception evaluating that query alone would raise (an erroring
+        query never poisons its window-mates).  Privacy-ordering
+        invariant: each sliced table contains exactly its query's
+        ``S x T`` pairs in that query's own wire order, so nothing about
+        the window's other members is observable in any response.
+        """
+        fingerprint = self._fingerprint()
+        outcomes: list[ServerResponse | Exception | None] = [None] * len(queries)
+        misses = self._consult_result_cache(queries, fingerprint, outcomes)
+        union: UnionPassResult | None = None
+        if misses:
+            artifact = self.preprocessing.get(
+                self.network, self.engine_name, fingerprint=fingerprint
+            )
+            unique = [queries[indices[0]] for indices in misses.values()]
+            union = self.dispatcher.evaluate_union(
+                self.network,
+                [(q.sources, q.destinations) for q in unique],
+                artifact,
+            )
+        shared = len(misses) >= 2
+        with self._lock:
+            if union is not None:
+                for indices, table, error in zip(
+                    misses.values(), union.tables, union.errors
+                ):
+                    if error is not None:
+                        for i in indices:
+                            outcomes[i] = error
+                        continue
+                    first = queries[indices[0]]
+                    self.results.put(
+                        fingerprint, first.sources, first.destinations,
+                        self.engine_name, table,
+                    )
+                    for rank, i in enumerate(indices):
+                        outcomes[i] = ServerResponse(
+                            query=queries[i],
+                            candidates=table,
+                            from_cache=rank > 0,
+                            coalesced=shared,
+                        )
+            final: list[ServerResponse | Exception] = []
+            for i, outcome in enumerate(outcomes):
+                if outcome is None:  # pragma: no cover - invariant guard
+                    raise RuntimeError(
+                        f"query {i} left unanswered by the coalesced window"
+                    )
+                if isinstance(outcome, ServerResponse):
+                    self.server.record(outcome)
+                final.append(outcome)
+        return final, len(misses), union.pairs_computed if union else 0
+
+    def coalesce_snapshot(self) -> CoalesceSnapshot | None:
+        """The coalescer's counters, or ``None`` when coalescing is off."""
+        return self.coalescer.snapshot() if self.coalescer else None
+
     def snapshot(self) -> CacheSnapshot:
         """Combined counters of both caches."""
         pre = self.preprocessing.snapshot()
@@ -351,7 +704,9 @@ class ServingStack:
         )
 
     def close(self) -> None:
-        """Shut down the dispatcher's thread pool."""
+        """Flush any open coalescing window and shut down the thread pool."""
+        if self.coalescer is not None:
+            self.coalescer.flush()
         self.dispatcher.shutdown()
 
     def __enter__(self) -> "ServingStack":

@@ -63,6 +63,10 @@ class ServiceReport:
     cached_queries:
         Obfuscated queries answered from the serving stack's result
         cache (0 when the system runs without one).
+    coalesced_queries:
+        Obfuscated queries answered by shared union kernel passes when
+        the serving stack runs a
+        :class:`~repro.service.serving.QueryCoalescer` (0 otherwise).
     serving_caches:
         The serving stack's cumulative
         :class:`~repro.service.cache.CacheSnapshot` after the run, or
@@ -75,6 +79,7 @@ class ServiceReport:
     obfuscated_queries: int = 0
     server_settled_nodes: int = 0
     cached_queries: int = 0
+    coalesced_queries: int = 0
     serving_caches: object | None = None
 
     def latency_percentile(self, q: float) -> float:
@@ -204,6 +209,7 @@ class BatchingObfuscationService:
             report.obfuscated_queries += len(system_report.records)
             report.server_settled_nodes += system_report.server_stats.settled_nodes
             report.cached_queries += system_report.cached_queries
+            report.coalesced_queries += system_report.coalesced_queries
         report.serving_caches = (
             self.system.serving.snapshot()
             if getattr(self.system, "serving", None) is not None

@@ -7,7 +7,7 @@ import random
 import pytest
 
 from repro.exceptions import GraphError, NoPathError, UnknownNodeError
-from repro.network.generators import grid_network, one_way_grid_network
+from repro.network.generators import grid_network
 from repro.network.graph import RoadNetwork
 from repro.search import ENGINES, get_engine, get_processor, list_engines
 from repro.search.ch import (
@@ -22,7 +22,6 @@ from repro.search.ch import (
     write_contracted,
 )
 from repro.search.dijkstra import dijkstra_path
-from repro.search.multi import NaivePairwiseProcessor
 from repro.search.result import SearchStats
 
 
@@ -70,14 +69,9 @@ class TestContraction:
 
 
 class TestPointQueries:
-    def test_matches_dijkstra(self, grid, contracted):
-        rng = random.Random(3)
-        nodes = list(grid.nodes())
-        for _ in range(80):
-            s, t = rng.sample(nodes, 2)
-            ref = dijkstra_path(grid, s, t)
-            got = ch_path(contracted, s, t)
-            assert got.distance == pytest.approx(ref.distance, abs=1e-9)
+    # Oracle parity vs. Dijkstra (including on directed and
+    # disconnected networks) is covered for every engine by
+    # tests/search/test_engine_conformance.py.
 
     def test_paths_are_walkable_original_edges(self, grid, contracted):
         rng = random.Random(4)
@@ -110,21 +104,6 @@ class TestPointQueries:
         graph = contract_network(net)
         with pytest.raises(NoPathError):
             ch_path(graph, 0, 3)
-
-    def test_directed_network(self):
-        net = one_way_grid_network(8, 8, seed=5)
-        graph = contract_network(net)
-        rng = random.Random(6)
-        nodes = list(net.nodes())
-        for _ in range(60):
-            s, t = rng.sample(nodes, 2)
-            try:
-                ref = dijkstra_path(net, s, t).distance
-            except NoPathError:
-                with pytest.raises(NoPathError):
-                    ch_path(graph, s, t)
-                continue
-            assert ch_path(graph, s, t).distance == pytest.approx(ref, abs=1e-9)
 
     def test_settles_fewer_nodes_than_dijkstra(self, medium_grid):
         graph = contract_network(medium_grid)
@@ -176,20 +155,14 @@ class TestUnpacking:
 
 
 class TestManyToMany:
-    def test_matches_naive_pairwise(self, grid, contracted):
-        rng = random.Random(7)
+    # MSMD oracle parity is covered for every engine by
+    # tests/search/test_engine_conformance.py.
+
+    def test_searches_counts_sweeps(self, grid, contracted):
         nodes = list(grid.nodes())
-        sources = rng.sample(nodes, 3)
-        destinations = rng.sample(nodes, 4)
-        naive = NaivePairwiseProcessor().process(grid, sources, destinations)
         proc = CHManyToManyProcessor(graph=contracted)
-        got = proc.process(grid, sources, destinations)
-        assert set(got.paths) == set(naive.paths)
-        for pair, ref in naive.paths.items():
-            assert got.paths[pair].distance == pytest.approx(
-                ref.distance, abs=1e-9
-            )
-        assert got.searches == len(sources) + len(destinations)
+        got = proc.process(grid, nodes[:3], nodes[10:14])
+        assert got.searches == 3 + 4
 
     def test_overlapping_sources_and_destinations(self, grid, contracted):
         nodes = list(grid.nodes())

@@ -15,8 +15,7 @@ import pytest
 from repro.core.query import ClientRequest, PathQuery, ProtectionSetting
 from repro.core.system import OpaqueSystem
 from repro.network.generators import one_way_grid_network
-from repro.search.alt import LandmarkIndex, alt_path
-from repro.search.astar import astar_path
+from repro.search.alt import LandmarkIndex
 from repro.search.bidirectional import bidirectional_dijkstra_path
 from repro.search.dijkstra import dijkstra_path
 from repro.search.multi import (
@@ -78,24 +77,14 @@ class TestGenerator:
 
 
 class TestEnginesOnDirected:
+    # Per-engine oracle parity on directed networks is covered by
+    # tests/search/test_engine_conformance.py; this anchor validates the
+    # Dijkstra oracle itself against networkx on one-way streets.
+
     def test_dijkstra_matches_oracle(self, one_way, pairs):
         net, g = one_way
         for s, t in pairs:
             ours = dijkstra_path(net, s, t).distance
-            theirs = nx.shortest_path_length(g, s, t, weight="weight")
-            assert ours == pytest.approx(theirs)
-
-    def test_astar_matches_oracle(self, one_way, pairs):
-        net, g = one_way
-        for s, t in pairs:
-            ours = astar_path(net, s, t).distance
-            theirs = nx.shortest_path_length(g, s, t, weight="weight")
-            assert ours == pytest.approx(theirs)
-
-    def test_bidirectional_matches_oracle(self, one_way, pairs):
-        net, g = one_way
-        for s, t in pairs:
-            ours = bidirectional_dijkstra_path(net, s, t).distance
             theirs = nx.shortest_path_length(g, s, t, weight="weight")
             assert ours == pytest.approx(theirs)
 
@@ -105,14 +94,6 @@ class TestEnginesOnDirected:
             path = bidirectional_dijkstra_path(net, s, t)
             for u, v in path.edges():
                 assert net.has_edge(u, v), "path uses a street the wrong way"
-
-    def test_alt_matches_oracle(self, one_way, pairs):
-        net, g = one_way
-        index = LandmarkIndex(net, num_landmarks=4)
-        for s, t in pairs:
-            ours = alt_path(net, s, t, index).distance
-            theirs = nx.shortest_path_length(g, s, t, weight="weight")
-            assert ours == pytest.approx(theirs)
 
     def test_alt_heuristic_admissible_on_directed(self, one_way, pairs):
         net, _g = one_way

@@ -159,3 +159,12 @@ class TestE10Experiment:
         assert last["mean_latency_s"] > first["mean_latency_s"]
         assert last["mean_breach"] <= first["mean_breach"]
         assert last["obfuscated_queries"] <= first["obfuscated_queries"]
+        for row in result.rows:
+            # Cross-session coalescing never costs more than per-session
+            # dispatch.  A window marks either every query coalesced
+            # (>= 2 distinct queries shared a pass) or none (a lone
+            # query, or all-identical duplicates of one).
+            assert row["settled_coalesced"] <= row["settled_solo"]
+            assert row["coalesced_queries"] in (0, row["obfuscated_queries"])
+            if row["obfuscated_queries"] < 2:
+                assert row["coalesced_queries"] == 0

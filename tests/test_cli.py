@@ -144,6 +144,26 @@ class TestServeReplay:
         out = capsys.readouterr().out
         assert "preprocessing cache:" in out
 
+    def test_replay_with_coalescing_reports_windows(
+        self, map_file, workload_file, capsys
+    ):
+        assert main(
+            [
+                "serve-replay", map_file, workload_file,
+                "--engine", "dijkstra", "--batch", "8",
+                "--coalesce-window", "8", "--coalesce-wait-ms", "50",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "coalescing:" in out
+        assert "union passes" in out
+
+    def test_replay_without_coalescing_omits_window_report(
+        self, map_file, workload_file, capsys
+    ):
+        assert main(["serve-replay", map_file, workload_file]) == 0
+        assert "coalescing:" not in capsys.readouterr().out
+
     def test_empty_workload_fails_cleanly(self, map_file, tmp_path, capsys):
         empty = tmp_path / "empty.txt"
         empty.write_text("# repro workload v1\n")
@@ -153,7 +173,8 @@ class TestServeReplay:
     @pytest.mark.parametrize(
         "flag,value",
         [("--batch", "0"), ("--repeat", "0"), ("--concurrency", "0"),
-         ("--result-capacity", "-1")],
+         ("--result-capacity", "-1"), ("--coalesce-window", "-1"),
+         ("--coalesce-wait-ms", "-0.5")],
     )
     def test_bad_flags_fail_cleanly(
         self, map_file, workload_file, capsys, flag, value

@@ -50,6 +50,9 @@ from repro.search.kernels import (  # noqa: E402
 )
 from repro.search.multi import SharedTreeProcessor  # noqa: E402
 from repro.search.result import SearchStats  # noqa: E402
+from repro.service.cache import PreprocessingCache, ResultCache  # noqa: E402
+from repro.service.serving import CoalesceConfig, ServingStack  # noqa: E402
+from repro.workloads.queries import overlapping_session_queries  # noqa: E402
 
 
 def _best_of(fn, repeats: int):
@@ -121,6 +124,47 @@ def run_suite(full: bool = False, repeats: int = 3) -> dict:
     ch_stats = SearchStats()
     csr_ch_many_to_many(hierarchy, sources, destinations, stats=ch_stats)
 
+    # Cross-session coalescing: 8 sessions with hot origin/destination
+    # pools (the same canonical workload bench_coalescing.py anchors
+    # on), per-session dispatch vs one shared union pass.  Result
+    # caching is disabled on both stacks so every timing repeat pays the
+    # same cold search work.
+    session_batches = overlapping_session_queries(net, seed=9)
+    total_queries = sum(len(batch) for batch in session_batches)
+    preprocessing = PreprocessingCache()
+
+    def run_sessions(coalesce: CoalesceConfig | None):
+        stack = ServingStack(
+            net,
+            engine="dijkstra-csr",
+            preprocessing_cache=preprocessing,
+            result_cache=ResultCache(capacity=0),
+            coalesce=coalesce,
+        )
+        stack.warm()
+        try:
+            if coalesce is None:
+                for batch in session_batches:
+                    stack.answer_batch(batch)
+            else:
+                # One answer_batch call holds every session's queries, so
+                # the count threshold closes the window inline --
+                # deterministic, no threads, no waiting.
+                stack.answer_batch(
+                    [query for batch in session_batches for query in batch]
+                )
+            return stack.coalesce_snapshot()
+        finally:
+            stack.close()
+
+    t_sessions, _ = _best_of(lambda: run_sessions(None), repeats)
+    t_coalesced, coalesce_snapshot = _best_of(
+        lambda: run_sessions(
+            CoalesceConfig(max_batch=total_queries, max_wait_s=60.0)
+        ),
+        repeats,
+    )
+
     metrics = {
         "speedup_point_dijkstra_csr": {
             "value": round(t_dict / t_csr, 3),
@@ -147,6 +191,16 @@ def run_suite(full: bool = False, repeats: int = 3) -> dict:
             "direction": "lower",
             "desc": "nodes settled by the CSR CH buckets (MSMD workload)",
         },
+        "coalesce_speedup_8_sessions": {
+            "value": round(t_sessions / t_coalesced, 3),
+            "direction": "higher",
+            "desc": "8-session wall ratio, per-session dispatch vs coalesced",
+        },
+        "coalesced_batch_pairs": {
+            "value": coalesce_snapshot.union_pairs,
+            "direction": "lower",
+            "desc": "distinct pairs the coalesced union passes evaluated",
+        },
     }
     return {
         "schema": 1,
@@ -164,6 +218,8 @@ def run_suite(full: bool = False, repeats: int = 3) -> dict:
             # ratio is too noisy to gate — recorded for humans only.
             "m2m_ch_dict_ms": round(t_m2m_dict * 1000, 2),
             "m2m_ch_csr_ms": round(t_m2m_csr * 1000, 2),
+            "coalesce_sessions_ms": round(t_sessions * 1000, 2),
+            "coalesce_coalesced_ms": round(t_coalesced * 1000, 2),
         },
     }
 
