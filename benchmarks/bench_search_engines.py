@@ -25,6 +25,8 @@ import time
 
 import pytest
 
+from timing import best_of as _best_of
+
 from repro.network.csr import csr_snapshot
 from repro.network.generators import grid_network, scale_free_network
 from repro.search.alt import LandmarkIndex, alt_path
@@ -171,17 +173,6 @@ def test_ch_speedup_scale_free():
     net = scale_free_network(2000, attachment=2, seed=3)
     t_dij, _t_alt, t_ch = _speedup_report("scale-free-2k", net, 30, seed=2)
     assert t_dij / t_ch >= 5.0
-
-
-def _best_of(fn, repeats=3):
-    """Best-of-N wall time for ratio stability on noisy CI machines."""
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
 
 
 def test_csr_point_speedup_grid_10k():

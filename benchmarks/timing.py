@@ -1,0 +1,19 @@
+"""Shared timing helper for the benchmark suites."""
+
+from __future__ import annotations
+
+import time
+
+
+def best_of(fn, repeats: int = 3):
+    """Best-of-N wall time for ratio stability on noisy CI machines.
+
+    Returns ``(best_seconds, last_result)``.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result

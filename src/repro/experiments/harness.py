@@ -73,6 +73,7 @@ def run_all(experiment_ids: Sequence[str] | None = None) -> list[ExperimentResul
         e10_batching_window,
         e11_protection_sizing,
         e12_linkage,
+        e13_partition_overlay,
     )
 
     modules = {
@@ -88,6 +89,7 @@ def run_all(experiment_ids: Sequence[str] | None = None) -> list[ExperimentResul
         "E10": e10_batching_window,
         "E11": e11_protection_sizing,
         "E12": e12_linkage,
+        "E13": e13_partition_overlay,
     }
     if experiment_ids is None:
         selected = list(modules)

@@ -6,8 +6,12 @@ I/O cost of a Dijkstra search is proportional to the *area* its spanning
 tree touches.  This module reproduces that storage model:
 
 * :class:`PageStore` partitions a network's nodes into fixed-capacity pages
-  using BFS connectivity clustering (neighbors land on the same page when
-  possible — the essence of CCAM).
+  via the shared graph partitioner (:mod:`repro.network.partition` —
+  neighbors land on the same page when possible, the essence of CCAM).
+  Pages *are* partition cells: a ``PageStore`` with capacity ``c`` holds
+  exactly the cells of ``partition_snapshot(network, c)``, so the storage
+  simulator and the partition-overlay engine share one clustering
+  implementation.
 * :class:`LRUBufferPool` caches a bounded number of pages and reports
   faults.
 * :class:`PagedNetwork` wraps a :class:`RoadNetwork` so every adjacency-list
@@ -24,6 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.exceptions import StorageError, UnknownNodeError
 from repro.network.graph import NodeId, Point, RoadNetwork
+from repro.network.partition import partition_snapshot
 
 __all__ = ["IOCounter", "PageStore", "LRUBufferPool", "PagedNetwork"]
 
@@ -56,7 +61,7 @@ class IOCounter:
 
 
 class PageStore:
-    """BFS connectivity clustering of nodes into fixed-capacity pages.
+    """Connectivity clustering of nodes into fixed-capacity pages.
 
     Parameters
     ----------
@@ -68,49 +73,24 @@ class PageStore:
 
     Notes
     -----
-    Pages are filled by breadth-first traversal from unassigned seed nodes,
-    so spatially/topologically close nodes share pages.  This is what makes
-    page faults proportional to the geographic area of a search — the
-    behaviour Lemma 1's I/O bound relies on.
+    The layout is the shared partitioner's
+    (:func:`repro.network.partition.partition_snapshot`): spatially and
+    topologically close nodes share pages, which is what makes page
+    faults proportional to the geographic area of a search — the
+    behaviour Lemma 1's I/O bound relies on.  Because pages are exactly
+    partition cells, the partition-overlay engine's cells and the
+    storage pages coincide whenever their capacities match.
     """
 
     def __init__(self, network: RoadNetwork, page_capacity: int = 64) -> None:
         if page_capacity < 1:
             raise StorageError("page_capacity must be >= 1")
         self._capacity = page_capacity
-        self._page_of: dict[NodeId, int] = {}
-        self._pages: list[list[NodeId]] = []
-        self._build(network)
-
-    def _build(self, network: RoadNetwork) -> None:
-        unassigned = set(network.nodes())
-        # Iterate in insertion order for determinism; sets don't guarantee it.
-        order = [n for n in network.nodes()]
-        for seed in order:
-            if seed not in unassigned:
-                continue
-            # BFS from the seed, packing nodes into consecutive pages.
-            queue = [seed]
-            unassigned.discard(seed)
-            current: list[NodeId] = []
-            while queue:
-                node = queue.pop(0)
-                if len(current) == self._capacity:
-                    self._commit(current)
-                    current = []
-                current.append(node)
-                for nbr in network.neighbors(node):
-                    if nbr in unassigned:
-                        unassigned.discard(nbr)
-                        queue.append(nbr)
-            if current:
-                self._commit(current)
-
-    def _commit(self, nodes: list[NodeId]) -> None:
-        page_id = len(self._pages)
-        self._pages.append(list(nodes))
-        for node in nodes:
-            self._page_of[node] = page_id
+        partition = partition_snapshot(network, cell_capacity=page_capacity)
+        self._pages: list[list[NodeId]] = [
+            list(cell) for cell in partition.cells
+        ]
+        self._page_of: dict[NodeId, int] = dict(partition.cell_of)
 
     @property
     def num_pages(self) -> int:

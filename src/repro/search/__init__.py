@@ -51,6 +51,14 @@ from repro.search.ch import (
     contract_network,
 )
 from repro.network.csr import CSRGraph, csr_snapshot
+from repro.network.partition import Partition, partition_network, partition_snapshot
+from repro.search.overlay import (
+    CSROverlayProcessor,
+    OverlayGraph,
+    OverlayProcessor,
+    build_overlay,
+    overlay_snapshot,
+)
 from repro.search.kernels import (
     CSRBidirectionalPairwiseProcessor,
     CSRCHManyToManyProcessor,
@@ -100,6 +108,14 @@ __all__ = [
     "CSRSharedTreeProcessor",
     "CSRBidirectionalPairwiseProcessor",
     "CSRCHManyToManyProcessor",
+    "Partition",
+    "partition_network",
+    "partition_snapshot",
+    "OverlayGraph",
+    "build_overlay",
+    "overlay_snapshot",
+    "OverlayProcessor",
+    "CSROverlayProcessor",
     "SearchEngine",
     "ENGINES",
     "get_engine",
@@ -182,6 +198,26 @@ def _route_ch_csr(network, source, destination, context=None, stats=None):
     return csr_ch_path(context, source, destination, stats=stats)
 
 
+def _prepare_overlay(network):
+    return overlay_snapshot(network, kernel="dict")
+
+
+def _prepare_overlay_csr(network):
+    return overlay_snapshot(network, kernel="csr")
+
+
+def _route_overlay(network, source, destination, context=None, stats=None):
+    if context is None:
+        context = overlay_snapshot(network, kernel="dict")
+    return context.route(source, destination, stats=stats)
+
+
+def _route_overlay_csr(network, source, destination, context=None, stats=None):
+    if context is None:
+        context = overlay_snapshot(network, kernel="csr")
+    return context.route(source, destination, stats=stats)
+
+
 #: every registered engine, keyed by name
 ENGINES: dict[str, SearchEngine] = {
     engine.name: engine
@@ -250,6 +286,26 @@ ENGINES: dict[str, SearchEngine] = {
             prepare=ch_csr_hierarchy,
             route=_route_ch_csr,
             make_processor=CSRCHManyToManyProcessor,
+        ),
+        SearchEngine(
+            name="overlay",
+            description=(
+                "partition + boundary-overlay two-phase queries "
+                "(CRP-style; per-cell recustomization)"
+            ),
+            prepare=_prepare_overlay,
+            route=_route_overlay,
+            make_processor=OverlayProcessor,
+        ),
+        SearchEngine(
+            name="overlay-csr",
+            description=(
+                "partition overlay with flat per-cell CSR kernels "
+                "(preprocessed, per-cell recustomization)"
+            ),
+            prepare=_prepare_overlay_csr,
+            route=_route_overlay_csr,
+            make_processor=CSROverlayProcessor,
         ),
     )
 }

@@ -69,6 +69,7 @@ from repro.search.result import PathResult, SearchStats
 __all__ = [
     "KernelScratch",
     "scratch_for",
+    "overlay_sweep",
     "csr_dijkstra_path",
     "csr_dijkstra_to_many",
     "csr_bidirectional_path",
@@ -141,6 +142,147 @@ def scratch_for(size: int) -> KernelScratch:
     if scratch is None:
         scratch = pool[size] = KernelScratch(size)
     return scratch
+
+
+# ----------------------------------------------------------------------
+# Overlay sweep (the partition-overlay engine's boundary-phase kernel)
+# ----------------------------------------------------------------------
+def overlay_sweep(
+    offsets: Sequence[int],
+    targets: Sequence[int],
+    weights: Sequence[float],
+    kinds: Sequence[int],
+    seeds: Iterable[tuple[int, float]],
+    num_nodes: int,
+    target_offsets: dict[int, float] | None = None,
+    best_bound: float = _INF,
+    stats: SearchStats | None = None,
+    goal: tuple[float, float] | None = None,
+    xs: Sequence[float] | None = None,
+    ys: Sequence[float] | None = None,
+) -> tuple[float, int, list[float], list[int], list[int], bytearray]:
+    """Multi-source (optionally goal-directed) sweep over a flat overlay.
+
+    The boundary phase of the two-phase partition-overlay query
+    (:class:`repro.search.overlay.OverlayGraph`): ``offsets``/``targets``/
+    ``weights`` is the CSR adjacency over boundary-node indices (clique
+    shortcuts plus cut arcs), ``kinds[e]`` labels arc ``e`` with the cell
+    whose clique produced it (``-1`` for a cut arc) and is recorded per
+    tree arc for path unpacking.
+
+    Parameters
+    ----------
+    seeds:
+        ``(boundary index, offset)`` pairs — the source-cell boundary
+        nodes with their local distances from the true source.
+    target_offsets:
+        When given, a ``{boundary index: local distance to target}``
+        map: the sweep tracks ``best = min(dist[b] + offset[b])`` and
+        stops early once the frontier cannot improve it (point-query
+        mode).  ``None`` settles everything reachable (MSMD mode).
+    best_bound:
+        Initial upper bound on the answer (e.g. the intra-cell direct
+        candidate when source and target share a cell).
+    goal, xs, ys:
+        When ``goal=(x, y)`` and the boundary coordinate arrays are
+        given (point-query mode only), the sweep runs A* keyed by
+        ``dist + straight-line-to-goal``.  The caller must guarantee
+        the lower bound is admissible — every overlay arc weight and
+        every target offset at least its endpoints' Euclidean distance
+        (true whenever all edge weights are >= their Euclidean length;
+        see :attr:`repro.search.overlay.OverlayGraph.metric`).  The
+        heuristic is consistent, so results are identical to the plain
+        sweep — only fewer nodes settle.
+
+    Returns
+    -------
+    (best, meet, dist, parent, via, done)
+        ``best``/``meet`` are the best offset candidate and its
+        boundary index (``-1`` when no candidate beat ``best_bound``);
+        ``dist``/``parent``/``via`` are the tree arrays (``via[v]`` is
+        the kind label of the tree arc into ``v``); ``done`` flags
+        settled indices.
+    """
+    if stats is None:
+        stats = SearchStats()
+    from math import hypot
+
+    dist = [_INF] * num_nodes
+    parent = [-1] * num_nodes
+    via = [-1] * num_nodes
+    done = bytearray(num_nodes)
+    heap: list[tuple[float, float, int]] = []
+    pop, push = heappop, heappush
+    pushes = 0
+    hmemo: list[float] | None = None
+    gx = gy = 0.0
+    if goal is not None and target_offsets is not None:
+        gx, gy = goal
+        hmemo = [-1.0] * num_nodes
+    for i, offset in seeds:
+        if offset < dist[i]:
+            dist[i] = offset
+            if hmemo is not None:
+                h = hypot(xs[i] - gx, ys[i] - gy)
+                hmemo[i] = h
+                push(heap, (offset + h, offset, i))
+            else:
+                push(heap, (offset, offset, i))
+            pushes += 1
+    best = best_bound
+    meet = -1
+    settled = relaxed = 0
+    maxd = 0.0
+    while heap:
+        key, d, u = pop(heap)
+        if done[u]:
+            continue
+        if target_offsets is not None and key >= best:
+            break
+        done[u] = 1
+        settled += 1
+        if d > maxd:
+            maxd = d
+        if target_offsets is not None:
+            offset = target_offsets.get(u)
+            if offset is not None:
+                candidate = d + offset
+                if candidate < best:
+                    best = candidate
+                    meet = u
+        start = offsets[u]
+        end = offsets[u + 1]
+        relaxed += end - start
+        if hmemo is None:
+            for e in range(start, end):
+                v = targets[e]
+                nd = d + weights[e]
+                if nd < dist[v]:
+                    dist[v] = nd
+                    parent[v] = u
+                    via[v] = kinds[e]
+                    push(heap, (nd, nd, v))
+                    pushes += 1
+        else:
+            for e in range(start, end):
+                v = targets[e]
+                nd = d + weights[e]
+                if nd < dist[v]:
+                    dist[v] = nd
+                    parent[v] = u
+                    via[v] = kinds[e]
+                    h = hmemo[v]
+                    if h < 0.0:
+                        h = hypot(xs[v] - gx, ys[v] - gy)
+                        hmemo[v] = h
+                    push(heap, (nd + h, nd, v))
+                    pushes += 1
+    stats.settled_nodes += settled
+    stats.relaxed_edges += relaxed
+    stats.heap_pushes += pushes
+    if maxd > stats.max_settled_distance:
+        stats.max_settled_distance = maxd
+    return best, meet, dist, parent, via, done
 
 
 # ----------------------------------------------------------------------

@@ -494,6 +494,8 @@ _LAZY_PROCESSORS: dict[str, tuple[str, str]] = {
         "CSRBidirectionalPairwiseProcessor",
     ),
     "ch-csr": ("repro.search.kernels", "CSRCHManyToManyProcessor"),
+    "overlay": ("repro.search.overlay", "OverlayProcessor"),
+    "overlay-csr": ("repro.search.overlay", "CSROverlayProcessor"),
 }
 
 

@@ -1,0 +1,964 @@
+"""Partition-overlay routing engine (CRP-style two-phase queries).
+
+The monolithic engines (Dijkstra, CH, the CSR kernels) preprocess and
+query the whole road network as a unit, so one weight change forces a
+full rebuild and the serving stack has no axis to shard work on.  This
+module adds the production answer: split the network into bounded-size
+cells (:mod:`repro.network.partition`), precompute per-cell *clique
+shortcuts* between each cell's boundary nodes, and answer queries in two
+phases — local search inside the source and target cells, plus one
+sweep over the much smaller boundary overlay
+(:func:`repro.search.kernels.overlay_sweep`).
+
+**Customization.**  A cell's clique depends only on the edges *inside*
+that cell, so re-weighting an edge (traffic) invalidates exactly the
+cell containing it: :meth:`OverlayGraph.recustomized` rebuilds only the
+touched cells' cliques (sharing every other cell's tables with the old
+overlay) — a per-cell re-customization instead of the full rebuild a CH
+engine pays.  The partition itself never reads weights, so it survives
+any re-weighting unchanged.
+
+**Exactness.**  Any shortest path decomposes into a prefix inside the
+source cell, cut edges, intra-cell segments between boundary nodes, and
+a suffix inside the target cell.  The local phases cover prefix and
+suffix exactly; clique arcs carry each cell's intra-cell
+boundary-to-boundary shortest distances (arcs whose shortest path runs
+through another boundary node of the same cell are pruned — the kept
+arcs compose to the same distances, which keeps the overlay sparse);
+cut arcs are the original edges.  Queries on the overlay therefore
+return the same distances as plain Dijkstra, on directed and
+disconnected networks alike, which the engine-conformance harness
+checks for the registered ``"overlay"`` (dict cell searches) and
+``"overlay-csr"`` (flat per-cell CSR kernels) engines.
+
+**Goal direction.**  Customization checks once whether every edge
+weight is at least its endpoints' straight-line distance
+(:attr:`OverlayGraph.metric`).  When it is — true for distance-weighted
+maps like the grid generators — every overlay arc and every local
+offset inherits the bound, so the point-query sweep runs A* keyed by
+``dist + straight-line-to-target``: an admissible, consistent lower
+bound that settles a corridor instead of a disc with identical
+distances.  On non-metric weights (travel times faster than geometry)
+the flag is false and the sweep is the plain exact Dijkstra — which is
+why the conformance harness holds these engines to arbitrary weights.
+
+Overlays serialize to a text format (``dumps_overlay``/``read_overlay``)
+so the serving layer's :class:`~repro.service.cache.PreprocessingCache`
+can spill them to disk and reload them without re-customizing.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections.abc import Iterable, Sequence
+from typing import TextIO
+from weakref import WeakKeyDictionary
+
+from repro.exceptions import GraphError, NoPathError
+from repro.network.csr import CSRGraph
+from repro.network.graph import NodeId
+from repro.network.partition import Partition, partition_snapshot
+from repro.search.dijkstra import dijkstra_to_many
+from repro.search.kernels import csr_dijkstra_to_many, overlay_sweep
+from repro.search.multi import MSMDResult, PreprocessingProcessor, _validate
+from repro.search.result import PathResult, SearchStats
+
+__all__ = [
+    "OverlayGraph",
+    "build_overlay",
+    "overlay_snapshot",
+    "OverlayProcessor",
+    "CSROverlayProcessor",
+    "write_overlay",
+    "read_overlay",
+    "dumps_overlay",
+    "loads_overlay",
+]
+
+_INF = float("inf")
+_KERNELS = ("dict", "csr")
+
+
+class _CellView:
+    """Induced-subgraph read view of one cell (no copying).
+
+    Exposes the subset of the :class:`~repro.network.graph.RoadNetwork`
+    read interface the Dijkstra variants and
+    :meth:`~repro.network.csr.CSRGraph.from_network` use, restricted to
+    the cell's members.  With ``reverse=True`` on a directed network the
+    view serves the reversed intra-cell adjacency (for backward local
+    searches); on undirected networks the reverse view is the view.
+    """
+
+    __slots__ = ("_network", "_order", "_members", "_radj")
+
+    def __init__(self, network, members: Sequence[NodeId], reverse: bool = False):
+        self._network = network
+        self._order = tuple(members)
+        self._members = frozenset(members)
+        self._radj: dict[NodeId, dict[NodeId, float]] | None = None
+        if reverse and getattr(network, "directed", False):
+            radj: dict[NodeId, dict[NodeId, float]] = {
+                node: {} for node in self._order
+            }
+            for u in self._order:
+                for v, w in network.neighbors(u).items():
+                    if v in self._members:
+                        radj[v][u] = w
+            self._radj = radj
+
+    @property
+    def directed(self) -> bool:
+        """Directedness of the backing network."""
+        return bool(getattr(self._network, "directed", False))
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of cell members."""
+        return len(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._members
+
+    def nodes(self):
+        """Iterate the cell's members in partition order."""
+        return iter(self._order)
+
+    def position(self, node: NodeId):
+        """Position of a member node (delegates to the backing network)."""
+        return self._network.position(node)
+
+    def neighbors(self, node: NodeId) -> dict[NodeId, float]:
+        """Intra-cell adjacency of ``node`` (filtered per call)."""
+        if self._radj is not None:
+            return self._radj[node]
+        return {
+            v: w
+            for v, w in self._network.neighbors(node).items()
+            if v in self._members
+        }
+
+
+def _reversed_csr(csr: CSRGraph) -> CSRGraph:
+    """A CSR snapshot whose forward arrays are ``csr``'s reverse arrays."""
+    if not csr.directed:
+        return csr
+    return CSRGraph(
+        node_ids=csr.node_ids,
+        index_of=csr.index_of,
+        offsets=csr.roffsets,
+        targets=csr.rtargets,
+        weights=csr.rweights,
+        xs=csr.xs,
+        ys=csr.ys,
+        directed=True,
+        roffsets=csr.offsets,
+        rtargets=csr.targets,
+        rweights=csr.weights,
+    )
+
+
+def _flip(path: PathResult) -> PathResult:
+    """Reverse a path computed on a reversed adjacency."""
+    return PathResult(
+        source=path.destination,
+        destination=path.source,
+        nodes=tuple(reversed(path.nodes)),
+        distance=path.distance,
+    )
+
+
+class OverlayGraph:
+    """Per-cell boundary cliques plus the flat overlay adjacency.
+
+    Build with :func:`build_overlay` (or the memoizing
+    :func:`overlay_snapshot`); query with :meth:`route` /
+    :meth:`many_to_many`; after re-weighting edges, refresh with
+    :meth:`recustomized`, which recomputes only the touched cells.
+
+    Attributes
+    ----------
+    network, partition:
+        The backing network and its (weight-independent) partition.
+    kernel:
+        ``"dict"`` (reference cell searches over live views) or
+        ``"csr"`` (flat per-cell CSR kernels — the fast path).
+    cliques:
+        ``cliques[c][b][b2]`` is the intra-cell shortest
+        :class:`~repro.search.result.PathResult` from boundary node
+        ``b`` to ``b2`` of cell ``c`` (pruned: pairs whose path runs
+        through another boundary node of ``c`` are omitted and compose
+        from the kept arcs instead).
+    boundary_ids, boundary_index:
+        Dense indexing of every boundary node (cell order, then
+        partition order within the cell) used by the flat overlay
+        arrays.
+    over_offsets, over_targets, over_weights, over_kinds:
+        CSR adjacency over boundary indices: clique arcs (kind = owning
+        cell) and cut arcs (kind ``-1``, current network weight).
+    customize_stats:
+        Aggregate search cost of the clique computations this instance
+        performed (a fresh build covers every cell; a
+        :meth:`recustomized` copy only the touched ones).
+    customized_cells:
+        How many cells this instance customized itself.
+    """
+
+    __slots__ = (
+        "__weakref__",
+        "network",
+        "partition",
+        "kernel",
+        "cliques",
+        "_cell_csr",
+        "_cell_rcsr",
+        "boundary_ids",
+        "boundary_index",
+        "over_offsets",
+        "over_targets",
+        "over_weights",
+        "over_kinds",
+        "metric",
+        "_bxs",
+        "_bys",
+        "customize_stats",
+        "customized_cells",
+    )
+
+    def __init__(
+        self,
+        network,
+        partition: Partition,
+        kernel: str,
+        cliques: list[dict],
+        cell_csr: list,
+        cell_rcsr: list,
+        customize_stats: SearchStats,
+        customized_cells: int,
+        metric: bool | None = None,
+    ) -> None:
+        self.network = network
+        self.partition = partition
+        self.kernel = kernel
+        self.cliques = cliques
+        self._cell_csr = cell_csr
+        self._cell_rcsr = cell_rcsr
+        self.customize_stats = customize_stats
+        self.customized_cells = customized_cells
+        self._assemble(metric)
+
+    # ------------------------------------------------------------------
+    # Construction / customization
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        network,
+        partition: Partition | None = None,
+        cell_capacity: int | None = None,
+        kernel: str = "dict",
+    ) -> "OverlayGraph":
+        """Partition (if needed) and customize every cell.
+
+        Raises
+        ------
+        GraphError
+            For an unknown ``kernel``.
+        """
+        if kernel not in _KERNELS:
+            raise GraphError(f"unknown overlay kernel {kernel!r}")
+        if partition is None:
+            partition = partition_snapshot(network, cell_capacity)
+        stats = SearchStats()
+        cliques: list[dict] = []
+        cell_csr: list = []
+        cell_rcsr: list = []
+        for cell in range(partition.num_cells):
+            fcsr, rcsr = cls._cell_graphs(network, partition, cell, kernel)
+            cell_csr.append(fcsr)
+            cell_rcsr.append(rcsr)
+            cliques.append(
+                cls._customize_cell(network, partition, cell, kernel, fcsr, stats)
+            )
+        return cls(
+            network, partition, kernel, cliques, cell_csr, cell_rcsr,
+            stats, partition.num_cells,
+        )
+
+    @staticmethod
+    def _cell_graphs(network, partition: Partition, cell: int, kernel: str):
+        """Per-cell CSR snapshots (forward, reversed) for the csr kernel."""
+        if kernel != "csr":
+            return None, None
+        view = _CellView(network, partition.cells[cell])
+        fcsr = CSRGraph.from_network(view)
+        return fcsr, _reversed_csr(fcsr)
+
+    @staticmethod
+    def _customize_cell(
+        network, partition: Partition, cell: int, kernel: str, fcsr, stats
+    ) -> dict:
+        """Compute one cell's pruned boundary clique.
+
+        One truncated SSMD tree per boundary node, over the cell-induced
+        subgraph only; a pair whose tree path runs through another
+        boundary node of the cell (with strictly positive prefix and
+        remainder) is pruned — the surviving arcs compose to the same
+        distances, so the overlay stays exact while much sparser than a
+        full clique.
+        """
+        boundary = partition.boundary[cell]
+        bset = frozenset(boundary)
+        view = None
+        if kernel != "csr":
+            view = _CellView(network, partition.cells[cell])
+        clique: dict[NodeId, dict[NodeId, PathResult]] = {}
+        for b in boundary:
+            if kernel == "csr":
+                trees = csr_dijkstra_to_many(
+                    network, b, boundary, csr=fcsr, stats=stats, strict=False
+                )
+            else:
+                trees = dijkstra_to_many(
+                    view, b, boundary, stats=stats, strict=False
+                )
+            kept: dict[NodeId, PathResult] = {}
+            for b2 in boundary:
+                if b2 == b:
+                    continue
+                path = trees.get(b2)
+                if path is None or _through_boundary(network, path, bset):
+                    continue
+                kept[b2] = path
+            clique[b] = kept
+        return clique
+
+    def touched_cells(self, edges: Iterable[Sequence[NodeId]]) -> set[int]:
+        """Cells whose cliques depend on the given edges.
+
+        Cut edges (endpoints in different cells) touch no clique — their
+        new weight only needs the flat arrays refreshed, which every
+        :meth:`recustomized` call does.
+
+        Parameters
+        ----------
+        edges:
+            ``(u, v)`` or ``(u, v, weight)`` tuples.
+        """
+        touched: set[int] = set()
+        for edge in edges:
+            u, v = edge[0], edge[1]
+            cu = self.partition.cell_index(u)
+            cv = self.partition.cell_index(v)
+            if cu == cv:
+                touched.add(cu)
+        return touched
+
+    def recustomized(
+        self,
+        cells: Iterable[int] | None = None,
+        changed_edges: Iterable[Sequence[NodeId]] | None = None,
+    ) -> "OverlayGraph":
+        """A new overlay with only the given cells' cliques recomputed.
+
+        The headline incremental-customization path: after re-weighting
+        edges, recompute the touched cells (see :meth:`touched_cells`)
+        against the network's *current* weights and share every other
+        cell's clique tables and CSR snapshots with this instance.  Cut
+        arc weights are re-read from the network unconditionally.  The
+        result is byte-identical (see :func:`dumps_overlay`) to a
+        from-scratch :func:`build_overlay` on the re-weighted network.
+
+        Parameters
+        ----------
+        cells:
+            Cell indices to recustomize; ``None`` recustomizes all.
+        changed_edges:
+            The ``(u, v)`` / ``(u, v, weight)`` tuples the re-weight
+            touched, when the caller knows them (e.g.
+            :meth:`repro.service.serving.ServingStack.reweight`).  Lets
+            a metric overlay refresh its :attr:`metric` flag by checking
+            only those edges instead of rescanning the whole network —
+            the scan that would otherwise dominate a single-cell
+            refresh on a large map.  Omitted, or starting from a
+            non-metric overlay (the flag could flip back on), the flag
+            is recomputed from scratch.
+
+        Raises
+        ------
+        GraphError
+            For an out-of-range cell index.
+        """
+        partition = self.partition
+        if cells is None:
+            touched = set(range(partition.num_cells))
+        else:
+            touched = set(cells)
+            for cell in touched:
+                if not 0 <= cell < partition.num_cells:
+                    raise GraphError(f"unknown cell index {cell}")
+        stats = SearchStats()
+        cliques = list(self.cliques)
+        cell_csr = list(self._cell_csr)
+        cell_rcsr = list(self._cell_rcsr)
+        for cell in sorted(touched):
+            fcsr, rcsr = self._cell_graphs(
+                self.network, partition, cell, self.kernel
+            )
+            cell_csr[cell] = fcsr
+            cell_rcsr[cell] = rcsr
+            cliques[cell] = self._customize_cell(
+                self.network, partition, cell, self.kernel, fcsr, stats
+            )
+        metric: bool | None = None
+        if changed_edges is not None and self.metric:
+            metric = all(
+                _edge_is_metric(self.network, edge[0], edge[1])
+                for edge in changed_edges
+            )
+        return type(self)(
+            self.network, partition, self.kernel, cliques, cell_csr,
+            cell_rcsr, stats, len(touched), metric=metric,
+        )
+
+    def _assemble(self, metric: bool | None = None) -> None:
+        """Freeze the boundary overlay into flat CSR arrays."""
+        partition = self.partition
+        network = self.network
+        boundary_ids: list[NodeId] = []
+        for cell_boundary in partition.boundary:
+            boundary_ids.extend(cell_boundary)
+        index = {b: i for i, b in enumerate(boundary_ids)}
+        offsets = [0]
+        targets: list[int] = []
+        weights: list[float] = []
+        kinds: list[int] = []
+        cell_of = partition.cell_of
+        for b in boundary_ids:
+            cell = cell_of[b]
+            for b2, path in self.cliques[cell][b].items():
+                targets.append(index[b2])
+                weights.append(path.distance)
+                kinds.append(cell)
+            for v, w in network.neighbors(b).items():
+                if cell_of[v] != cell:
+                    targets.append(index[v])
+                    weights.append(w)
+                    kinds.append(-1)
+            offsets.append(len(targets))
+        self.boundary_ids = tuple(boundary_ids)
+        self.boundary_index = index
+        self.over_offsets = offsets
+        self.over_targets = targets
+        self.over_weights = weights
+        self.over_kinds = kinds
+        self.metric = _network_is_metric(network) if metric is None else metric
+        self._bxs = [network.position(b).x for b in boundary_ids]
+        self._bys = [network.position(b).y for b in boundary_ids]
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        """Number of cells."""
+        return self.partition.num_cells
+
+    @property
+    def num_boundary_nodes(self) -> int:
+        """Nodes participating in the overlay."""
+        return len(self.boundary_ids)
+
+    @property
+    def num_clique_arcs(self) -> int:
+        """Kept clique shortcut arcs (after pruning)."""
+        return sum(1 for kind in self.over_kinds if kind >= 0)
+
+    @property
+    def num_cut_arcs(self) -> int:
+        """Cut arcs in the overlay (each stored arc direction counts)."""
+        return sum(1 for kind in self.over_kinds if kind < 0)
+
+    def __contains__(self, node: NodeId) -> bool:
+        """Whether ``node`` belongs to the partitioned network."""
+        return node in self.partition
+
+    def __repr__(self) -> str:
+        return (
+            f"OverlayGraph(kernel={self.kernel!r}, cells={self.num_cells}, "
+            f"boundary={self.num_boundary_nodes}, "
+            f"clique_arcs={self.num_clique_arcs}, "
+            f"cut_arcs={self.num_cut_arcs})"
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _local_forward(
+        self, cell: int, source: NodeId, extra: tuple, stats: SearchStats
+    ) -> dict[NodeId, PathResult]:
+        """Intra-cell paths from ``source`` to the cell's boundary (+extras)."""
+        targets: list[NodeId] = list(self.partition.boundary[cell])
+        targets.extend(extra)
+        if self.kernel == "csr":
+            return csr_dijkstra_to_many(
+                self.network, source, targets,
+                csr=self._cell_csr[cell], stats=stats, strict=False,
+            )
+        view = _CellView(self.network, self.partition.cells[cell])
+        return dijkstra_to_many(view, source, targets, stats=stats, strict=False)
+
+    def _local_backward(
+        self, cell: int, destination: NodeId, stats: SearchStats
+    ) -> dict[NodeId, PathResult]:
+        """Intra-cell paths from the cell's boundary *to* ``destination``."""
+        boundary = self.partition.boundary[cell]
+        if self.kernel == "csr":
+            trees = csr_dijkstra_to_many(
+                self.network, destination, boundary,
+                csr=self._cell_rcsr[cell], stats=stats, strict=False,
+            )
+        else:
+            view = _CellView(
+                self.network, self.partition.cells[cell], reverse=True
+            )
+            trees = dijkstra_to_many(
+                view, destination, boundary, stats=stats, strict=False
+            )
+        return {b: _flip(path) for b, path in trees.items()}
+
+    def route(
+        self,
+        source: NodeId,
+        destination: NodeId,
+        stats: SearchStats | None = None,
+    ) -> PathResult:
+        """Two-phase point query: local cells + one overlay sweep.
+
+        Raises
+        ------
+        NoPathError
+            If the destination is unreachable.
+        UnknownNodeError
+            If either endpoint is missing from the network.
+        """
+        if stats is None:
+            stats = SearchStats()
+        cs = self.partition.cell_index(source)
+        ct = self.partition.cell_index(destination)
+        if source == destination:
+            return PathResult(source, source, (source,), 0.0)
+        extra = (destination,) if ct == cs else ()
+        fwd = self._local_forward(cs, source, extra, stats)
+        bwd = self._local_backward(ct, destination, stats)
+        direct = fwd.get(destination) if ct == cs else None
+        index = self.boundary_index
+        seeds = []
+        for b in self.partition.boundary[cs]:
+            path = fwd.get(b)
+            if path is not None:
+                seeds.append((index[b], path.distance))
+        target_offsets = {index[b]: path.distance for b, path in bwd.items()}
+        goal = None
+        if self.metric:
+            p = self.network.position(destination)
+            goal = (p.x, p.y)
+        best, meet, _dist, parent, via, _done = overlay_sweep(
+            self.over_offsets, self.over_targets, self.over_weights,
+            self.over_kinds, seeds,
+            num_nodes=len(self.boundary_ids),
+            target_offsets=target_offsets,
+            best_bound=direct.distance if direct is not None else _INF,
+            stats=stats,
+            goal=goal,
+            xs=self._bxs,
+            ys=self._bys,
+        )
+        if meet < 0:
+            if direct is not None:
+                return direct
+            raise NoPathError(source, destination)
+        return self._stitch(source, destination, fwd, bwd, best, meet, parent, via)
+
+    def many_to_many(
+        self,
+        sources: Sequence[NodeId],
+        destinations: Sequence[NodeId],
+        stats: SearchStats | None = None,
+    ) -> dict[tuple[NodeId, NodeId], PathResult]:
+        """All-pairs shortest paths over the overlay (MSMD primitive).
+
+        One backward local search per destination, one forward local
+        search plus one exhaustive overlay sweep per source; unreachable
+        pairs are omitted (mirrors
+        :func:`~repro.search.kernels.csr_ch_many_to_many`).
+        """
+        if stats is None:
+            stats = SearchStats()
+        partition = self.partition
+        index = self.boundary_index
+        src_cells = {s: partition.cell_index(s) for s in sources}
+        dst_cells = {t: partition.cell_index(t) for t in destinations}
+        backs = {
+            t: self._local_backward(dst_cells[t], t, stats)
+            for t in destinations
+        }
+        results: dict[tuple[NodeId, NodeId], PathResult] = {}
+        for s in sources:
+            cs = src_cells[s]
+            extra = tuple(t for t in destinations if dst_cells[t] == cs)
+            fwd = self._local_forward(cs, s, extra, stats)
+            seeds = []
+            for b in partition.boundary[cs]:
+                path = fwd.get(b)
+                if path is not None:
+                    seeds.append((index[b], path.distance))
+            _best, _meet, dist, parent, via, done = overlay_sweep(
+                self.over_offsets, self.over_targets, self.over_weights,
+                self.over_kinds, seeds,
+                num_nodes=len(self.boundary_ids),
+                target_offsets=None,
+                stats=stats,
+            )
+            for t in destinations:
+                direct = fwd.get(t) if dst_cells[t] == cs else None
+                best = direct.distance if direct is not None else _INF
+                meet = -1
+                bwd = backs[t]
+                for b, tail in bwd.items():
+                    bi = index[b]
+                    if done[bi]:
+                        candidate = dist[bi] + tail.distance
+                        if candidate < best:
+                            best = candidate
+                            meet = bi
+                if meet >= 0:
+                    results[(s, t)] = self._stitch(
+                        s, t, fwd, bwd, best, meet, parent, via
+                    )
+                elif direct is not None:
+                    results[(s, t)] = direct
+        return results
+
+    def _stitch(
+        self, source, destination, fwd, bwd, best, meet, parent, via
+    ) -> PathResult:
+        """Expand an overlay tree chain into a full node path."""
+        ids = self.boundary_ids
+        chain = [meet]
+        node = meet
+        while parent[node] >= 0:
+            node = parent[node]
+            chain.append(node)
+        chain.reverse()
+        nodes = list(fwd[ids[chain[0]]].nodes)
+        for prev, curr in zip(chain, chain[1:]):
+            kind = via[curr]
+            if kind < 0:  # cut arc: a real edge
+                nodes.append(ids[curr])
+            else:  # clique arc: splice the stored intra-cell path
+                nodes.extend(self.cliques[kind][ids[prev]][ids[curr]].nodes[1:])
+        nodes.extend(bwd[ids[meet]].nodes[1:])
+        return PathResult(
+            source=source,
+            destination=destination,
+            nodes=tuple(nodes),
+            distance=best,
+        )
+
+
+def _edge_is_metric(network, u: NodeId, v: NodeId) -> bool:
+    """Whether edge ``(u, v)``'s current weight is >= its Euclidean length."""
+    w = network.neighbors(u)[v]
+    gap = network.position(u).distance_to(network.position(v))
+    return w >= gap - 1e-12 * (1.0 + gap)
+
+
+def _network_is_metric(network) -> bool:
+    """Whether every edge weight is >= its endpoints' Euclidean distance.
+
+    The admissibility precondition of the goal-directed overlay sweep;
+    networks without an ``edges()`` view conservatively report
+    ``False`` (the sweep then stays plain exact Dijkstra).
+    """
+    edges = getattr(network, "edges", None)
+    if edges is None:
+        return False
+    for u, v, w in edges():
+        p = network.position(u)
+        q = network.position(v)
+        gap = p.distance_to(q)
+        if w < gap - 1e-12 * (1.0 + gap):
+            return False
+    return True
+
+
+def _through_boundary(network, path: PathResult, bset: frozenset) -> bool:
+    """Whether an intra-cell path crosses another boundary node.
+
+    True when some strict intermediate of ``path`` is a boundary node
+    with strictly positive prefix *and* remainder — the witness
+    condition that makes pruning the arc safe (the two halves are
+    strictly shorter boundary pairs, so kept arcs compose to the same
+    distance).
+    """
+    nodes = path.nodes
+    if len(nodes) < 3:
+        return False
+    total = path.distance
+    prefix = 0.0
+    for i in range(1, len(nodes) - 1):
+        prefix += network.neighbors(nodes[i - 1])[nodes[i]]
+        if nodes[i] in bset and 0.0 < prefix < total:
+            return True
+    return False
+
+
+def build_overlay(
+    network,
+    partition: Partition | None = None,
+    cell_capacity: int | None = None,
+    kernel: str = "dict",
+) -> OverlayGraph:
+    """Partition ``network`` (unless given) and customize every cell.
+
+    See :class:`OverlayGraph`; this is the non-memoized entry point.
+    """
+    return OverlayGraph.build(
+        network, partition=partition, cell_capacity=cell_capacity, kernel=kernel
+    )
+
+
+# Per-network memo: network -> (version, {(kernel, capacity): weakref}).
+# The overlays are held *weakly*: an OverlayGraph strongly references its
+# network, so a strong global cache would pin every network (and its
+# overlay) for process lifetime — the classic WeakKeyDictionary
+# value-references-key leak.  Callers that want reuse hold the snapshot
+# (the engine registry's prepare/route contract and the serving layer's
+# PreprocessingCache both do).
+_OVERLAYS: "WeakKeyDictionary[object, tuple[int, dict]]" = WeakKeyDictionary()
+_OVERLAY_LOCK = threading.Lock()
+
+
+def overlay_snapshot(
+    network,
+    kernel: str = "dict",
+    cell_capacity: int | None = None,
+) -> OverlayGraph:
+    """The (memoized) :class:`OverlayGraph` of ``network``.
+
+    Memoized against the network's ``version`` mutation stamp like
+    :func:`~repro.network.csr.csr_snapshot`, for as long as *some*
+    caller still holds the snapshot (the memo is weak; see above); any
+    mutation triggers a full rebuild on the next call — use
+    :meth:`OverlayGraph.recustomized` (e.g. via
+    :meth:`repro.service.serving.ServingStack.reweight`) to pay only
+    for the touched cells instead.
+    """
+    import weakref
+
+    version = getattr(network, "version", None)
+    if version is None:
+        return build_overlay(network, cell_capacity=cell_capacity, kernel=kernel)
+    key = (kernel, cell_capacity)
+    with _OVERLAY_LOCK:
+        memo = _OVERLAYS.get(network)
+        if memo is not None and memo[0] == version:
+            ref = memo[1].get(key)
+            overlay = ref() if ref is not None else None
+            if overlay is not None:
+                return overlay
+    overlay = build_overlay(network, cell_capacity=cell_capacity, kernel=kernel)
+    with _OVERLAY_LOCK:
+        memo = _OVERLAYS.get(network)
+        if memo is None or memo[0] != version:
+            memo = (version, {})
+            _OVERLAYS[network] = memo
+        memo[1][key] = weakref.ref(overlay)
+    return overlay
+
+
+# ----------------------------------------------------------------------
+# MSMD processors (registered in repro.search.multi.get_processor)
+# ----------------------------------------------------------------------
+class OverlayProcessor(PreprocessingProcessor):
+    """Partition-overlay MSMD processor (``"overlay"``).
+
+    The per-network artifact is the customized :class:`OverlayGraph`
+    (built once, shared via the serving layer's
+    :class:`~repro.service.cache.PreprocessingCache`).  Matches the CH
+    processors' batch contract: an unreachable pair raises
+    :class:`~repro.exceptions.NoPathError`.
+    """
+
+    name = "overlay"
+    _kernel = "dict"
+
+    def __init__(
+        self,
+        overlay: OverlayGraph | None = None,
+        cell_capacity: int | None = None,
+    ) -> None:
+        super().__init__(artifact=overlay)
+        self._cell_capacity = cell_capacity
+
+    def _build(self, network) -> OverlayGraph:
+        return overlay_snapshot(
+            network, kernel=self._kernel, cell_capacity=self._cell_capacity
+        )
+
+    def overlay_for(self, network) -> OverlayGraph:
+        """The overlay answering queries over ``network``."""
+        return self.artifact_for(network)
+
+    def process(self, network, sources, destinations) -> MSMDResult:
+        """Answer S x T via local searches plus overlay sweeps."""
+        _validate(sources, destinations)
+        overlay = self.overlay_for(network)
+        result = MSMDResult()
+        paths = overlay.many_to_many(sources, destinations, stats=result.stats)
+        for s in sources:
+            for t in destinations:
+                path = paths.get((s, t))
+                if path is None:
+                    raise NoPathError(s, t)
+                result.paths[(s, t)] = path
+        result.searches = len(sources) + len(destinations)
+        return result
+
+
+class CSROverlayProcessor(OverlayProcessor):
+    """Flat-kernel partition-overlay processor (``"overlay-csr"``).
+
+    Identical strategy and distances to :class:`OverlayProcessor`; the
+    local cell phases run on per-cell CSR snapshots with the pooled
+    index-space kernels instead of dict searches.
+    """
+
+    name = "overlay-csr"
+    _kernel = "csr"
+
+
+# ----------------------------------------------------------------------
+# Persistence (text format; integer node ids, like repro.network.io)
+# ----------------------------------------------------------------------
+def dumps_overlay(overlay: OverlayGraph) -> str:
+    """Serialize an overlay (partition + cliques) to a string.
+
+    The format carries everything customization computed, so loading
+    skips the clique searches entirely.  Node ids must be integers (the
+    same restriction as :mod:`repro.network.io`).  Two overlays with
+    identical partitions and cliques serialize byte-identically — the
+    equality witness the recustomization property tests rely on.
+    """
+    from repro.network.io import partition_cell_lines
+
+    lines = ["# repro overlay v1"]
+    lines.append(f"kernel {overlay.kernel}")
+    lines.append(f"capacity {overlay.partition.cell_capacity}")
+    lines.extend(partition_cell_lines(overlay.partition))
+    for cell, clique in enumerate(overlay.cliques):
+        for b in overlay.partition.boundary[cell]:
+            for path in clique[b].values():
+                nodes = " ".join(str(n) for n in path.nodes)
+                lines.append(f"clique {cell} {path.distance!r} {nodes}")
+    return "\n".join(lines) + "\n"
+
+
+def loads_overlay(text: str, network) -> OverlayGraph:
+    """Rebuild an overlay serialized by :func:`dumps_overlay`.
+
+    ``network`` must have the same content (nodes, edges) the overlay
+    was customized for — the serving layer guarantees this by keying
+    spill files on the network fingerprint.
+
+    Raises
+    ------
+    GraphError
+        For malformed input or a partition that does not match
+        ``network``.
+    """
+    import io as _io
+
+    return _read_overlay(_io.StringIO(text), network)
+
+
+def write_overlay(overlay: OverlayGraph, path: str | os.PathLike[str]) -> None:
+    """Write an overlay to ``path`` in the text format."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps_overlay(overlay))
+
+
+def read_overlay(path: str | os.PathLike[str], network) -> OverlayGraph:
+    """Read an overlay previously written by :func:`write_overlay`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return _read_overlay(fh, network)
+
+
+def _read_overlay(fh: TextIO, network) -> OverlayGraph:
+    kernel: str | None = None
+    capacity: int | None = None
+    cells: list[tuple[int, list[int]]] = []
+    clique_lines: list[tuple[int, float, list[int]]] = []
+    for line_no, raw in enumerate(fh, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        kind = fields[0]
+        try:
+            if kind == "kernel":
+                if kernel is not None:
+                    raise GraphError("duplicate 'kernel' header")
+                if fields[1] not in _KERNELS:
+                    raise GraphError(f"unknown overlay kernel {fields[1]!r}")
+                kernel = fields[1]
+            elif kind == "capacity":
+                if capacity is not None:
+                    raise GraphError("duplicate 'capacity' header")
+                capacity = int(fields[1])
+            elif kind == "cell":
+                cells.append((int(fields[1]), [int(f) for f in fields[2:]]))
+            elif kind == "clique":
+                clique_lines.append(
+                    (int(fields[1]), float(fields[2]),
+                     [int(f) for f in fields[3:]])
+                )
+            else:
+                raise GraphError(f"unknown record kind {kind!r}")
+        except (IndexError, ValueError) as exc:
+            raise GraphError(f"malformed line {line_no}: {line!r}") from exc
+    from repro.network.io import parse_partition_cells
+
+    if kernel is None or capacity is None:
+        raise GraphError("missing overlay 'kernel' or 'capacity' header")
+    partition = parse_partition_cells(cells, network, capacity)
+    cliques: list[dict] = [
+        {b: {} for b in boundary} for boundary in partition.boundary
+    ]
+    for cell, distance, nodes in clique_lines:
+        if not 0 <= cell < partition.num_cells or len(nodes) < 2:
+            raise GraphError(f"malformed clique record for cell {cell}")
+        b, b2 = nodes[0], nodes[-1]
+        if b not in cliques[cell] or b2 not in cliques[cell]:
+            raise GraphError(
+                f"clique endpoints {b}, {b2} are not boundary nodes of "
+                f"cell {cell}"
+            )
+        cliques[cell][b][b2] = PathResult(
+            source=b, destination=b2, nodes=tuple(nodes), distance=distance
+        )
+    cell_csr: list = []
+    cell_rcsr: list = []
+    for cell in range(partition.num_cells):
+        fcsr, rcsr = OverlayGraph._cell_graphs(network, partition, cell, kernel)
+        cell_csr.append(fcsr)
+        cell_rcsr.append(rcsr)
+    return OverlayGraph(
+        network, partition, kernel, cliques, cell_csr, cell_rcsr,
+        SearchStats(), 0,
+    )

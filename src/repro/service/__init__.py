@@ -29,6 +29,7 @@ from repro.service.serving import (
     ConcurrentDispatcher,
     QueryCoalescer,
     ReplayReport,
+    ReweightOutcome,
     ServingStack,
     replay,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "CoalesceConfig",
     "CoalesceSnapshot",
     "QueryCoalescer",
+    "ReweightOutcome",
     "ServingStack",
     "ReplayReport",
     "replay",

@@ -10,10 +10,16 @@ the hot path.  This module provides the two thread-safe LRU caches the
 
 * :class:`PreprocessingCache` — keyed by ``(network fingerprint,
   engine)``, holding whatever :meth:`SearchEngine.prepare` built
-  (contracted graph, landmark index).  Contracted graphs evicted from
-  memory spill to disk via :mod:`repro.search.ch.persist` and are
-  reloaded on the next miss, so even an evicted network never pays
-  contraction twice.
+  (contracted graph, landmark index, partition overlay).  Contracted
+  graphs evicted from memory spill to disk via
+  :mod:`repro.search.ch.persist`, partition overlays via
+  :func:`repro.search.overlay.write_overlay`, and both are reloaded on
+  the next miss, so even an evicted network never pays preprocessing
+  twice.  :meth:`PreprocessingCache.put` additionally accepts
+  externally built artifacts — the hook the serving stack's targeted
+  re-customization path (:meth:`~repro.service.serving.ServingStack.reweight`)
+  uses to install an incrementally updated overlay under the mutated
+  network's new fingerprint instead of rebuilding from scratch.
 * :class:`ResultCache` — keyed by ``(network fingerprint, S, T,
   engine)``, holding whole :class:`~repro.search.multi.MSMDResult`
   tables.  Obfuscated queries recur (popular routes, shared-mode
@@ -223,7 +229,7 @@ class PreprocessingCache:
                 return self._entries[key]
             self.misses += 1
         # Build (or reload) without holding the lock.
-        artifact = self._load_spilled(key)
+        artifact = self._load_spilled(key, network)
         from_disk = artifact is not None
         if artifact is None:
             artifact = engine.prepare(network)
@@ -241,6 +247,37 @@ class PreprocessingCache:
         if evicted is not None:
             self._spill(*evicted)
         return artifact
+
+    def peek(self, fingerprint: str, engine_name: str) -> object | None:
+        """The in-memory artifact for a key, or ``None`` — no side effects.
+
+        Unlike :meth:`get` this never builds, never reloads from disk,
+        and never counts a hit or miss; the serving stack uses it to ask
+        "is there an overlay I could recustomize?" without perturbing
+        the cache statistics.
+        """
+        with self._lock:
+            return self._entries.get((fingerprint, engine_name))
+
+    def put(self, fingerprint: str, engine_name: str, artifact: object) -> None:
+        """Install an externally built artifact under ``(fingerprint, engine)``.
+
+        The serving stack's re-weight path builds the new artifact
+        itself (an incrementally recustomized overlay) and registers it
+        here so the next query finds it instead of paying a full
+        rebuild.  Inserting may evict (and spill) the least recently
+        used entry, exactly like a miss-driven insert.
+        """
+        key = (fingerprint, engine_name)
+        evicted: tuple[tuple[str, str], object] | None = None
+        with self._lock:
+            self._entries[key] = artifact
+            self._entries.move_to_end(key)
+            if len(self._entries) > self._capacity:
+                evicted = self._entries.popitem(last=False)
+                self.evictions += 1
+        if evicted is not None:
+            self._spill(*evicted)
 
     def invalidate(self, network, engine_name: str) -> bool:
         """Drop the in-memory entry for ``(network, engine_name)``.
@@ -270,21 +307,40 @@ class PreprocessingCache:
 
     # ------------------------------------------------------------------
     # Disk spill (contracted graphs — directly for "ch", via the wrapped
-    # graph for "ch-csr" flat hierarchies; see repro.search.ch.persist)
+    # graph for "ch-csr" flat hierarchies, see repro.search.ch.persist;
+    # partition overlays via repro.search.overlay's text format)
     # ------------------------------------------------------------------
+    #: engines whose artifacts spill via the overlay text format; the
+    #: one list both the path chooser and the loader consult, so the
+    #: two can never disagree on a key's on-disk format.
+    _OVERLAY_SPILL_ENGINES = ("overlay", "overlay-csr")
+
     def _spill_path(self, key: tuple[str, str]) -> Path | None:
         if self._spill_dir is None:
             return None
         fingerprint, engine_name = key
-        return self._spill_dir / f"{fingerprint}-{engine_name}.ch"
+        suffix = "ovl" if engine_name in self._OVERLAY_SPILL_ENGINES else "ch"
+        return self._spill_dir / f"{fingerprint}-{engine_name}.{suffix}"
 
     def _spill(self, key: tuple[str, str], artifact: object) -> None:
         from repro.search.ch import ContractedGraph
-        from repro.search.ch.persist import write_contracted
         from repro.search.kernels import CSRHierarchy
+        from repro.search.overlay import OverlayGraph
 
         path = self._spill_path(key)
         if path is None:
+            return
+        if path.exists():  # an earlier eviction already persisted it
+            return
+        if isinstance(artifact, OverlayGraph):
+            from repro.exceptions import GraphError
+            from repro.search.overlay import write_overlay
+
+            self._spill_dir.mkdir(parents=True, exist_ok=True)
+            try:
+                write_overlay(artifact, path)
+            except GraphError:  # non-integer node ids: spill is best-effort
+                path.unlink(missing_ok=True)
             return
         if isinstance(artifact, CSRHierarchy):
             # The flat arrays are a cheap derivative; persist the wrapped
@@ -292,17 +348,21 @@ class PreprocessingCache:
             artifact = artifact.contracted
         if not isinstance(artifact, ContractedGraph):
             return
-        if path.exists():  # an earlier eviction already persisted it
-            return
+        from repro.search.ch.persist import write_contracted
+
         self._spill_dir.mkdir(parents=True, exist_ok=True)
         write_contracted(artifact, path)
 
-    def _load_spilled(self, key: tuple[str, str]) -> object | None:
-        from repro.search.ch.persist import read_contracted
-
+    def _load_spilled(self, key: tuple[str, str], network) -> object | None:
         path = self._spill_path(key)
         if path is None or not path.exists():
             return None
+        if key[1] in self._OVERLAY_SPILL_ENGINES:
+            from repro.search.overlay import read_overlay
+
+            return read_overlay(path, network)
+        from repro.search.ch.persist import read_contracted
+
         graph = read_contracted(path)
         if key[1] == "ch-csr":
             from repro.search.kernels import CSRHierarchy

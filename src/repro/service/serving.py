@@ -49,12 +49,14 @@ from dataclasses import dataclass, field
 
 from repro.core.query import ObfuscatedPathQuery
 from repro.core.server import DirectionsServer, ServerResponse
+from repro.exceptions import EdgeError
 from repro.search.multi import (
     MSMDResult,
     MultiSourceMultiDestProcessor,
     PreprocessingProcessor,
     UnionPassResult,
 )
+from repro.search.overlay import OverlayGraph
 from repro.service.cache import (
     CacheSnapshot,
     PreprocessingCache,
@@ -68,10 +70,35 @@ __all__ = [
     "CoalesceConfig",
     "CoalesceSnapshot",
     "QueryCoalescer",
+    "ReweightOutcome",
     "ServingStack",
     "ReplayReport",
     "replay",
 ]
+
+
+@dataclass(frozen=True, slots=True)
+class ReweightOutcome:
+    """What :meth:`ServingStack.reweight` did with a traffic update.
+
+    Attributes
+    ----------
+    edges:
+        Number of edge weights applied.
+    touched_cells:
+        Partition cells whose cliques were recustomized (empty when the
+        update only moved cut-edge weights, or when no incremental path
+        was available).
+    recustomized:
+        ``True`` when an incrementally recustomized overlay was
+        installed under the new network fingerprint; ``False`` means the
+        next query pays a full preprocessing rebuild (non-overlay
+        engine, or no cached artifact to start from).
+    """
+
+    edges: int
+    touched_cells: tuple[int, ...]
+    recustomized: bool
 
 
 class ConcurrentDispatcher:
@@ -555,12 +582,28 @@ class ServingStack:
             artifact = self.preprocessing.get(
                 self.network, self.engine_name, fingerprint=fingerprint
             )
-        unique = [indices[0] for indices in misses.values()]
+        miss_groups = list(misses.values())
+        if len(miss_groups) > 1 and isinstance(artifact, OverlayGraph):
+            # Shard-aware dispatch: group this batch's misses by the
+            # source cell so queries touching the same shard of the map
+            # run back to back (locality for per-worker scratch and any
+            # external sharding built on dispatch_hint).  Responses are
+            # reassembled by batch index, so ordering is unobservable.
+            cell_of = artifact.partition.cell_of
+            miss_groups.sort(
+                key=lambda indices: (
+                    _hint_sort_key(
+                        cell_of.get(queries[indices[0]].sources[0])
+                    ),
+                    indices[0],
+                )
+            )
+        unique = [indices[0] for indices in miss_groups]
         computed = self.dispatcher.dispatch(
             self.network, [queries[i] for i in unique], artifact
         )
         with self._lock:
-            for indices, result in zip(misses.values(), computed):
+            for indices, result in zip(miss_groups, computed):
                 first = queries[indices[0]]
                 self.results.put(
                     fingerprint, first.sources, first.destinations,
@@ -685,6 +728,93 @@ class ServingStack:
                 final.append(outcome)
         return final, len(misses), union.pairs_computed if union else 0
 
+    def dispatch_hint(self, query: ObfuscatedPathQuery) -> int | None:
+        """Shard hint for ``query``: the partition cell of its first source.
+
+        Available when the engine's cached artifact is a partition
+        overlay (``"overlay"``/``"overlay-csr"``); ``None`` otherwise.
+        A fleet of stacks can use the hint to route queries to the
+        replica owning that cell; a single stack uses it to group each
+        batch's misses by cell before dispatching (see
+        :meth:`answer_batch`).  Never builds preprocessing — a cold
+        cache simply yields ``None``.
+        """
+        artifact = self.preprocessing.peek(self._fingerprint(), self.engine_name)
+        if isinstance(artifact, OverlayGraph):
+            return artifact.partition.cell_of.get(query.sources[0])
+        return None
+
+    def reweight(
+        self,
+        changes: Sequence[tuple],
+        recustomize: bool = True,
+    ) -> ReweightOutcome:
+        """Apply a traffic update and refresh preprocessing incrementally.
+
+        Each change ``(u, v, weight)`` re-weights an *existing* edge of
+        the serving network (both directions on undirected networks).
+        The mutation bumps the network's ``version``, so the content
+        fingerprint changes and every cached artifact and result table
+        for the old geometry stops matching — correctness needs nothing
+        else.  The point of this method is the cost: when the engine's
+        current artifact is a partition overlay, the touched cells'
+        cliques are recustomized against the new weights
+        (:meth:`~repro.search.overlay.OverlayGraph.recustomized`) and the
+        updated overlay is installed under the new fingerprint via
+        :meth:`~repro.service.cache.PreprocessingCache.put` — so the next
+        query pays a per-cell refresh instead of a full rebuild.
+
+        Call it between batches: mutating the network while queries are
+        in flight is a data race on the graph itself, same as calling
+        ``add_edge`` directly.
+
+        Raises
+        ------
+        EdgeError
+            If any ``(u, v)`` is not an existing edge (re-weighting
+            never creates roads).
+        """
+        import math
+
+        applied = [(u, v, float(w)) for u, v, w in changes]
+        # Validate everything before applying anything: a bad entry must
+        # not leave the network half-updated.
+        for u, v, w in applied:
+            if not self.network.has_edge(u, v):
+                raise EdgeError(f"cannot reweight missing edge ({u!r}, {v!r})")
+            if w < 0 or math.isnan(w) or math.isinf(w):
+                raise EdgeError(
+                    f"invalid weight {w} for edge ({u!r}, {v!r})"
+                )
+        old_fingerprint = self._fingerprint()
+        old_artifact = self.preprocessing.peek(old_fingerprint, self.engine_name)
+        for u, v, w in applied:
+            self.network.add_edge(u, v, w)
+        touched: tuple[int, ...] = ()
+        recustomized = False
+        if (
+            recustomize
+            and applied
+            and isinstance(old_artifact, OverlayGraph)
+            # A shared PreprocessingCache may hold an overlay built by a
+            # *different* stack over a content-identical network object;
+            # recustomizing it would read that other network's (un-mutated)
+            # weights.  Only the overlay bound to our network is usable.
+            and old_artifact.network is self.network
+        ):
+            cells = old_artifact.touched_cells(applied)
+            overlay = old_artifact.recustomized(cells, changed_edges=applied)
+            self.preprocessing.put(
+                self._fingerprint(), self.engine_name, overlay
+            )
+            touched = tuple(sorted(cells))
+            recustomized = True
+        return ReweightOutcome(
+            edges=len(applied),
+            touched_cells=touched,
+            recustomized=recustomized,
+        )
+
     def coalesce_snapshot(self) -> CoalesceSnapshot | None:
         """The coalescer's counters, or ``None`` when coalescing is off."""
         return self.coalescer.snapshot() if self.coalescer else None
@@ -723,6 +853,11 @@ class ServingStack:
             f"workers={self.dispatcher.max_workers}, "
             f"network={self.network!r})"
         )
+
+
+def _hint_sort_key(hint: int | None) -> tuple[int, int]:
+    """Sortable form of a dispatch hint (``None`` groups last)."""
+    return (1, 0) if hint is None else (0, hint)
 
 
 @dataclass(slots=True)

@@ -1,0 +1,234 @@
+"""Unit tests for repro.network.partition (and its io round trip)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError, UnknownNodeError
+from repro.network.generators import grid_network
+from repro.network.graph import RoadNetwork
+from repro.network.io import dumps_partition, loads_partition
+from repro.network.partition import (
+    Partition,
+    default_cell_capacity,
+    partition_network,
+    partition_snapshot,
+)
+from repro.network.storage import PageStore
+
+
+def _check_invariants(net, partition, capacity):
+    # Cells partition the node set exactly.
+    seen = [node for cell in partition.cells for node in cell]
+    assert sorted(seen) == sorted(net.nodes())
+    assert len(seen) == len(set(seen)) == partition.num_nodes
+    # Balance bound.
+    for cell in partition.cells:
+        assert 1 <= len(cell) <= capacity
+    # cell_of is the inverse of cells.
+    for i, cell in enumerate(partition.cells):
+        for node in cell:
+            assert partition.cell_of[node] == i
+    # Every cut edge accounted exactly once, and only cut edges.
+    expected_cut = [
+        (u, v)
+        for u, v, _w in net.edges()
+        if partition.cell_of[u] != partition.cell_of[v]
+    ]
+    assert list(partition.cut_edges) == expected_cut
+    # Boundary nodes are exactly the endpoints of cut edges.
+    flagged = set()
+    for u, v in partition.cut_edges:
+        flagged.add(u)
+        flagged.add(v)
+    for i, boundary in enumerate(partition.boundary):
+        assert set(boundary) == flagged & set(partition.cells[i])
+        # boundary preserves cell order
+        assert list(boundary) == [n for n in partition.cells[i] if n in flagged]
+
+
+class TestPartitionNetwork:
+    @pytest.mark.parametrize("method", ["inertial", "bfs"])
+    def test_invariants(self, small_grid, method):
+        partition = partition_network(
+            small_grid, cell_capacity=12, method=method
+        )
+        _check_invariants(small_grid, partition, 12)
+
+    def test_deterministic(self, small_grid):
+        a = partition_network(small_grid, cell_capacity=16)
+        b = partition_network(small_grid, cell_capacity=16)
+        assert a == b
+
+    def test_weight_independent(self, small_grid):
+        before = partition_network(small_grid, cell_capacity=16)
+        net = small_grid.copy()
+        u, v, w = next(net.edges())
+        net.add_edge(u, v, w * 7.5)
+        after = partition_network(net, cell_capacity=16)
+        assert before.cells == after.cells
+
+    def test_refinement_reduces_cut(self):
+        net = grid_network(20, 20, perturbation=0.1, seed=5)
+        raw = partition_network(
+            net, cell_capacity=40, refine_rounds=0, method="bfs"
+        )
+        refined = partition_network(
+            net, cell_capacity=40, refine_rounds=2, method="bfs"
+        )
+        assert refined.num_cut_edges <= raw.num_cut_edges
+
+    def test_inertial_cells_are_compact(self):
+        # On a grid, coordinate bisection must clearly beat BFS stripes.
+        net = grid_network(30, 30, perturbation=0.1, seed=5)
+        inertial = partition_network(net, cell_capacity=100, method="inertial")
+        bfs = partition_network(
+            net, cell_capacity=100, refine_rounds=0, method="bfs"
+        )
+        assert inertial.num_boundary_nodes < bfs.num_boundary_nodes
+
+    def test_directed_network(self):
+        net = RoadNetwork(directed=True)
+        for i in range(6):
+            net.add_node(i, float(i), 0.0)
+        for i in range(5):
+            net.add_edge(i, i + 1, 1.0)
+        partition = partition_network(net, cell_capacity=2)
+        _check_invariants(net, partition, 2)
+
+    def test_disconnected_components(self):
+        net = RoadNetwork()
+        for i in range(4):
+            net.add_node(i, float(i), 0.0)
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(2, 3, 1.0)
+        partition = partition_network(net, cell_capacity=2)
+        _check_invariants(net, partition, 2)
+
+    def test_invalid_arguments(self, small_grid):
+        with pytest.raises(GraphError):
+            partition_network(small_grid, cell_capacity=0)
+        with pytest.raises(GraphError):
+            partition_network(small_grid, cell_capacity=4, refine_rounds=-1)
+        with pytest.raises(GraphError):
+            partition_network(small_grid, cell_capacity=4, method="voodoo")
+
+    def test_accessors(self, small_grid):
+        partition = partition_network(small_grid, cell_capacity=16)
+        assert partition.members(0) == partition.cells[0]
+        assert 0 in partition
+        assert -1 not in partition
+        with pytest.raises(GraphError):
+            partition.members(partition.num_cells)
+        with pytest.raises(UnknownNodeError):
+            partition.cell_index(-1)
+        assert "Partition(" in repr(partition)
+
+    def test_default_capacity_heuristic(self):
+        assert default_cell_capacity(1) == 4
+        assert default_cell_capacity(10_000) == 232
+        assert default_cell_capacity(10**9) == 1024
+
+
+class TestFromCells:
+    def test_rejects_double_assignment(self, small_grid):
+        nodes = list(small_grid.nodes())
+        cells = [nodes, nodes[:1]]
+        with pytest.raises(GraphError, match="two cells"):
+            Partition.from_cells(small_grid, cells, len(nodes))
+
+    def test_rejects_missing_nodes(self, small_grid):
+        nodes = list(small_grid.nodes())
+        with pytest.raises(GraphError, match="cover"):
+            Partition.from_cells(small_grid, [nodes[:-1]], len(nodes))
+
+    def test_rejects_capacity_violation(self, small_grid):
+        nodes = list(small_grid.nodes())
+        with pytest.raises(GraphError, match="capacity"):
+            Partition.from_cells(small_grid, [nodes], 8)
+
+    def test_rejects_unknown_node(self, small_grid):
+        nodes = list(small_grid.nodes()) + [-5]
+        with pytest.raises(UnknownNodeError):
+            Partition.from_cells(small_grid, [nodes], len(nodes))
+
+
+class TestMemoization:
+    def test_snapshot_reused_until_mutation(self):
+        net = grid_network(6, 6, seed=1)
+        a = partition_snapshot(net, cell_capacity=9)
+        assert partition_snapshot(net, cell_capacity=9) is a
+        # A different capacity is a different layout.
+        assert partition_snapshot(net, cell_capacity=18) is not a
+        net.add_edge(0, 7, 1.0)
+        b = partition_snapshot(net, cell_capacity=9)
+        assert b is not a
+
+    def test_versionless_views_rebuild(self, small_grid):
+        class Bare:
+            directed = False
+
+            def __contains__(self, node):
+                return node in small_grid
+
+            def nodes(self):
+                return small_grid.nodes()
+
+            def neighbors(self, n):
+                return small_grid.neighbors(n)
+
+            def position(self, n):
+                return small_grid.position(n)
+
+            @property
+            def num_nodes(self):
+                return small_grid.num_nodes
+
+        bare = Bare()
+        a = partition_snapshot(bare, cell_capacity=16)
+        b = partition_snapshot(bare, cell_capacity=16)
+        assert a is not b
+        assert a.cells == b.cells
+
+
+class TestPagesAreCells:
+    def test_pages_equal_partition_cells(self, small_grid):
+        store = PageStore(small_grid, page_capacity=16)
+        partition = partition_snapshot(small_grid, cell_capacity=16)
+        assert store.num_pages == partition.num_cells
+        for i in range(store.num_pages):
+            assert store.page_members(i) == list(partition.cells[i])
+
+
+class TestPartitionIO:
+    def test_round_trip(self, small_grid):
+        partition = partition_network(small_grid, cell_capacity=16)
+        text = dumps_partition(partition)
+        loaded = loads_partition(text, small_grid)
+        assert loaded == partition
+        assert dumps_partition(loaded) == text
+
+    def test_write_read_file(self, small_grid, tmp_path):
+        from repro.network.io import read_partition, write_partition
+
+        partition = partition_network(small_grid, cell_capacity=16)
+        path = tmp_path / "grid.part"
+        write_partition(partition, path)
+        assert read_partition(path, small_grid) == partition
+
+    def test_rejects_malformed(self, small_grid):
+        with pytest.raises(GraphError, match="capacity"):
+            loads_partition("cell 0 1 2\n", small_grid)
+        with pytest.raises(GraphError, match="malformed"):
+            loads_partition("capacity x\n", small_grid)
+        with pytest.raises(GraphError, match="record kind"):
+            loads_partition("capacity 4\nfrobnicate\n", small_grid)
+        with pytest.raises(GraphError, match="numbered"):
+            loads_partition("capacity 100\ncell 1 0\n", small_grid)
+
+    def test_rejects_non_integer_ids(self):
+        net = RoadNetwork()
+        net.add_node("a", 0.0, 0.0)
+        partition = partition_network(net, cell_capacity=4)
+        with pytest.raises(GraphError, match="integer"):
+            dumps_partition(partition)

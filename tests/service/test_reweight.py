@@ -1,0 +1,239 @@
+"""Tests for the serving stack's traffic-reweight path and shard hints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.obfuscator import PathQueryObfuscator
+from repro.core.query import ClientRequest, PathQuery, ProtectionSetting
+from repro.exceptions import EdgeError
+from repro.network.generators import grid_network
+from repro.search.dijkstra import dijkstra_path
+from repro.search.overlay import OverlayGraph, build_overlay, dumps_overlay
+from repro.service.cache import PreprocessingCache
+from repro.service.serving import ReweightOutcome, ServingStack
+
+
+@pytest.fixture()
+def net():
+    return grid_network(12, 12, perturbation=0.1, seed=6)
+
+
+def _query(net, source, destination, seed=0):
+    obfuscator = PathQueryObfuscator(net, seed=seed)
+    record = obfuscator.obfuscate_independent(
+        ClientRequest("u", PathQuery(source, destination), ProtectionSetting(2, 2))
+    )
+    return record.query
+
+
+def _assert_exact(net, response):
+    for (s, t), path in response.candidates.paths.items():
+        ref = dijkstra_path(net, s, t).distance
+        assert path.distance == pytest.approx(ref, abs=1e-9)
+
+
+class TestReweight:
+    def test_incremental_recustomization(self, net):
+        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+            old_overlay = stack.warm()
+            assert isinstance(old_overlay, OverlayGraph)
+            query = _query(net, 3, 140)
+            stack.answer(query)
+            intra = next(
+                (u, v, w)
+                for u, v, w in net.edges()
+                if old_overlay.touched_cells([(u, v)])
+            )
+            u, v, w = intra
+            outcome = stack.reweight([(u, v, w * 4.0)])
+            assert isinstance(outcome, ReweightOutcome)
+            assert outcome.recustomized
+            assert outcome.edges == 1
+            assert outcome.touched_cells == tuple(
+                sorted(old_overlay.touched_cells([(u, v)]))
+            )
+            # The installed artifact is the incrementally refreshed
+            # overlay (shares untouched cells with the old one) ...
+            new_overlay = stack.preprocessing.peek(
+                stack._fingerprint(), "overlay-csr"
+            )
+            assert isinstance(new_overlay, OverlayGraph)
+            shared = [
+                cell
+                for cell in range(old_overlay.num_cells)
+                if cell not in outcome.touched_cells
+            ]
+            for cell in shared:
+                assert new_overlay.cliques[cell] is old_overlay.cliques[cell]
+            # ... serving hits it without a rebuild miss ...
+            misses_before = stack.preprocessing.misses
+            response = stack.answer(query)
+            assert stack.preprocessing.misses == misses_before
+            # ... and answers reflect the new weights exactly (the old
+            # result table stopped matching via the fingerprint).
+            assert not response.from_cache
+            _assert_exact(net, response)
+
+    def test_matches_scratch_build(self, net):
+        with ServingStack(net, engine="overlay", max_workers=1) as stack:
+            stack.warm()
+            u, v, w = next(net.edges())
+            stack.reweight([(u, v, w * 2.0)])
+            installed = stack.preprocessing.peek(
+                stack._fingerprint(), "overlay"
+            )
+            assert dumps_overlay(installed) == dumps_overlay(
+                build_overlay(net, kernel="dict")
+            )
+
+    def test_missing_edge_rejected(self, net):
+        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+            with pytest.raises(EdgeError):
+                stack.reweight([(0, 0, 1.0)])
+            # Nothing was applied: the fingerprint did not move.
+            assert stack.preprocessing.misses == 0
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0])
+    def test_invalid_weight_applies_nothing(self, net, bad):
+        u, v, w = next(net.edges())
+        version = net.version
+        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+            with pytest.raises(EdgeError):
+                stack.reweight([(u, v, w * 2.0), (u, v, bad)])
+        # Atomic: the valid leading change was not applied either.
+        assert net.edge_weight(u, v) == w
+        assert net.version == version
+
+    def test_metric_flag_tracks_reweights(self, net):
+        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+            overlay = stack.warm()
+            assert overlay.metric  # grid weights are Euclidean lengths
+            u, v, w = next(
+                (u, v, w)
+                for u, v, w in net.edges()
+                if overlay.touched_cells([(u, v)])
+            )
+            # Undercut the geometry: the A* bound becomes inadmissible,
+            # so the incrementally installed overlay must drop the flag
+            # (checked via only the changed edges, no full rescan) ...
+            stack.reweight([(u, v, w * 0.25)])
+            dropped = stack.preprocessing.peek(
+                stack._fingerprint(), "overlay-csr"
+            )
+            assert not dropped.metric
+            _assert_exact(net, stack.answer(_query(net, 3, 140)))
+            # ... and restoring the weight turns it back on.
+            stack.reweight([(u, v, w)])
+            restored = stack.preprocessing.peek(
+                stack._fingerprint(), "overlay-csr"
+            )
+            assert restored.metric
+            _assert_exact(net, stack.answer(_query(net, 3, 140)))
+
+    def test_non_overlay_engine_falls_back_to_rebuild(self, net):
+        with ServingStack(net, engine="dijkstra-csr", max_workers=1) as stack:
+            stack.warm()
+            u, v, w = next(net.edges())
+            outcome = stack.reweight([(u, v, w * 2.0)])
+            assert not outcome.recustomized
+            assert outcome.touched_cells == ()
+            response = stack.answer(_query(net, 3, 140))
+            _assert_exact(net, response)
+
+    def test_shared_cache_never_recustomizes_foreign_overlay(self):
+        # Two stacks over content-identical network *objects* share one
+        # PreprocessingCache.  A reweight on stack A must not
+        # recustomize the cached overlay bound to stack B's network —
+        # it would read B's un-mutated weights and serve stale routes.
+        net_a = grid_network(10, 10, perturbation=0.1, seed=6)
+        net_b = grid_network(10, 10, perturbation=0.1, seed=6)
+        cache = PreprocessingCache()
+        with ServingStack(
+            net_b, engine="overlay-csr",
+            preprocessing_cache=cache, max_workers=1,
+        ) as stack_b, ServingStack(
+            net_a, engine="overlay-csr",
+            preprocessing_cache=cache, max_workers=1,
+        ) as stack_a:
+            foreign = stack_b.warm()
+            assert stack_a.warm() is foreign  # same fingerprint, B's object
+            u, v, w = next(
+                (u, v, w)
+                for u, v, w in net_a.edges()
+                if foreign.touched_cells([(u, v)])
+            )
+            outcome = stack_a.reweight([(u, v, w * 10.0)])
+            assert not outcome.recustomized
+            _assert_exact(net_a, stack_a.answer(_query(net_a, 3, 77)))
+
+    def test_cold_cache_falls_back_to_rebuild(self, net):
+        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+            u, v, w = next(net.edges())
+            outcome = stack.reweight([(u, v, w * 2.0)])
+            assert not outcome.recustomized
+            response = stack.answer(_query(net, 3, 140))
+            _assert_exact(net, response)
+
+
+class TestDispatchHint:
+    def test_hint_is_source_cell(self, net):
+        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+            overlay = stack.warm()
+            query = _query(net, 3, 140)
+            hint = stack.dispatch_hint(query)
+            assert hint == overlay.partition.cell_of[query.sources[0]]
+
+    def test_hint_none_without_overlay(self, net):
+        with ServingStack(net, engine="ch", max_workers=1) as stack:
+            stack.warm()
+            assert stack.dispatch_hint(_query(net, 3, 140)) is None
+
+    def test_hint_none_on_cold_cache(self, net):
+        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+            assert stack.dispatch_hint(_query(net, 3, 140)) is None
+            assert stack.preprocessing.misses == 0
+
+    def test_batches_group_by_cell_byte_identically(self, net):
+        queries = [
+            _query(net, s, t, seed=i)
+            for i, (s, t) in enumerate([(3, 140), (140, 3), (60, 80), (7, 100)])
+        ]
+        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+            stack.warm()
+            batched = stack.answer_batch(queries)
+        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+            stack.warm()
+            solo = [stack.answer(q) for q in queries]
+        for got, ref in zip(batched, solo):
+            assert got.query is ref.query
+            assert list(got.candidates.paths) == list(ref.candidates.paths)
+            for pair, path in ref.candidates.paths.items():
+                assert got.candidates.paths[pair].nodes == path.nodes
+                assert got.candidates.paths[pair].distance == path.distance
+
+
+class TestOverlaySpill:
+    def test_evicted_overlay_reloads_from_disk(self, net, tmp_path):
+        cache = PreprocessingCache(capacity=1, spill_dir=tmp_path)
+        overlay = cache.get(net, "overlay-csr")
+        assert isinstance(overlay, OverlayGraph)
+        other = grid_network(5, 5, seed=1)
+        cache.get(other, "dijkstra-csr")  # evicts (and spills) the overlay
+        assert list(tmp_path.glob("*.ovl")), "overlay spill file missing"
+        reloaded = cache.get(net, "overlay-csr")
+        assert cache.disk_loads == 1
+        assert dumps_overlay(reloaded) == dumps_overlay(overlay)
+
+    def test_spill_skips_non_integer_ids(self, tmp_path):
+        from repro.network.graph import RoadNetwork
+
+        net = RoadNetwork()
+        net.add_node("a", 0.0, 0.0)
+        net.add_node("b", 1.0, 0.0)
+        net.add_edge("a", "b", 1.0)
+        cache = PreprocessingCache(capacity=1, spill_dir=tmp_path)
+        cache.get(net, "overlay")
+        other = grid_network(4, 4, seed=1)
+        cache.get(other, "dijkstra")  # evicts; spill must not blow up
+        assert not list(tmp_path.glob("*.ovl"))

@@ -33,9 +33,12 @@ import random
 import sys
 import time
 
-_SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)
+_REPO = pathlib.Path(__file__).resolve().parent.parent
+for _entry in (str(_REPO / "src"), str(_REPO / "benchmarks")):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)
+
+from timing import best_of as _best_of  # noqa: E402
 
 from repro.network.csr import csr_snapshot  # noqa: E402
 from repro.network.generators import grid_network  # noqa: E402
@@ -49,20 +52,11 @@ from repro.search.kernels import (  # noqa: E402
     csr_dijkstra_path,
 )
 from repro.search.multi import SharedTreeProcessor  # noqa: E402
+from repro.search.overlay import build_overlay  # noqa: E402
 from repro.search.result import SearchStats  # noqa: E402
 from repro.service.cache import PreprocessingCache, ResultCache  # noqa: E402
 from repro.service.serving import CoalesceConfig, ServingStack  # noqa: E402
 from repro.workloads.queries import overlapping_session_queries  # noqa: E402
-
-
-def _best_of(fn, repeats: int):
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
 
 
 def run_suite(full: bool = False, repeats: int = 3) -> dict:
@@ -112,8 +106,10 @@ def run_suite(full: bool = False, repeats: int = 3) -> dict:
         if got_msmd.paths[pair].distance != path.distance:
             raise SystemExit("FATAL: CSR MSMD distances diverge from shared trees")
 
-    # CH many-to-many: dict buckets vs CSR buckets (one shared contraction).
-    contracted = contract_network(net)
+    # CH many-to-many: dict buckets vs CSR buckets (one shared contraction,
+    # also timed as the "full rebuild" a traffic update would cost a CH
+    # deployment — the denominator of the recustomization ratio below).
+    t_contract, contracted = _best_of(lambda: contract_network(net), repeats)
     hierarchy = CSRHierarchy(contracted)
     t_m2m_dict, _ = _best_of(
         lambda: ch_many_to_many(contracted, sources, destinations), repeats
@@ -123,6 +119,32 @@ def run_suite(full: bool = False, repeats: int = 3) -> dict:
     )
     ch_stats = SearchStats()
     csr_ch_many_to_many(hierarchy, sources, destinations, stats=ch_stats)
+
+    # Partition overlay: two-phase point queries vs the flat Dijkstra
+    # kernel on the same pairs, plus the incremental-customization win —
+    # recustomizing the single cell containing a re-weighted edge vs the
+    # full CH contraction above.  Cut/boundary/clique counters are
+    # deterministic partitioner outputs; any change is a layout change.
+    overlay = build_overlay(net, kernel="csr")
+    t_overlay, got_overlay = _best_of(
+        lambda: [overlay.route(s, t).distance for s, t in pairs], repeats
+    )
+    if any(abs(a - b) > 1e-9 for a, b in zip(ref, got_overlay)):
+        raise SystemExit("FATAL: overlay-csr distances diverge from dijkstra")
+    overlay_stats = SearchStats()
+    for s, t in pairs:
+        overlay.route(s, t, stats=overlay_stats)
+    reweight_edge = next(
+        (u, v, w) for u, v, w in net.edges()
+        if overlay.touched_cells([(u, v)])
+    )
+    u, v, w = reweight_edge
+    net.add_edge(u, v, w * 2.0)
+    touched = overlay.touched_cells([(u, v)])
+    t_recustomize, refreshed = _best_of(
+        lambda: overlay.recustomized(touched), repeats
+    )
+    net.add_edge(u, v, w)  # restore: later sections measure the same net
 
     # Cross-session coalescing: 8 sessions with hot origin/destination
     # pools (the same canonical workload bench_coalescing.py anchors
@@ -191,6 +213,44 @@ def run_suite(full: bool = False, repeats: int = 3) -> dict:
             "direction": "lower",
             "desc": "nodes settled by the CSR CH buckets (MSMD workload)",
         },
+        "overlay_point_speedup": {
+            "value": round(t_csr / t_overlay, 3),
+            "direction": "higher",
+            "desc": "point-query wall ratio, dijkstra-csr vs overlay-csr",
+        },
+        "recustomize_vs_rebuild_speedup": {
+            "value": round(t_contract / t_recustomize, 3),
+            "direction": "higher",
+            "desc": (
+                "single-cell overlay recustomization vs full CH "
+                "contraction wall ratio after one edge re-weight"
+            ),
+        },
+        "overlay_cut_edges": {
+            "value": overlay.partition.num_cut_edges,
+            "direction": "lower",
+            "desc": "cut edges of the default partition (deterministic)",
+        },
+        "overlay_boundary_nodes": {
+            "value": overlay.num_boundary_nodes,
+            "direction": "lower",
+            "desc": "boundary nodes of the default partition (deterministic)",
+        },
+        "overlay_clique_arcs": {
+            "value": overlay.num_clique_arcs,
+            "direction": "lower",
+            "desc": "kept clique shortcut arcs after pruning (deterministic)",
+        },
+        "settled_point_overlay": {
+            "value": overlay_stats.settled_nodes,
+            "direction": "lower",
+            "desc": "nodes settled by overlay-csr over the point workload",
+        },
+        "settled_recustomize_one_cell": {
+            "value": refreshed.customize_stats.settled_nodes,
+            "direction": "lower",
+            "desc": "nodes settled recustomizing one re-weighted cell",
+        },
         "coalesce_speedup_8_sessions": {
             "value": round(t_sessions / t_coalesced, 3),
             "direction": "higher",
@@ -218,6 +278,10 @@ def run_suite(full: bool = False, repeats: int = 3) -> dict:
             # ratio is too noisy to gate — recorded for humans only.
             "m2m_ch_dict_ms": round(t_m2m_dict * 1000, 2),
             "m2m_ch_csr_ms": round(t_m2m_csr * 1000, 2),
+            "ch_contract_ms": round(t_contract * 1000, 2),
+            "overlay_point_ms": round(t_overlay * 1000, 2),
+            "overlay_recustomize_ms": round(t_recustomize * 1000, 2),
+            "overlay_cells": overlay.num_cells,
             "coalesce_sessions_ms": round(t_sessions * 1000, 2),
             "coalesce_coalesced_ms": round(t_coalesced * 1000, 2),
         },

@@ -36,9 +36,11 @@ DOCTEST_MODULES = [
 
 DOCSTRING_AUDIT_FILES = [
     "src/repro/network/csr.py",
+    "src/repro/network/partition.py",
     "src/repro/search/__init__.py",
     "src/repro/search/kernels.py",
     "src/repro/search/multi.py",
+    "src/repro/search/overlay.py",
     "src/repro/service/__init__.py",
     "src/repro/service/cache.py",
     "src/repro/service/serving.py",
