@@ -13,7 +13,9 @@ Usage (also via ``python -m repro``):
     repro workload city.txt -o rush.txt --count 40 --kind hotspot
     repro serve-replay city.txt rush.txt --engine ch --repeat 3
     repro serve-replay city.txt rush.txt --engine ch-csr --coalesce-window 8
-    repro experiment E1 E4
+    repro serve-replay city.txt rush.txt --metrics-out m.json --trace-out t.jsonl
+    repro obs-report --metrics m.json --traces t.jsonl
+    repro experiment E1 E4 --telemetry-dir telemetry/
 """
 
 from __future__ import annotations
@@ -198,9 +200,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="max milliseconds a query waits for window-mates",
     )
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the stack's metrics registry to this JSON file",
+    )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        help="record per-query span trees and write them to this JSONL file",
+    )
+    serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        help=(
+            "log batches slower than this many milliseconds as JSON lines "
+            "on stderr (implies tracing)"
+        ),
+    )
+
+    obs = sub.add_parser(
+        "obs-report",
+        help="summarize telemetry files written by serve-replay/experiment",
+    )
+    obs.add_argument(
+        "--metrics",
+        default=None,
+        help="metrics JSON file (from --metrics-out)",
+    )
+    obs.add_argument(
+        "--traces",
+        default=None,
+        help="trace JSONL file (from --trace-out)",
+    )
+    obs.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="slowest root spans to list (0 disables)",
+    )
 
     exp = sub.add_parser("experiment", help="run experiments (E1..E13)")
     exp.add_argument("ids", nargs="+", help="experiment ids, e.g. E1 E4")
+    exp.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help=(
+            "also write metrics.json and traces.jsonl for the run into "
+            "this directory (created if missing)"
+        ),
+    )
 
     return parser
 
@@ -325,7 +375,17 @@ def _cmd_workload(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_replay(args: argparse.Namespace) -> int:
+    import logging
+
     from repro.core.obfuscator import PathQueryObfuscator
+    from repro.obs import (
+        JSONLogFormatter,
+        MetricsRecorder,
+        MetricsRegistry,
+        Tracer,
+        recording,
+    )
+    from repro.obs.trace import SLOW_QUERY_LOGGER
     from repro.service.cache import ResultCache
     from repro.service.serving import CoalesceConfig, ServingStack, replay
     from repro.workloads.replay import read_workload
@@ -366,18 +426,56 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         if args.coalesce_window
         else None
     )
+    tracer = None
+    slow_handler = None
+    if args.trace_out or args.slow_query_ms is not None:
+        threshold = (
+            args.slow_query_ms / 1000.0
+            if args.slow_query_ms is not None
+            else None
+        )
+        tracer = Tracer(slow_threshold_s=threshold)
+        if threshold is not None:
+            slow_handler = logging.StreamHandler(sys.stderr)
+            slow_handler.setFormatter(JSONLogFormatter())
+            logging.getLogger(SLOW_QUERY_LOGGER).addHandler(slow_handler)
+    registry = MetricsRegistry()
     with ServingStack(
         net,
         engine=args.engine,
-        result_cache=ResultCache(capacity=args.result_capacity),
+        result_cache=ResultCache(
+            capacity=args.result_capacity, metrics=registry
+        ),
         max_workers=args.concurrency,
         spill_dir=args.spill_dir,
         coalesce=coalesce,
+        metrics=registry,
+        tracer=tracer,
     ) as stack:
-        report = replay(
-            stack, queries, repeats=args.repeat, batch_size=args.batch
+        recorder = (
+            MetricsRecorder(stack.metrics) if args.metrics_out else None
         )
+        try:
+            with recording(recorder):
+                report = replay(
+                    stack, queries, repeats=args.repeat, batch_size=args.batch
+                )
+        finally:
+            if slow_handler is not None:
+                logging.getLogger(SLOW_QUERY_LOGGER).removeHandler(
+                    slow_handler
+                )
         coalescing = stack.coalesce_snapshot()
+        if args.metrics_out:
+            from pathlib import Path
+
+            Path(args.metrics_out).write_text(
+                stack.metrics.to_json(), encoding="utf-8"
+            )
+            print(f"wrote metrics to {args.metrics_out}")
+        if args.trace_out and tracer is not None:
+            roots = tracer.write_jsonl(args.trace_out)
+            print(f"wrote {roots} trace trees to {args.trace_out}")
     cache = report.cache
     print(
         f"replayed {report.queries} obfuscated queries "
@@ -412,12 +510,84 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _walk_span_dicts(doc: dict):
+    """Yield ``doc`` and every descendant span dict (pre-order)."""
+    yield doc
+    for child in doc.get("children", ()):
+        yield from _walk_span_dicts(child)
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.service.stats import percentile
+
+    if not args.metrics and not args.traces:
+        print("error: pass --metrics and/or --traces", file=sys.stderr)
+        return 1
+    if args.metrics:
+        doc = json.loads(Path(args.metrics).read_text(encoding="utf-8"))
+        metrics = doc.get("metrics", {})
+        print(f"metrics: {len(metrics)} instruments from {args.metrics}")
+        for name in sorted(metrics):
+            entry = metrics[name]
+            if entry["type"] == "histogram":
+                shown = f"count={entry['count']} sum={entry['sum']:.6f}"
+            else:
+                shown = f"value={entry['value']}"
+            print(f"  {entry['type']:<9} {name} {shown}")
+    if args.traces:
+        roots = [
+            json.loads(line)
+            for line in Path(args.traces)
+            .read_text(encoding="utf-8")
+            .splitlines()
+            if line.strip()
+        ]
+        durations: dict[str, list[float]] = {}
+        for root in roots:
+            for span in _walk_span_dicts(root):
+                durations.setdefault(span["name"], []).append(
+                    span["duration"]
+                )
+        print(f"traces: {len(roots)} root spans from {args.traces}")
+        for name in sorted(durations):
+            values = sorted(durations[name])
+            p50 = percentile(values, 0.50) * 1e3
+            p95 = percentile(values, 0.95) * 1e3
+            print(
+                f"  {name:<24} n={len(values):<6} "
+                f"p50={p50:.3f}ms p95={p95:.3f}ms"
+            )
+        if args.top > 0 and roots:
+            slowest = sorted(
+                roots, key=lambda r: r["duration"], reverse=True
+            )[: args.top]
+            print(f"slowest {len(slowest)} roots:")
+            for root in slowest:
+                attrs = root.get("attrs", {})
+                shown = " ".join(
+                    f"{k}={attrs[k]}" for k in sorted(attrs)
+                )
+                print(
+                    f"  {root['duration'] * 1e3:9.3f}ms "
+                    f"{root['name']} {shown}"
+                )
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.harness import run_all
 
-    for result in run_all([eid.upper() for eid in args.ids]):
+    for result in run_all(
+        [eid.upper() for eid in args.ids],
+        telemetry_dir=args.telemetry_dir,
+    ):
         print(result)
         print()
+    if args.telemetry_dir:
+        print(f"telemetry written to {args.telemetry_dir}")
     return 0
 
 
@@ -433,6 +603,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "protect": _cmd_protect,
         "workload": _cmd_workload,
         "serve-replay": _cmd_serve_replay,
+        "obs-report": _cmd_obs_report,
         "experiment": _cmd_experiment,
     }
     try:

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from repro.core.query import ObfuscatedPathQuery
 from repro.network.graph import RoadNetwork
 from repro.network.storage import PagedNetwork
+from repro.obs.metrics import MetricsRegistry
 from repro.search.multi import (
     MSMDResult,
     MultiSourceMultiDestProcessor,
@@ -75,6 +76,13 @@ class ServerCounters:
     ``coalesced_queries`` counts responses sliced from shared union
     kernel passes (queries that were answered together with concurrent
     queries of other sessions instead of paying their own pass).
+
+    Since the telemetry subsystem landed this is a *view*: the live
+    values are registry instruments (``repro_server_*`` metrics on the
+    server's :class:`~repro.obs.metrics.MetricsRegistry`) and
+    :attr:`DirectionsServer.counters` assembles them on read, so the
+    public shape is unchanged while exposition formats get the same
+    numbers.
     """
 
     queries_served: int = 0
@@ -113,6 +121,7 @@ class DirectionsServer:
         paged: bool = False,
         page_capacity: int = 64,
         buffer_capacity: int = 32,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._base_network = network
         if paged:
@@ -134,8 +143,45 @@ class DirectionsServer:
         )
         #: the adversary's view: every Q(S, T) this server ever saw
         self.observed_queries: list[ObfuscatedPathQuery] = []
-        #: cumulative load counters
-        self.counters = ServerCounters()
+        #: registry holding the live load counters (``repro_server_*``)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        reg = self.metrics
+        self._m_queries = reg.counter(
+            "repro_server_queries_served_total",
+            desc="obfuscated queries answered (cache hits included)",
+        )
+        self._m_paths = reg.counter(
+            "repro_server_paths_returned_total",
+            desc="candidate paths returned across all responses",
+        )
+        self._m_coalesced = reg.counter(
+            "repro_server_coalesced_queries_total",
+            desc="responses sliced from shared union kernel passes",
+        )
+        self._m_settled = reg.counter(
+            "repro_server_settled_nodes_total",
+            desc="nodes settled by fresh (non-cached) search work",
+        )
+        self._m_relaxed = reg.counter(
+            "repro_server_relaxed_edges_total",
+            desc="edge relaxations by fresh search work",
+        )
+        self._m_pushes = reg.counter(
+            "repro_server_heap_pushes_total",
+            desc="priority-queue insertions by fresh search work",
+        )
+        self._m_faults = reg.counter(
+            "repro_server_page_faults_total",
+            desc="physical page reads (paged networks only)",
+        )
+        self._m_pages = reg.counter(
+            "repro_server_pages_touched_total",
+            desc="distinct pages accessed (paged networks only)",
+        )
+        self._m_max_dist = reg.gauge(
+            "repro_server_max_settled_distance",
+            desc="largest search-tree radius seen (paper cost bound)",
+        )
 
     @property
     def processor(self) -> MultiSourceMultiDestProcessor:
@@ -175,18 +221,53 @@ class DirectionsServer:
         self.observed_queries.append(response.query)
         self._account(response)
 
+    @property
+    def counters(self) -> ServerCounters:
+        """Cumulative load counters, assembled from the metrics registry.
+
+        Returns a fresh :class:`ServerCounters` snapshot on every
+        access; mutate the server (answer/record), not the snapshot.
+        """
+        return ServerCounters(
+            queries_served=self._m_queries.value,
+            paths_returned=self._m_paths.value,
+            coalesced_queries=self._m_coalesced.value,
+            stats=SearchStats(
+                settled_nodes=self._m_settled.value,
+                relaxed_edges=self._m_relaxed.value,
+                heap_pushes=self._m_pushes.value,
+                page_faults=self._m_faults.value,
+                pages_touched=self._m_pages.value,
+                max_settled_distance=self._m_max_dist.value,
+            ),
+        )
+
     def _account(self, response: ServerResponse) -> None:
-        self.counters.queries_served += 1
-        self.counters.paths_returned += response.num_paths
+        self._m_queries.inc()
+        self._m_paths.inc(response.num_paths)
         if response.coalesced:
-            self.counters.coalesced_queries += 1
+            self._m_coalesced.inc()
         if not response.from_cache:
-            self.counters.stats.merge(response.candidates.stats)
+            stats = response.candidates.stats
+            self._m_settled.inc(stats.settled_nodes)
+            self._m_relaxed.inc(stats.relaxed_edges)
+            self._m_pushes.inc(stats.heap_pushes)
+            if stats.page_faults:
+                self._m_faults.inc(stats.page_faults)
+            if stats.pages_touched:
+                self._m_pages.inc(stats.pages_touched)
+            if stats.max_settled_distance:
+                self._m_max_dist.set_max(stats.max_settled_distance)
 
     def reset_counters(self) -> None:
         """Zero the cumulative counters and forget observed queries."""
         self.observed_queries.clear()
-        self.counters = ServerCounters()
+        for instrument in (
+            self._m_queries, self._m_paths, self._m_coalesced,
+            self._m_settled, self._m_relaxed, self._m_pushes,
+            self._m_faults, self._m_pages, self._m_max_dist,
+        ):
+            instrument.reset()
 
     def __repr__(self) -> str:
         return (

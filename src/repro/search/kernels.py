@@ -53,6 +53,7 @@ from heapq import heappop, heappush
 from repro.exceptions import NoPathError, UnknownNodeError
 from repro.network.csr import CSRGraph, csr_snapshot
 from repro.network.graph import NodeId
+from repro.obs import record as _obs_record
 from repro.search.ch.contract import ContractedGraph, contract_network
 from repro.search.ch.query import unpack_path
 from repro.search.multi import (
@@ -282,6 +283,9 @@ def overlay_sweep(
     stats.heap_pushes += pushes
     if maxd > stats.max_settled_distance:
         stats.max_settled_distance = maxd
+    rec = _obs_record.RECORDER
+    if rec is not None:
+        rec.record("overlay_sweep", settled, relaxed, pushes)
     return best, meet, dist, parent, via, done
 
 
@@ -386,6 +390,9 @@ def csr_dijkstra_path(
     stats.heap_pushes += pushes
     if maxd > stats.max_settled_distance:
         stats.max_settled_distance = maxd
+    rec = _obs_record.RECORDER
+    if rec is not None:
+        rec.record("csr_dijkstra", settled, relaxed, pushes)
     if not found:
         raise NoPathError(source, destination)
     return _path_from_parents(csr, parent, s, t, dist[t])
@@ -467,6 +474,9 @@ def csr_dijkstra_to_many(
     stats.heap_pushes += pushes
     if maxd > stats.max_settled_distance:
         stats.max_settled_distance = maxd
+    rec = _obs_record.RECORDER
+    if rec is not None:
+        rec.record("csr_dijkstra_to_many", settled, relaxed, pushes)
     if strict and remaining:
         missing = csr.node_ids[next(iter(remaining))]
         raise NoPathError(source, missing)
@@ -570,6 +580,9 @@ def csr_bidirectional_path(
     stats.heap_pushes += pushes
     if maxd > stats.max_settled_distance:
         stats.max_settled_distance = maxd
+    rec = _obs_record.RECORDER
+    if rec is not None:
+        rec.record("csr_bidirectional", settled, relaxed, pushes)
     if meet < 0:
         raise NoPathError(source, destination)
 
@@ -791,6 +804,9 @@ def csr_ch_path(
     stats.heap_pushes += pushes
     if maxd > stats.max_settled_distance:
         stats.max_settled_distance = maxd
+    rec = _obs_record.RECORDER
+    if rec is not None:
+        rec.record("csr_ch", settled, relaxed, pushes)
     if meet < 0:
         raise NoPathError(source, destination)
 
@@ -903,6 +919,9 @@ def _csr_upward_sweep(
     stats.heap_pushes += pushes
     if maxd > stats.max_settled_distance:
         stats.max_settled_distance = maxd
+    rec = _obs_record.RECORDER
+    if rec is not None:
+        rec.record("csr_ch_upward", settled, relaxed, pushes)
     preds = {i: parent[i] for i in settled_map}
     return settled_map, preds, stalled
 

@@ -59,6 +59,7 @@ from repro.exceptions import GraphError, NoPathError
 from repro.network.csr import CSRGraph
 from repro.network.graph import NodeId
 from repro.network.partition import Partition, partition_snapshot
+from repro.obs import record as _obs_record
 from repro.search.dijkstra import dijkstra_to_many
 from repro.search.kernels import csr_dijkstra_to_many, overlay_sweep
 from repro.search.multi import MSMDResult, PreprocessingProcessor, _validate
@@ -552,6 +553,9 @@ class OverlayGraph:
         ct = self.partition.cell_index(destination)
         if source == destination:
             return PathResult(source, source, (source,), 0.0)
+        rec = _obs_record.RECORDER
+        if rec is not None:
+            rec.record("overlay_route", cells=(cs,) if ct == cs else (cs, ct))
         extra = (destination,) if ct == cs else ()
         fwd = self._local_forward(cs, source, extra, stats)
         bwd = self._local_backward(ct, destination, stats)
@@ -603,6 +607,12 @@ class OverlayGraph:
         index = self.boundary_index
         src_cells = {s: partition.cell_index(s) for s in sources}
         dst_cells = {t: partition.cell_index(t) for t in destinations}
+        rec = _obs_record.RECORDER
+        if rec is not None:
+            rec.record(
+                "overlay_msmd",
+                cells=set(src_cells.values()) | set(dst_cells.values()),
+            )
         backs = {
             t: self._local_backward(dst_cells[t], t, stats)
             for t in destinations

@@ -47,6 +47,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.network.graph import NodeId
+from repro.obs.metrics import MetricsRegistry
 from repro.search.multi import MSMDResult
 
 __all__ = [
@@ -163,7 +164,10 @@ class PreprocessingCache:
     """
 
     def __init__(
-        self, capacity: int = 8, spill_dir: str | os.PathLike[str] | None = None
+        self,
+        capacity: int = 8,
+        spill_dir: str | os.PathLike[str] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -171,10 +175,45 @@ class PreprocessingCache:
         self._spill_dir = Path(spill_dir) if spill_dir is not None else None
         self._entries: OrderedDict[tuple[str, str], object] = OrderedDict()
         self._lock = threading.RLock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.disk_loads = 0
+        #: registry holding the live hit/miss counters (private when not
+        #: shared; sharing one registry across caches shares the counts)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_hits = self.metrics.counter(
+            "repro_preprocessing_cache_hits_total",
+            desc="preprocessing artifacts served from memory",
+        )
+        self._m_misses = self.metrics.counter(
+            "repro_preprocessing_cache_misses_total",
+            desc="preprocessing lookups that had to build or reload",
+        )
+        self._m_evictions = self.metrics.counter(
+            "repro_preprocessing_cache_evictions_total",
+            desc="artifacts evicted (and possibly spilled) by the LRU",
+        )
+        self._m_disk_loads = self.metrics.counter(
+            "repro_preprocessing_cache_disk_loads_total",
+            desc="misses satisfied by reloading a spilled artifact",
+        )
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from memory (registry-backed)."""
+        return self._m_hits.value
+
+    @property
+    def misses(self) -> int:
+        """Lookups that built or reloaded the artifact (registry-backed)."""
+        return self._m_misses.value
+
+    @property
+    def evictions(self) -> int:
+        """LRU evictions so far (registry-backed)."""
+        return self._m_evictions.value
+
+    @property
+    def disk_loads(self) -> int:
+        """Misses satisfied from the spill directory (registry-backed)."""
+        return self._m_disk_loads.value
 
     def __len__(self) -> int:
         """Number of artifacts currently held in memory."""
@@ -225,9 +264,9 @@ class PreprocessingCache:
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
-                self.hits += 1
+                self._m_hits.inc()
                 return self._entries[key]
-            self.misses += 1
+            self._m_misses.inc()
         # Build (or reload) without holding the lock.
         artifact = self._load_spilled(key, network)
         from_disk = artifact is not None
@@ -239,11 +278,11 @@ class PreprocessingCache:
                 self._entries.move_to_end(key)
                 return self._entries[key]
             if from_disk:
-                self.disk_loads += 1
+                self._m_disk_loads.inc()
             self._entries[key] = artifact
             if len(self._entries) > self._capacity:
                 evicted = self._entries.popitem(last=False)
-                self.evictions += 1
+                self._m_evictions.inc()
         if evicted is not None:
             self._spill(*evicted)
         return artifact
@@ -275,7 +314,7 @@ class PreprocessingCache:
             self._entries.move_to_end(key)
             if len(self._entries) > self._capacity:
                 evicted = self._entries.popitem(last=False)
-                self.evictions += 1
+                self._m_evictions.inc()
         if evicted is not None:
             self._spill(*evicted)
 
@@ -293,7 +332,11 @@ class PreprocessingCache:
         """Drop all in-memory entries and zero the counters."""
         with self._lock:
             self._entries.clear()
-            self.hits = self.misses = self.evictions = self.disk_loads = 0
+            for counter in (
+                self._m_hits, self._m_misses,
+                self._m_evictions, self._m_disk_loads,
+            ):
+                counter.reset()
 
     def snapshot(self) -> CacheSnapshot:
         """Current counters as a (preprocessing-only) :class:`CacheSnapshot`."""
@@ -397,7 +440,9 @@ class ResultCache:
     1
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(
+        self, capacity: int = 256, metrics: MetricsRegistry | None = None
+    ) -> None:
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         self._capacity = capacity
@@ -405,9 +450,35 @@ class ResultCache:
             tuple[str, tuple[NodeId, ...], tuple[NodeId, ...], str], MSMDResult
         ] = OrderedDict()
         self._lock = threading.RLock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        #: registry holding the live hit/miss counters
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_hits = self.metrics.counter(
+            "repro_result_cache_hits_total",
+            desc="result tables served without fresh search work",
+        )
+        self._m_misses = self.metrics.counter(
+            "repro_result_cache_misses_total",
+            desc="result lookups that required evaluation",
+        )
+        self._m_evictions = self.metrics.counter(
+            "repro_result_cache_evictions_total",
+            desc="result tables evicted by the LRU",
+        )
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from cache (registry-backed)."""
+        return self._m_hits.value
+
+    @property
+    def misses(self) -> int:
+        """Lookups that required evaluation (registry-backed)."""
+        return self._m_misses.value
+
+    @property
+    def evictions(self) -> int:
+        """LRU evictions so far (registry-backed)."""
+        return self._m_evictions.value
 
     def __len__(self) -> int:
         """Number of cached result tables."""
@@ -444,9 +515,9 @@ class ResultCache:
             result = self._entries.get(key)
             if result is not None:
                 self._entries.move_to_end(key)
-                self.hits += 1
+                self._m_hits.inc()
                 return result
-            self.misses += 1
+            self._m_misses.inc()
             return None
 
     def put(
@@ -467,7 +538,7 @@ class ResultCache:
             self._entries[key] = result
             if len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
-                self.evictions += 1
+                self._m_evictions.inc()
 
     def count_shared_hit(self) -> None:
         """Count a lookup served by work shared within the same batch.
@@ -479,13 +550,14 @@ class ResultCache:
         ``from_cache`` flags.
         """
         with self._lock:
-            self.hits += 1
+            self._m_hits.inc()
 
     def clear(self) -> None:
         """Drop all entries and zero the counters."""
         with self._lock:
             self._entries.clear()
-            self.hits = self.misses = self.evictions = 0
+            for counter in (self._m_hits, self._m_misses, self._m_evictions):
+                counter.reset()
 
     def snapshot(self) -> CacheSnapshot:
         """Current counters as a (result-only) :class:`CacheSnapshot`."""

@@ -50,6 +50,8 @@ from dataclasses import dataclass, field
 from repro.core.query import ObfuscatedPathQuery
 from repro.core.server import DirectionsServer, ServerResponse
 from repro.exceptions import EdgeError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.search.multi import (
     MSMDResult,
     MultiSourceMultiDestProcessor,
@@ -155,20 +157,43 @@ class ConcurrentDispatcher:
             return self._executor
 
     def _evaluate(
-        self, network, query: ObfuscatedPathQuery, artifact: object
+        self,
+        network,
+        query: ObfuscatedPathQuery,
+        artifact: object,
+        tracer=NULL_TRACER,
+        parent=None,
+        cell: int | None = None,
     ) -> MSMDResult:
         handle = self._handle()
         if artifact is not None and isinstance(handle, PreprocessingProcessor):
             handle.use_artifact(artifact)
-        return handle.process(
-            network, list(query.sources), list(query.destinations)
-        )
+        with tracer.span(
+            "serve.worker",
+            parent=parent,
+            num_sources=len(query.sources),
+            num_destinations=len(query.destinations),
+        ) as worker:
+            if cell is not None:
+                worker.set("cell", cell)
+            with tracer.span("engine.process", parent=worker) as kernel:
+                result = handle.process(
+                    network, list(query.sources), list(query.destinations)
+                )
+                stats = result.stats
+                kernel.set("settled_nodes", stats.settled_nodes)
+                kernel.set("relaxed_edges", stats.relaxed_edges)
+                kernel.set("heap_pushes", stats.heap_pushes)
+        return result
 
     def dispatch(
         self,
         network,
         queries: Sequence[ObfuscatedPathQuery],
         artifact: object = None,
+        tracer=None,
+        parent=None,
+        cells: Sequence[int | None] | None = None,
     ) -> list[MSMDResult]:
         """Evaluate every query, returning results in submission order.
 
@@ -182,6 +207,14 @@ class ConcurrentDispatcher:
         artifact:
             Optional preprocessing artifact injected into each worker's
             handle (from the serving stack's preprocessing cache).
+        tracer, parent:
+            Optional :class:`~repro.obs.trace.Tracer` and parent span:
+            each evaluation then runs inside a ``serve.worker`` span
+            (child ``engine.kernel`` carries the search counters)
+            attached under ``parent``, from whichever thread ran it.
+        cells:
+            Optional per-query partition cell hints (aligned with
+            ``queries``), recorded as the worker span's ``cell`` attr.
 
         Returns
         -------
@@ -191,11 +224,19 @@ class ConcurrentDispatcher:
         """
         if not queries:
             return []
+        if tracer is None:
+            tracer = NULL_TRACER
+        if cells is None:
+            cells = [None] * len(queries)
         if self._max_workers == 1 or len(queries) == 1:
-            return [self._evaluate(network, q, artifact) for q in queries]
+            return [
+                self._evaluate(network, q, artifact, tracer, parent, cell)
+                for q, cell in zip(queries, cells)
+            ]
         pool = self._pool()
         futures = [
-            pool.submit(self._evaluate, network, q, artifact) for q in queries
+            pool.submit(self._evaluate, network, q, artifact, tracer, parent, cell)
+            for q, cell in zip(queries, cells)
         ]
         return [f.result() for f in futures]
 
@@ -330,12 +371,34 @@ class QueryCoalescer:
         self.config = config
         self._lock = threading.Lock()
         self._pending: list[_Ticket] = []
-        self._windows = 0
-        self._queries = 0
-        self._shared_windows = 0
-        self._coalesced_queries = 0
-        self._union_pairs = 0
-        self._max_window = 0
+        # Live counters are registry instruments (``repro_coalesce_*``)
+        # on the stack's registry; snapshot() assembles the same
+        # CoalesceSnapshot shape as before from their values.
+        reg = stack.metrics
+        self._m_windows = reg.counter(
+            "repro_coalesce_windows_total",
+            desc="micro-batch windows flushed",
+        )
+        self._m_queries = reg.counter(
+            "repro_coalesce_queries_total",
+            desc="queries answered through the coalescer",
+        )
+        self._m_shared_windows = reg.counter(
+            "repro_coalesce_shared_windows_total",
+            desc="windows whose union pass merged >= 2 distinct queries",
+        )
+        self._m_coalesced_queries = reg.counter(
+            "repro_coalesce_coalesced_queries_total",
+            desc="queries answered by a shared union pass",
+        )
+        self._m_union_pairs = reg.counter(
+            "repro_coalesce_union_pairs_total",
+            desc="distinct (s, t) pairs evaluated by union passes",
+        )
+        self._m_max_window = reg.gauge(
+            "repro_coalesce_max_window",
+            desc="largest window flushed",
+        )
 
     def submit_many(
         self, queries: Sequence[ObfuscatedPathQuery]
@@ -409,24 +472,24 @@ class QueryCoalescer:
                     coalesced += 1
             ticket.event.set()
         with self._lock:
-            self._windows += 1
-            self._queries += len(tickets)
-            self._union_pairs += union_pairs
-            self._max_window = max(self._max_window, len(tickets))
+            self._m_windows.inc()
+            self._m_queries.inc(len(tickets))
+            self._m_union_pairs.inc(union_pairs)
+            self._m_max_window.set_max(len(tickets))
             if unique_misses >= 2:
-                self._shared_windows += 1
-                self._coalesced_queries += coalesced
+                self._m_shared_windows.inc()
+                self._m_coalesced_queries.inc(coalesced)
 
     def snapshot(self) -> CoalesceSnapshot:
         """Current counters as a :class:`CoalesceSnapshot`."""
         with self._lock:
             return CoalesceSnapshot(
-                windows=self._windows,
-                queries=self._queries,
-                shared_windows=self._shared_windows,
-                coalesced_queries=self._coalesced_queries,
-                union_pairs=self._union_pairs,
-                max_window=self._max_window,
+                windows=self._m_windows.value,
+                queries=self._m_queries.value,
+                shared_windows=self._m_shared_windows.value,
+                coalesced_queries=self._m_coalesced_queries.value,
+                union_pairs=self._m_union_pairs.value,
+                max_window=int(self._m_max_window.value),
             )
 
 
@@ -462,6 +525,20 @@ class ServingStack:
         session) are merged into shared union kernel passes and sliced
         back per session, byte-identical to serial answers.  ``None``
         (default) keeps the per-query dispatch path.
+    metrics:
+        Shared :class:`~repro.obs.metrics.MetricsRegistry`; a private
+        one is created otherwise.  The stack's server, coalescer and the
+        caches it creates (pre-supplied caches keep their own registry)
+        all register their instruments here, so one
+        ``registry.to_json()`` / ``to_prometheus()`` call exposes the
+        whole stack.
+    tracer:
+        A :class:`~repro.obs.trace.Tracer` to record per-query span
+        trees (``serve.answer_batch`` → ``serve.cache_consult`` →
+        ``serve.worker`` → ``engine.process``; coalesced windows root
+        their own ``serve.coalesce_window`` trees since one window may
+        serve several sessions).  ``None`` (default) uses a shared no-op
+        tracer with no recording overhead.
 
     Notes
     -----
@@ -479,23 +556,40 @@ class ServingStack:
         max_workers: int = 4,
         spill_dir=None,
         coalesce: CoalesceConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         from repro.search import get_engine
 
         self.network = network
         self.engine_name = engine
         self._engine = get_engine(engine)
+        #: registry collecting every component's instruments
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: the live tracer, or None when tracing is off
+        self.tracer = tracer
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._m_batch_seconds = self.metrics.histogram(
+            "repro_serve_batch_seconds",
+            desc="answer_batch wall latency (seconds)",
+        )
         self.preprocessing = (
             preprocessing_cache
             if preprocessing_cache is not None
-            else PreprocessingCache(spill_dir=spill_dir)
+            else PreprocessingCache(spill_dir=spill_dir, metrics=self.metrics)
         )
-        self.results = result_cache if result_cache is not None else ResultCache()
+        self.results = (
+            result_cache
+            if result_cache is not None
+            else ResultCache(metrics=self.metrics)
+        )
         self.dispatcher = ConcurrentDispatcher(
             self._engine.make_processor, max_workers=max_workers
         )
         self.server = DirectionsServer(
-            network, processor=self._engine.make_processor()
+            network,
+            processor=self._engine.make_processor(),
+            metrics=self.metrics,
         )
         #: cross-session micro-batching window, or None when disabled
         self.coalescer = (
@@ -573,35 +667,89 @@ class ServingStack:
         if not queries:
             return []
         if self.coalescer is not None:
-            return self.coalescer.submit_many(list(queries))
-        fingerprint = self._fingerprint()
-        responses: list[ServerResponse | None] = [None] * len(queries)
-        misses = self._consult_result_cache(queries, fingerprint, responses)
-        artifact = None
-        if misses:
-            artifact = self.preprocessing.get(
-                self.network, self.engine_name, fingerprint=fingerprint
-            )
-        miss_groups = list(misses.values())
-        if len(miss_groups) > 1 and isinstance(artifact, OverlayGraph):
-            # Shard-aware dispatch: group this batch's misses by the
-            # source cell so queries touching the same shard of the map
-            # run back to back (locality for per-worker scratch and any
-            # external sharding built on dispatch_hint).  Responses are
-            # reassembled by batch index, so ordering is unobservable.
-            cell_of = artifact.partition.cell_of
-            miss_groups.sort(
-                key=lambda indices: (
-                    _hint_sort_key(
-                        cell_of.get(queries[indices[0]].sources[0])
-                    ),
-                    indices[0],
+            t0 = time.perf_counter()
+            try:
+                return self.coalescer.submit_many(list(queries))
+            finally:
+                self._m_batch_seconds.observe(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        try:
+            return self._answer_batch_direct(queries)
+        finally:
+            self._m_batch_seconds.observe(time.perf_counter() - t0)
+
+    def _answer_batch_direct(
+        self, queries: Sequence[ObfuscatedPathQuery]
+    ) -> list[ServerResponse]:
+        """The per-query dispatch path of :meth:`answer_batch`."""
+        with self._tracer.span(
+            "serve.answer_batch",
+            batch_size=len(queries),
+            engine=self.engine_name,
+        ) as root:
+            fingerprint = self._fingerprint()
+            responses: list[ServerResponse | None] = [None] * len(queries)
+            with self._tracer.span(
+                "serve.cache_consult", parent=root
+            ) as consult:
+                misses = self._consult_result_cache(
+                    queries, fingerprint, responses
                 )
+                consult.set("unique_misses", len(misses))
+                consult.set(
+                    "hits",
+                    len(queries) - sum(len(g) for g in misses.values()),
+                )
+            artifact = None
+            if misses:
+                artifact = self.preprocessing.get(
+                    self.network, self.engine_name, fingerprint=fingerprint
+                )
+            miss_groups = list(misses.values())
+            cell_of = None
+            if isinstance(artifact, OverlayGraph):
+                cell_of = artifact.partition.cell_of
+            if len(miss_groups) > 1 and cell_of is not None:
+                # Shard-aware dispatch: group this batch's misses by the
+                # source cell so queries touching the same shard of the map
+                # run back to back (locality for per-worker scratch and any
+                # external sharding built on dispatch_hint).  Responses are
+                # reassembled by batch index, so ordering is unobservable.
+                miss_groups.sort(
+                    key=lambda indices: (
+                        _hint_sort_key(
+                            cell_of.get(queries[indices[0]].sources[0])
+                        ),
+                        indices[0],
+                    )
+                )
+            unique = [indices[0] for indices in miss_groups]
+            cells = None
+            if cell_of is not None:
+                cells = [
+                    cell_of.get(queries[i].sources[0]) for i in unique
+                ]
+            computed = self.dispatcher.dispatch(
+                self.network,
+                [queries[i] for i in unique],
+                artifact,
+                tracer=self._tracer,
+                parent=root,
+                cells=cells,
             )
-        unique = [indices[0] for indices in miss_groups]
-        computed = self.dispatcher.dispatch(
-            self.network, [queries[i] for i in unique], artifact
-        )
+            return self._record_batch(
+                queries, fingerprint, responses, miss_groups, computed
+            )
+
+    def _record_batch(
+        self,
+        queries: Sequence[ObfuscatedPathQuery],
+        fingerprint: str,
+        responses: list[ServerResponse | None],
+        miss_groups: list[list[int]],
+        computed: list[MSMDResult],
+    ) -> list[ServerResponse]:
+        """Cache, record and order the responses of one direct batch."""
         with self._lock:
             for indices, result in zip(miss_groups, computed):
                 first = queries[indices[0]]
@@ -681,20 +829,47 @@ class ServingStack:
         ``S x T`` pairs in that query's own wire order, so nothing about
         the window's other members is observable in any response.
         """
-        fingerprint = self._fingerprint()
-        outcomes: list[ServerResponse | Exception | None] = [None] * len(queries)
-        misses = self._consult_result_cache(queries, fingerprint, outcomes)
-        union: UnionPassResult | None = None
-        if misses:
-            artifact = self.preprocessing.get(
-                self.network, self.engine_name, fingerprint=fingerprint
+        with self._tracer.span(
+            "serve.coalesce_window",
+            window_size=len(queries),
+            engine=self.engine_name,
+        ) as root:
+            fingerprint = self._fingerprint()
+            outcomes: list[ServerResponse | Exception | None] = (
+                [None] * len(queries)
             )
-            unique = [queries[indices[0]] for indices in misses.values()]
-            union = self.dispatcher.evaluate_union(
-                self.network,
-                [(q.sources, q.destinations) for q in unique],
-                artifact,
-            )
+            with self._tracer.span(
+                "serve.cache_consult", parent=root
+            ) as consult:
+                misses = self._consult_result_cache(
+                    queries, fingerprint, outcomes
+                )
+                consult.set("unique_misses", len(misses))
+                consult.set(
+                    "hits",
+                    len(queries) - sum(len(g) for g in misses.values()),
+                )
+            union: UnionPassResult | None = None
+            if misses:
+                artifact = self.preprocessing.get(
+                    self.network, self.engine_name, fingerprint=fingerprint
+                )
+                unique = [queries[indices[0]] for indices in misses.values()]
+                with self._tracer.span(
+                    "engine.union",
+                    parent=root,
+                    num_queries=len(unique),
+                ) as union_span:
+                    union = self.dispatcher.evaluate_union(
+                        self.network,
+                        [(q.sources, q.destinations) for q in unique],
+                        artifact,
+                    )
+                    union_span.set("union_pairs", union.pairs_computed)
+                    union_span.set(
+                        "settled_nodes", union.union_stats.settled_nodes
+                    )
+            root.set("unique_misses", len(misses))
         shared = len(misses) >= 2
         with self._lock:
             if union is not None:
@@ -908,6 +1083,7 @@ def replay(
     queries: Sequence[ObfuscatedPathQuery],
     repeats: int = 1,
     batch_size: int = 1,
+    clock: Callable[[], float] = time.perf_counter,
 ) -> ReplayReport:
     """Replay a fixed obfuscated-query workload through a serving stack.
 
@@ -928,6 +1104,11 @@ def replay(
     batch_size:
         Queries dispatched per :meth:`ServingStack.answer_batch` call
         (>= 1); the dispatcher parallelizes within a batch.
+    clock:
+        Time source for the latency measurements (the
+        :attr:`CoalesceConfig.clock` pattern).  Tests inject a stepping
+        clock to assert exact report numbers; production uses
+        :func:`time.perf_counter`.
 
     Returns
     -------
@@ -939,15 +1120,15 @@ def replay(
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
     report = ReplayReport()
-    start = time.perf_counter()
+    start = clock()
     for _ in range(repeats):
         for offset in range(0, len(queries), batch_size):
             batch = list(queries[offset : offset + batch_size])
-            t0 = time.perf_counter()
+            t0 = clock()
             stack.answer_batch(batch)
-            elapsed = time.perf_counter() - t0
+            elapsed = clock() - t0
             report.latencies.extend([elapsed] * len(batch))
             report.queries += len(batch)
-    report.total_seconds = time.perf_counter() - start
+    report.total_seconds = clock() - start
     report.cache = stack.snapshot()
     return report

@@ -1,0 +1,102 @@
+"""Leak test: no serialized telemetry surface may carry node ids.
+
+Builds a road network whose node ids are distinctive 7-digit numbers
+(never produced by counting settled nodes on a 16-node graph), runs an
+obfuscated workload through a fully instrumented serving stack — shared
+metrics registry, tracer with a zero slow-query threshold, recording
+``MetricsRecorder`` — and then scans every serialized output (metrics
+JSON, Prometheus text, trace JSONL, slow-query log lines) for every
+node id: the true endpoints, the decoys, everything.  This is the
+enforcement end of the redaction invariant documented in
+``repro/obs/__init__.py``: telemetry carries set sizes, counts and cell
+ids — never what obfuscation hides.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+
+import pytest
+
+from repro.core.query import ObfuscatedPathQuery
+from repro.network.graph import RoadNetwork
+from repro.obs import JSONLogFormatter, MetricsRecorder, Tracer, recording
+from repro.obs.trace import SLOW_QUERY_LOGGER
+from repro.service.serving import ServingStack
+
+#: node ids no aggregate count on this graph can coincidentally equal
+_IDS = [9100001 + i for i in range(16)]
+
+
+@pytest.fixture()
+def marked_network() -> RoadNetwork:
+    """4x4 grid whose node ids are distinctive 7-digit markers."""
+    net = RoadNetwork()
+    for i, node in enumerate(_IDS):
+        net.add_node(node, float(i % 4), float(i // 4))
+    for i in range(16):
+        if i % 4 != 3:
+            net.add_edge(_IDS[i], _IDS[i + 1], 1.0)
+        if i < 12:
+            net.add_edge(_IDS[i], _IDS[i + 4], 1.0)
+    return net
+
+
+def _instrumented_run(network: RoadNetwork) -> list[str]:
+    """Run an obfuscated workload; return every serialized telemetry text."""
+    rng = random.Random(11)
+    queries = [
+        ObfuscatedPathQuery(
+            tuple(rng.sample(_IDS, 3)), tuple(rng.sample(_IDS, 3))
+        )
+        for _ in range(4)
+    ]
+
+    class CapturingHandler(logging.Handler):
+        def __init__(self):
+            super().__init__()
+            self.lines: list[str] = []
+            self.setFormatter(JSONLogFormatter())
+
+        def emit(self, record):
+            self.lines.append(self.format(record))
+
+    handler = CapturingHandler()
+    logger = logging.getLogger(SLOW_QUERY_LOGGER)
+    logger.addHandler(handler)
+    tracer = Tracer(slow_threshold_s=0.0)  # every root is "slow"
+    try:
+        with ServingStack(
+            network, engine="dijkstra", max_workers=2, tracer=tracer
+        ) as stack:
+            with recording(MetricsRecorder(stack.metrics)):
+                stack.answer_batch(queries)
+                stack.answer_batch(queries)  # warm pass: cache-hit spans
+    finally:
+        logger.removeHandler(handler)
+    return [
+        stack.metrics.to_json(),
+        stack.metrics.to_prometheus(),
+        tracer.export_jsonl(),
+        "\n".join(handler.lines),
+    ]
+
+
+class TestTelemetryNeverLeaksEndpoints:
+    def test_no_serialized_surface_contains_node_ids(self, marked_network):
+        surfaces = _instrumented_run(marked_network)
+        assert any(surfaces), "instrumented run produced no telemetry"
+        for surface in surfaces:
+            for node in _IDS:
+                assert str(node) not in surface, (
+                    f"telemetry output leaked node id {node}: "
+                    f"{surface[:400]}..."
+                )
+
+    def test_surfaces_still_carry_aggregates(self, marked_network):
+        metrics_json, _, traces, slow_log = _instrumented_run(marked_network)
+        assert "repro_server_queries_served_total" in metrics_json
+        assert "num_sources" in traces
+        assert "settled_nodes" in traces
+        assert "serve.answer_batch" in slow_log

@@ -1,0 +1,158 @@
+"""Tests for explicit-context span trees, JSONL export, slow-query log."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    SLOW_QUERY_LOGGER,
+    JSONLogFormatter,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+
+class SteppingClock:
+    """Deterministic clock advancing by a fixed step per read."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestSpanTrees:
+    def test_parenting_and_walk(self):
+        tracer = Tracer(clock=SteppingClock())
+        with tracer.span("root", batch_size=2) as root:
+            with tracer.span("child_a", parent=root) as child_a:
+                with tracer.span("leaf", parent=child_a):
+                    pass
+            with tracer.span("child_b", parent=root):
+                pass
+        assert len(tracer.roots) == 1
+        tree = tracer.roots[0]
+        assert [s.name for s in tree.walk()] == [
+            "root", "child_a", "leaf", "child_b",
+        ]
+        assert tree.attrs == {"batch_size": 2}
+        assert all(c.parent_id == tree.span_id for c in tree.children)
+
+    def test_injected_clock_gives_exact_durations(self):
+        tracer = Tracer(clock=SteppingClock(step=1.0))
+        with tracer.span("only"):
+            pass
+        span = tracer.roots[0]
+        assert span.start == 0.0
+        assert span.duration == 1.0
+
+    def test_open_span_has_zero_duration(self):
+        span = Span("open", 1, None)
+        assert span.duration == 0.0
+
+    def test_forbidden_attribute_keys_rejected(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with pytest.raises(ValueError):
+                root.set("sources", (1, 2, 3))
+            with pytest.raises(ValueError):
+                root.set("node_id", 7)
+        with pytest.raises(ValueError):
+            with tracer.span("bad", destinations=(4,)):
+                pass
+        # Counts and cell ids are the sanctioned vocabulary.
+        with tracer.span("ok", num_sources=3, cell=2):
+            pass
+
+    def test_max_roots_cap_counts_drops(self):
+        tracer = Tracer(max_roots=2)
+        for _ in range(4):
+            with tracer.span("r"):
+                pass
+        assert len(tracer.roots) == 2
+        assert tracer.dropped == 2
+        tracer.reset()
+        assert tracer.roots == []
+        assert tracer.dropped == 0
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer(clock=SteppingClock())
+        with tracer.span("root", engine="ch") as root:
+            with tracer.span("child", parent=root, settled_nodes=5):
+                pass
+        with tracer.span("second"):
+            pass
+        lines = tracer.export_jsonl().splitlines()
+        assert len(lines) == 2
+        doc = json.loads(lines[0])
+        assert doc["name"] == "root"
+        assert doc["attrs"] == {"engine": "ch"}
+        assert doc["children"][0]["attrs"] == {"settled_nodes": 5}
+        out = tmp_path / "traces.jsonl"
+        assert tracer.write_jsonl(out) == 2
+        assert out.read_text(encoding="utf-8").splitlines() == lines
+
+
+class TestSlowQueryLog:
+    def test_slow_roots_logged_as_json(self, capsys):
+        handler = logging.StreamHandler()
+        handler.setFormatter(JSONLogFormatter())
+        logger = logging.getLogger(SLOW_QUERY_LOGGER)
+        logger.addHandler(handler)
+        try:
+            tracer = Tracer(clock=SteppingClock(), slow_threshold_s=0.5)
+            with tracer.span("slow_root", batch_size=3):
+                pass
+        finally:
+            logger.removeHandler(handler)
+        doc = json.loads(capsys.readouterr().err.strip())
+        assert doc["logger"] == SLOW_QUERY_LOGGER
+        assert "slow_root" in doc["message"]
+        assert doc["span"]["attrs"] == {"batch_size": 3}
+
+    def test_fast_roots_not_logged(self, capsys):
+        handler = logging.StreamHandler()
+        handler.setFormatter(JSONLogFormatter())
+        logger = logging.getLogger(SLOW_QUERY_LOGGER)
+        logger.addHandler(handler)
+        try:
+            tracer = Tracer(clock=SteppingClock(), slow_threshold_s=10.0)
+            with tracer.span("fast_root"):
+                pass
+        finally:
+            logger.removeHandler(handler)
+        assert capsys.readouterr().err == ""
+
+    def test_formatter_without_span(self):
+        record = logging.LogRecord(
+            "any", logging.INFO, __file__, 1, "hello %s", ("there",), None
+        )
+        doc = json.loads(JSONLogFormatter().format(record))
+        assert doc == {"level": "INFO", "logger": "any", "message": "hello there"}
+
+
+class TestNullTracer:
+    def test_no_recording_but_same_shape(self):
+        tracer = NullTracer()
+        with tracer.span("anything", batch_size=4) as span:
+            span.set("settled_nodes", 9)
+            with tracer.span("child", parent=span) as child:
+                assert child is span  # one shared no-op span
+        assert not hasattr(tracer, "roots")
+
+    def test_still_refuses_forbidden_keys(self):
+        with NULL_TRACER.span("x") as span:
+            with pytest.raises(ValueError):
+                span.set("query", object())
+
+    def test_shared_instance_exists(self):
+        assert isinstance(NULL_TRACER, NullTracer)

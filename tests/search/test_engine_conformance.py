@@ -239,3 +239,56 @@ def test_union_passes_conform(name, data):
         assert settled_total == union.union_stats.settled_nodes
     else:
         assert settled_total == 0
+
+
+@pytest.mark.parametrize("name", ENGINE_NAMES)
+def test_trace_settled_counts_match_server_counters(name):
+    """Trace-based regression check: every engine's span tree agrees
+    with the existing load counters.
+
+    Serves a batch of distinct obfuscated queries through a traced
+    :class:`~repro.service.serving.ServingStack` and asserts that the
+    ``settled_nodes`` attributes of the ``engine.process`` spans sum to
+    exactly ``server.counters.stats.settled_nodes`` — the two
+    accounting paths (per-result stats merged by ``_account`` vs. span
+    attributes stamped on worker threads) can never drift apart without
+    this failing for the drifting engine.
+    """
+    from repro.core.query import ObfuscatedPathQuery
+    from repro.obs.trace import Tracer
+    from repro.service.serving import ServingStack
+
+    # Euclidean-consistent weights (the harness's metric convention)
+    # keep the heuristic engines exact alongside everything else, and
+    # the jitter avoids the all-ties weight landscape.
+    rng = random.Random(4)
+    net = RoadNetwork()
+    side = 6
+    for i in range(side * side):
+        net.add_node(i, float(i % side), float(i // side))
+    for i in range(side * side):
+        if i % side != side - 1:
+            _add_edge(net, rng, i, i + 1, metric=True)
+        if i + side < side * side:
+            _add_edge(net, rng, i, i + side, metric=True)
+    nodes = sorted(net.nodes())
+    queries = [
+        ObfuscatedPathQuery(
+            tuple(rng.sample(nodes, 2)), tuple(rng.sample(nodes, 2))
+        )
+        for _ in range(6)
+    ]
+    assert len({(q.sources, q.destinations) for q in queries}) == len(queries)
+
+    tracer = Tracer()
+    with ServingStack(net, engine=name, max_workers=2, tracer=tracer) as stack:
+        stack.answer_batch(queries)
+    spans = [
+        span
+        for root in tracer.roots
+        for span in root.walk()
+        if span.name == "engine.process"
+    ]
+    assert len(spans) == len(queries)
+    traced_settled = sum(span.attrs["settled_nodes"] for span in spans)
+    assert traced_settled == stack.server.counters.stats.settled_nodes

@@ -225,6 +225,36 @@ class TestReplay:
             with pytest.raises(ValueError):
                 replay(stack, [], batch_size=0)
 
+    def test_replay_with_injected_clock_is_deterministic(self, small_grid):
+        # The CoalesceConfig.clock pattern: a stepping fake clock makes
+        # every latency exactly one tick, so the report is assertable
+        # down to the numbers instead of "is positive".
+        ticks = iter(range(1000))
+        clock = lambda: float(next(ticks))  # noqa: E731
+        queries = _queries(small_grid, n=4)
+        with ServingStack(small_grid, engine="dijkstra") as stack:
+            report = replay(
+                stack, queries, repeats=2, batch_size=2, clock=clock
+            )
+        # Each batch reads the clock twice (t0, t1) -> latency 1.0; four
+        # batches total, every member charged its batch's completion.
+        assert report.latencies == [1.0] * 8
+        # start read + 2 reads per batch + final read = 10 ticks.
+        assert report.total_seconds == 9.0
+
+    def test_report_percentile_agrees_with_stats_module(self):
+        # ReplayReport.percentile must stay a thin delegate of
+        # service.stats.percentile — one quantile definition repo-wide.
+        from repro.service.serving import ReplayReport
+        from repro.service.stats import percentile
+
+        latencies = [0.5, 0.1, 0.9, 0.3, 0.7, 0.2]
+        report = ReplayReport(latencies=list(latencies))
+        for q in (0.0, 0.25, 0.5, 0.75, 0.95, 1.0):
+            assert report.percentile(q) == percentile(sorted(latencies), q)
+        assert report.p50_latency == percentile(sorted(latencies), 0.50)
+        assert report.p95_latency == percentile(sorted(latencies), 0.95)
+
     def test_batching_service_reports_cache_counters(self, small_grid):
         from repro.service.simulator import (
             BatchingObfuscationService,

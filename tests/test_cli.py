@@ -217,6 +217,92 @@ class TestServeReplay:
         assert main(["serve-replay", map_file, workload_file, flag, value]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_telemetry_outputs_written(
+        self, map_file, workload_file, tmp_path, capsys
+    ):
+        import json
+
+        metrics_out = tmp_path / "metrics.json"
+        trace_out = tmp_path / "traces.jsonl"
+        assert main(
+            [
+                "serve-replay", map_file, workload_file,
+                "--engine", "dijkstra-csr", "--repeat", "2", "--batch", "4",
+                "--metrics-out", str(metrics_out),
+                "--trace-out", str(trace_out),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"wrote metrics to {metrics_out}" in out
+        assert f"trace trees to {trace_out}" in out
+        doc = json.loads(metrics_out.read_text(encoding="utf-8"))
+        assert "repro_server_queries_served_total" in doc["metrics"]
+        assert "repro_result_cache_hits_total" in doc["metrics"]
+        assert "repro_kernel_csr_dijkstra_to_many_calls_total" in doc["metrics"]
+        roots = [
+            json.loads(line)
+            for line in trace_out.read_text(encoding="utf-8").splitlines()
+        ]
+        assert roots
+        assert all(r["name"] == "serve.answer_batch" for r in roots)
+
+    def test_slow_query_log_emits_json(
+        self, map_file, workload_file, capsys
+    ):
+        import json
+
+        assert main(
+            [
+                "serve-replay", map_file, workload_file,
+                "--engine", "dijkstra", "--slow-query-ms", "0",
+            ]
+        ) == 0
+        lines = [
+            line for line in capsys.readouterr().err.splitlines() if line
+        ]
+        assert lines, "threshold 0 must flag every root as slow"
+        doc = json.loads(lines[0])
+        assert "slow span" in doc["message"]
+        assert doc["span"]["name"] == "serve.answer_batch"
+
+
+class TestObsReport:
+    @pytest.fixture()
+    def telemetry_files(self, map_file, tmp_path):
+        out = str(tmp_path / "rush.txt")
+        assert main(
+            ["workload", map_file, "-o", out, "--count", "6", "--kind", "uniform"]
+        ) == 0
+        metrics_out = tmp_path / "metrics.json"
+        trace_out = tmp_path / "traces.jsonl"
+        assert main(
+            [
+                "serve-replay", map_file, out,
+                "--metrics-out", str(metrics_out),
+                "--trace-out", str(trace_out),
+            ]
+        ) == 0
+        return str(metrics_out), str(trace_out)
+
+    def test_reports_instruments_and_span_percentiles(
+        self, telemetry_files, capsys
+    ):
+        metrics_out, trace_out = telemetry_files
+        capsys.readouterr()  # drop the serve-replay output
+        assert main(
+            ["obs-report", "--metrics", metrics_out, "--traces", trace_out]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "instruments from" in out
+        assert "repro_server_queries_served_total" in out
+        assert "serve.answer_batch" in out
+        assert "p95=" in out
+        assert "slowest" in out
+
+    def test_requires_at_least_one_input(self, capsys):
+        assert main(["obs-report"]) == 1
+        assert "error:" in capsys.readouterr().err
+
 
 class TestExperiment:
     def test_runs_selected_experiment(self, capsys):
@@ -239,6 +325,7 @@ class TestParser:
             "protect",
             "workload",
             "serve-replay",
+            "obs-report",
             "experiment",
         ):
             assert command in text

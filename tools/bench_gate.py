@@ -9,7 +9,11 @@ than the tolerance (default 25%):
 * ``direction: higher`` metrics (speedup ratios) regress when
   ``value < baseline * (1 - tolerance)``;
 * ``direction: lower`` metrics (settled-node counters) regress when
-  ``value > baseline * (1 + tolerance)``.
+  ``value > baseline * (1 + tolerance)``;
+* metrics whose baseline entry carries a ``max`` field are gated
+  *absolutely* — ``value <= max`` — ignoring the relative tolerance
+  (used for near-zero quantities like ``telemetry_overhead_pct``,
+  where a multiplicative band degenerates).
 
 Metrics present in the run but absent from the baseline are reported as
 ``new`` and never gated (commit a refreshed baseline to start tracking
@@ -53,7 +57,11 @@ def compare(run: dict, baseline: dict, tolerance: float) -> tuple[list[str], lis
             continue
         value, ref = got["value"], base["value"]
         direction = base.get("direction", "lower")
-        if direction == "higher":
+        absolute_max = base.get("max")
+        if absolute_max is not None:
+            ok = value <= absolute_max
+            verdict = f"<= {absolute_max:.3f} (absolute)"
+        elif direction == "higher":
             bound = ref * (1.0 - tolerance)
             ok = value >= bound
             verdict = f">= {bound:.3f}"

@@ -32,11 +32,16 @@ MARKDOWN_FILES = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
 DOCTEST_MODULES = [
     "repro",
     "repro.service.cache",
+    "repro.obs.metrics",
 ]
 
 DOCSTRING_AUDIT_FILES = [
     "src/repro/network/csr.py",
     "src/repro/network/partition.py",
+    "src/repro/obs/__init__.py",
+    "src/repro/obs/metrics.py",
+    "src/repro/obs/record.py",
+    "src/repro/obs/trace.py",
     "src/repro/search/__init__.py",
     "src/repro/search/kernels.py",
     "src/repro/search/multi.py",
