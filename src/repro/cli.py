@@ -11,7 +11,10 @@ Usage (also via ``python -m repro``):
     repro route city.txt 21 352 --avoid-highways
     repro protect city.txt 21 352 --f-s 3 --f-t 3
     repro workload city.txt -o rush.txt --count 40 --kind hotspot
+    repro scenario morning-rush city.txt -o traffic.txt --merge-workload rush.txt
     repro serve-replay city.txt rush.txt --engine ch --repeat 3
+    repro serve-replay city.txt traffic.txt --engine overlay-csr
+    repro serve-replay city.txt rush.txt --engine overlay-csr --churn-cells-per-min 120
     repro serve-replay city.txt rush.txt --engine ch-csr --coalesce-window 8
     repro serve-replay city.txt rush.txt --metrics-out m.json --trace-out t.jsonl
     repro obs-report --metrics m.json --traces t.jsonl
@@ -199,6 +202,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=2.0,
         help="max milliseconds a query waits for window-mates",
     )
+    serve.add_argument(
+        "--churn-cells-per-min",
+        type=float,
+        default=0.0,
+        help=(
+            "publish this many random edge re-weights per minute through "
+            "the live traffic pipeline while the replay runs (0 disables)"
+        ),
+    )
+    serve.add_argument(
+        "--debounce-ms",
+        type=float,
+        default=5.0,
+        help="pipeline debounce window for traffic events (milliseconds)",
+    )
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
         "--metrics-out",
@@ -217,6 +235,36 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "log batches slower than this many milliseconds as JSON lines "
             "on stderr (implies tracing)"
+        ),
+    )
+
+    scen = sub.add_parser(
+        "scenario",
+        help="synthesize a timed traffic-event stream (v2 workload file)",
+    )
+    scen.add_argument(
+        "name",
+        choices=["morning-rush", "evening-rush", "incident", "uniform"],
+        help="traffic scenario shape",
+    )
+    scen.add_argument("network")
+    scen.add_argument("-o", "--output", required=True, help="output file")
+    scen.add_argument(
+        "--duration-ms",
+        type=int,
+        default=60_000,
+        help="scenario duration in milliseconds",
+    )
+    scen.add_argument(
+        "--events", type=int, default=200, help="traffic events to emit"
+    )
+    scen.add_argument("--seed", type=int, default=0)
+    scen.add_argument(
+        "--merge-workload",
+        default=None,
+        help=(
+            "interleave this workload file's queries evenly into the "
+            "event stream (producing a mixed q/w v2 file)"
         ),
     )
 
@@ -241,7 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="slowest root spans to list (0 disables)",
     )
 
-    exp = sub.add_parser("experiment", help="run experiments (E1..E13)")
+    exp = sub.add_parser("experiment", help="run experiments (E1..E14)")
     exp.add_argument("ids", nargs="+", help="experiment ids, e.g. E1 E4")
     exp.add_argument(
         "--telemetry-dir",
@@ -374,6 +422,50 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.workloads.replay import read_workload, write_workload_items
+    from repro.workloads.scenarios import scenario_events
+
+    net = read_network(args.network)
+    events = scenario_events(
+        args.name,
+        net,
+        duration_ms=args.duration_ms,
+        events=args.events,
+        seed=args.seed,
+    )
+    items: list = list(events)
+    queries = 0
+    if args.merge_workload:
+        entries = read_workload(args.merge_workload)
+        queries = len(entries)
+        # Spread queries evenly through the timed event stream: query j
+        # lands at the fraction (j+1)/(q+1) of the scenario duration.
+        merged: list = []
+        duration = max((e.at_ms for e in events), default=0)
+        qpos = [
+            (j + 1) * duration / (queries + 1) for j in range(queries)
+        ]
+        ei = qi = 0
+        while ei < len(events) or qi < queries:
+            if qi >= queries or (
+                ei < len(events) and events[ei].at_ms <= qpos[qi]
+            ):
+                merged.append(events[ei])
+                ei += 1
+            else:
+                merged.append(entries[qi])
+                qi += 1
+        items = merged
+    write_workload_items(items, args.output)
+    print(
+        f"wrote {len(events)} {args.name} traffic events"
+        + (f" and {queries} queries" if queries else "")
+        + f" to {args.output}"
+    )
+    return 0
+
+
 def _cmd_serve_replay(args: argparse.Namespace) -> int:
     import logging
 
@@ -388,7 +480,11 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     from repro.obs.trace import SLOW_QUERY_LOGGER
     from repro.service.cache import ResultCache
     from repro.service.serving import CoalesceConfig, ServingStack, replay
-    from repro.workloads.replay import read_workload
+    from repro.workloads.replay import (
+        TrafficEvent,
+        WorkloadEntry,
+        read_workload_items,
+    )
 
     if args.repeat < 1 or args.batch < 1 or args.concurrency < 1:
         print(
@@ -405,8 +501,16 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.churn_cells_per_min < 0 or args.debounce_ms < 0:
+        print(
+            "error: --churn-cells-per-min and --debounce-ms must be >= 0",
+            file=sys.stderr,
+        )
+        return 1
     net = read_network(args.network)
-    entries = read_workload(args.workload)
+    items = read_workload_items(args.workload)
+    entries = [item for item in items if isinstance(item, WorkloadEntry)]
+    traffic = [item for item in items if isinstance(item, TrafficEvent)]
     if not entries:
         print("error: empty workload", file=sys.stderr)
         return 1
@@ -417,6 +521,14 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     requests = [e.as_request(f"w-{i}") for i, e in enumerate(entries)]
     records = obfuscator.obfuscate_batch(requests, mode=args.mode)
     queries = [record.query for record in records]
+    # The server-visible mixed stream: obfuscated queries where the q
+    # lines sat, traffic events where the w lines sat.
+    obfuscated = iter(queries)
+    mixed = [
+        item if isinstance(item, TrafficEvent) else next(obfuscated)
+        for item in items
+    ]
+    live = bool(traffic) or args.churn_cells_per_min > 0
 
     coalesce = (
         CoalesceConfig(
@@ -455,11 +567,20 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         recorder = (
             MetricsRecorder(stack.metrics) if args.metrics_out else None
         )
+        pipeline_snap = None
         try:
             with recording(recorder):
-                report = replay(
-                    stack, queries, repeats=args.repeat, batch_size=args.batch
-                )
+                if live:
+                    report, pipeline_snap = _run_live_replay(
+                        stack, net, mixed, args
+                    )
+                else:
+                    report = replay(
+                        stack,
+                        queries,
+                        repeats=args.repeat,
+                        batch_size=args.batch,
+                    )
         finally:
             if slow_handler is not None:
                 logging.getLogger(SLOW_QUERY_LOGGER).removeHandler(
@@ -507,7 +628,69 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
             f"{coalescing.shared_windows} union passes "
             f"({coalescing.union_pairs} union pairs)"
         )
+    if pipeline_snap is not None:
+        print(
+            f"traffic pipeline:    {pipeline_snap.events} events -> "
+            f"{pipeline_snap.installs} epoch installs "
+            f"({pipeline_snap.edges_applied} edges, "
+            f"{pipeline_snap.cells_recustomized} cells recustomized, "
+            f"epoch {pipeline_snap.epoch})"
+        )
+        print(
+            f"staleness p50/p95/max: {pipeline_snap.staleness_p50_ms:.2f} / "
+            f"{pipeline_snap.staleness_p95_ms:.2f} / "
+            f"{pipeline_snap.staleness_max_ms:.2f} ms"
+        )
     return 0
+
+
+def _run_live_replay(stack, net, mixed, args):
+    """Replay a mixed stream with the traffic pipeline (and churn feeder)."""
+    import random
+    import threading
+
+    from repro.service.pipeline import TrafficPipeline, replay_with_traffic
+    from repro.workloads.replay import TrafficEvent
+
+    # Warm before the first install: the worker recustomizes from the
+    # current epoch's overlay, so without an artifact bound to epoch 0
+    # a fast churn stream outruns query-time builds and every install
+    # degrades to the full-rebuild path.
+    stack.warm()
+    pipeline = TrafficPipeline(stack, debounce_ms=args.debounce_ms)
+    pipeline.start()
+    stop_feeder = threading.Event()
+    feeder = None
+    if args.churn_cells_per_min > 0:
+        interval = 60.0 / args.churn_cells_per_min
+
+        def feed() -> None:
+            rng = random.Random(args.seed + 1)
+            edges = list(net.edges())
+            while not stop_feeder.wait(interval):
+                u, v, w = rng.choice(edges)
+                pipeline.publish(
+                    TrafficEvent(u, v, w * (0.5 + rng.random()), 0)
+                )
+
+        feeder = threading.Thread(
+            target=feed, name="repro-churn", daemon=True
+        )
+        feeder.start()
+    try:
+        report = replay_with_traffic(
+            stack,
+            mixed,
+            pipeline,
+            repeats=args.repeat,
+            batch_size=args.batch,
+        )
+    finally:
+        stop_feeder.set()
+        if feeder is not None:
+            feeder.join()
+        pipeline.stop()
+    return report, pipeline.snapshot()
 
 
 def _walk_span_dicts(doc: dict):
@@ -602,6 +785,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "route": _cmd_route,
         "protect": _cmd_protect,
         "workload": _cmd_workload,
+        "scenario": _cmd_scenario,
         "serve-replay": _cmd_serve_replay,
         "obs-report": _cmd_obs_report,
         "experiment": _cmd_experiment,

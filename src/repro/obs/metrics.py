@@ -40,6 +40,7 @@ Examples
 from __future__ import annotations
 
 import json
+import math
 import re
 import threading
 from bisect import bisect_left
@@ -239,6 +240,31 @@ class Histogram(_Instrument):
             running += cell
             pairs.append((bound, running))
         return pairs
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile sample.
+
+        The standard bucketed estimate (what a Prometheus
+        ``histogram_quantile`` computes server-side): walk the
+        cumulative bucket counts until ``ceil(q * count)`` samples are
+        covered and report that bucket's upper bound.  Returns 0.0 for
+        an empty histogram; samples beyond the last finite bound
+        estimate as that last finite bound (there is no useful number
+        for "+Inf").  The live traffic pipeline reads its staleness
+        p95 through this — a conservative (never under-reporting)
+        estimate as long as the bucket grid brackets the real latency.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        pairs = self.bucket_counts()
+        total = pairs[-1][1]
+        if total == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * total))
+        for bound, running in pairs:
+            if running >= rank:
+                return bound if bound != float("inf") else self.buckets[-1]
+        return self.buckets[-1]  # pragma: no cover - cumulative invariant
 
 
 class MetricsRegistry:

@@ -394,6 +394,38 @@ class OverlayGraph:
         GraphError
             For an out-of-range cell index.
         """
+        return self.recustomized_on(
+            self.network, cells=cells, changed_edges=changed_edges
+        )
+
+    def recustomized_on(
+        self,
+        network,
+        cells: Iterable[int] | None = None,
+        changed_edges: Iterable[Sequence[NodeId]] | None = None,
+    ) -> "OverlayGraph":
+        """:meth:`recustomized`, but binding the result to ``network``.
+
+        The epoch-handoff entry point of the live traffic pipeline
+        (:mod:`repro.service.pipeline`): ``network`` is a *snapshot* —
+        a copy of :attr:`network` with the re-weights already applied —
+        and the returned overlay reads every weight from that snapshot
+        while this instance (and the network queries are still in
+        flight against) stays untouched.  Correctness requires exactly
+        what :meth:`recustomized` requires of an in-place mutation:
+        every edge whose weight differs between the two networks is
+        either a cut edge or lies inside one of ``cells``.  Untouched
+        cells share their clique tables and per-cell CSR snapshots with
+        this instance (their intra-cell weights are identical by the
+        requirement above); cut-arc weights are re-read from
+        ``network`` unconditionally.
+
+        Raises
+        ------
+        GraphError
+            For an out-of-range cell index, or a snapshot whose node
+            set does not match the partition.
+        """
         partition = self.partition
         if cells is None:
             touched = set(range(partition.num_cells))
@@ -402,27 +434,31 @@ class OverlayGraph:
             for cell in touched:
                 if not 0 <= cell < partition.num_cells:
                     raise GraphError(f"unknown cell index {cell}")
+        if network is not self.network and len(network) != partition.num_nodes:
+            raise GraphError(
+                "snapshot network does not match the partitioned node set"
+            )
         stats = SearchStats()
         cliques = list(self.cliques)
         cell_csr = list(self._cell_csr)
         cell_rcsr = list(self._cell_rcsr)
         for cell in sorted(touched):
             fcsr, rcsr = self._cell_graphs(
-                self.network, partition, cell, self.kernel
+                network, partition, cell, self.kernel
             )
             cell_csr[cell] = fcsr
             cell_rcsr[cell] = rcsr
             cliques[cell] = self._customize_cell(
-                self.network, partition, cell, self.kernel, fcsr, stats
+                network, partition, cell, self.kernel, fcsr, stats
             )
         metric: bool | None = None
         if changed_edges is not None and self.metric:
             metric = all(
-                _edge_is_metric(self.network, edge[0], edge[1])
+                _edge_is_metric(network, edge[0], edge[1])
                 for edge in changed_edges
             )
         return type(self)(
-            self.network, partition, self.kernel, cliques, cell_csr,
+            network, partition, self.kernel, cliques, cell_csr,
             cell_rcsr, stats, len(touched), metric=metric,
         )
 

@@ -14,7 +14,11 @@ subpackage models that dimension twice over:
   cross-session :class:`QueryCoalescer` merging concurrent obfuscated
   queries into shared union kernel passes — so repeated traffic stops
   paying preprocessing, repeated obfuscated queries stop paying search,
-  and concurrent overlapping queries share one pass.
+  and concurrent overlapping queries share one pass;
+* :mod:`repro.service.pipeline` — the live traffic pipeline: an
+  in-process event stream feeding a debounced :class:`DeltaBatcher`
+  and a background :class:`RecustomizeWorker` that installs re-weights
+  as atomic network epochs while queries keep serving.
 """
 
 from repro.service.cache import (
@@ -22,6 +26,14 @@ from repro.service.cache import (
     PreprocessingCache,
     ResultCache,
     network_fingerprint,
+)
+from repro.service.pipeline import (
+    DeltaBatch,
+    DeltaBatcher,
+    PipelineSnapshot,
+    RecustomizeWorker,
+    TrafficEventStream,
+    TrafficPipeline,
 )
 from repro.service.serving import (
     CoalesceConfig,
@@ -57,4 +69,10 @@ __all__ = [
     "ServingStack",
     "ReplayReport",
     "replay",
+    "TrafficEventStream",
+    "DeltaBatch",
+    "DeltaBatcher",
+    "RecustomizeWorker",
+    "TrafficPipeline",
+    "PipelineSnapshot",
 ]

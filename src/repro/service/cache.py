@@ -328,6 +328,23 @@ class PreprocessingCache:
         with self._lock:
             return self._entries.pop(key, None) is not None
 
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every in-memory artifact keyed by ``fingerprint``.
+
+        The epoch-retirement hook of the live traffic pipeline
+        (:mod:`repro.service.pipeline`): once no in-flight batch can
+        still be serving a retired epoch, its artifacts — across all
+        engines — are released in one call.  Returns the number of
+        entries dropped.  Spilled files stay on disk (still correct for
+        that fingerprint, and harmless: the fingerprint of a mutated
+        network never recurs).
+        """
+        with self._lock:
+            doomed = [k for k in self._entries if k[0] == fingerprint]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
+
     def clear(self) -> None:
         """Drop all in-memory entries and zero the counters."""
         with self._lock:
@@ -539,6 +556,22 @@ class ResultCache:
             if len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
                 self._m_evictions.inc()
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every cached table keyed by ``fingerprint``.
+
+        Companion to
+        :meth:`PreprocessingCache.invalidate_fingerprint`: when the
+        pipeline retires an epoch it also releases that epoch's result
+        tables, which no future lookup can hit (content fingerprints of
+        mutated networks never recur).  Returns the number of tables
+        dropped; no hit/miss/eviction counter moves.
+        """
+        with self._lock:
+            doomed = [k for k in self._entries if k[0] == fingerprint]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
 
     def count_shared_hit(self) -> None:
         """Count a lookup served by work shared within the same batch.

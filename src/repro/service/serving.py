@@ -41,6 +41,7 @@ are therefore unchanged while cost numbers drop.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections.abc import Callable, Sequence
@@ -96,11 +97,27 @@ class ReweightOutcome:
         installed under the new network fingerprint; ``False`` means the
         next query pays a full preprocessing rebuild (non-overlay
         engine, or no cached artifact to start from).
+    fingerprint:
+        Content fingerprint of the network *after* the update — the key
+        the refreshed artifact is installed under (empty for a no-op
+        update).
+    previous_fingerprint:
+        Fingerprint before the update; with ``epoch=True`` this is the
+        retired epoch's key, which the caller (the live traffic
+        pipeline) may eventually pass to
+        :meth:`~repro.service.cache.PreprocessingCache.invalidate_fingerprint`
+        once no in-flight batch can still reference it.
+    epoch:
+        The stack's epoch sequence number after the update (0 for a
+        legacy in-place update, which does not advance the epoch).
     """
 
     edges: int
     touched_cells: tuple[int, ...]
     recustomized: bool
+    fingerprint: str = ""
+    previous_fingerprint: str = ""
+    epoch: int = 0
 
 
 class ConcurrentDispatcher:
@@ -597,6 +614,64 @@ class ServingStack:
         )
         self._lock = threading.Lock()
         self._fingerprint_memo: tuple[int, str] | None = None
+        self._epoch = 0
+        self._m_epoch = self.metrics.gauge(
+            "repro_serve_epoch",
+            desc="sequence number of the installed network epoch",
+        )
+
+    @property
+    def epoch(self) -> int:
+        """Sequence number of the currently installed network epoch.
+
+        0 until the first :meth:`install_epoch` (or
+        ``reweight(..., epoch=True)``); each atomic handoff increments
+        it.  Legacy in-place mutations do not advance the epoch.
+        """
+        with self._lock:
+            return self._epoch
+
+    def _epoch_view(self) -> tuple[object, str]:
+        """Atomically capture ``(network, fingerprint)`` for one batch.
+
+        The epoch-handoff read side: a batch resolves both under the
+        stack lock so a concurrent :meth:`install_epoch` can never hand
+        it network A with network B's fingerprint.  The batch then runs
+        entirely against the captured pair — in-flight work finishes on
+        the old epoch's snapshot while new batches pick up the new one.
+        """
+        with self._lock:
+            return self.network, self._fingerprint()
+
+    def install_epoch(
+        self, network, artifact: object = None, fingerprint: str | None = None
+    ) -> str:
+        """Atomically switch serving to a new network snapshot.
+
+        The epoch-handoff write side, used by
+        ``reweight(..., epoch=True)`` and the live traffic pipeline
+        (:mod:`repro.service.pipeline`): the artifact (when given) is
+        installed in the preprocessing cache under the snapshot's
+        fingerprint *first*, then the stack's ``network`` reference,
+        fingerprint memo and epoch counter advance in one locked step.
+        Batches that captured the previous epoch's view keep serving its
+        (now unreferenced, still immutable) snapshot; the next
+        :meth:`answer_batch` sees the new one.  Returns the new epoch's
+        fingerprint.
+        """
+        if fingerprint is None:
+            fingerprint = network_fingerprint(network)
+        if artifact is not None:
+            self.preprocessing.put(fingerprint, self.engine_name, artifact)
+        version = getattr(network, "version", None)
+        with self._lock:
+            self.network = network
+            self._fingerprint_memo = (
+                (version, fingerprint) if version is not None else None
+            )
+            self._epoch += 1
+            self._m_epoch.set(self._epoch)
+        return fingerprint
 
     def _fingerprint(self) -> str:
         """This network's content fingerprint, memoized by mutation version.
@@ -687,7 +762,7 @@ class ServingStack:
             batch_size=len(queries),
             engine=self.engine_name,
         ) as root:
-            fingerprint = self._fingerprint()
+            network, fingerprint = self._epoch_view()
             responses: list[ServerResponse | None] = [None] * len(queries)
             with self._tracer.span(
                 "serve.cache_consult", parent=root
@@ -703,7 +778,7 @@ class ServingStack:
             artifact = None
             if misses:
                 artifact = self.preprocessing.get(
-                    self.network, self.engine_name, fingerprint=fingerprint
+                    network, self.engine_name, fingerprint=fingerprint
                 )
             miss_groups = list(misses.values())
             cell_of = None
@@ -730,7 +805,7 @@ class ServingStack:
                     cell_of.get(queries[i].sources[0]) for i in unique
                 ]
             computed = self.dispatcher.dispatch(
-                self.network,
+                network,
                 [queries[i] for i in unique],
                 artifact,
                 tracer=self._tracer,
@@ -834,7 +909,7 @@ class ServingStack:
             window_size=len(queries),
             engine=self.engine_name,
         ) as root:
-            fingerprint = self._fingerprint()
+            network, fingerprint = self._epoch_view()
             outcomes: list[ServerResponse | Exception | None] = (
                 [None] * len(queries)
             )
@@ -852,7 +927,7 @@ class ServingStack:
             union: UnionPassResult | None = None
             if misses:
                 artifact = self.preprocessing.get(
-                    self.network, self.engine_name, fingerprint=fingerprint
+                    network, self.engine_name, fingerprint=fingerprint
                 )
                 unique = [queries[indices[0]] for indices in misses.values()]
                 with self._tracer.span(
@@ -861,7 +936,7 @@ class ServingStack:
                     num_queries=len(unique),
                 ) as union_span:
                     union = self.dispatcher.evaluate_union(
-                        self.network,
+                        network,
                         [(q.sources, q.destinations) for q in unique],
                         artifact,
                     )
@@ -914,7 +989,8 @@ class ServingStack:
         :meth:`answer_batch`).  Never builds preprocessing — a cold
         cache simply yields ``None``.
         """
-        artifact = self.preprocessing.peek(self._fingerprint(), self.engine_name)
+        _, fingerprint = self._epoch_view()
+        artifact = self.preprocessing.peek(fingerprint, self.engine_name)
         if isinstance(artifact, OverlayGraph):
             return artifact.partition.cell_of.get(query.sources[0])
         return None
@@ -923,6 +999,7 @@ class ServingStack:
         self,
         changes: Sequence[tuple],
         recustomize: bool = True,
+        epoch: bool = False,
     ) -> ReweightOutcome:
         """Apply a traffic update and refresh preprocessing incrementally.
 
@@ -939,9 +1016,23 @@ class ServingStack:
         :meth:`~repro.service.cache.PreprocessingCache.put` — so the next
         query pays a per-cell refresh instead of a full rebuild.
 
-        Call it between batches: mutating the network while queries are
-        in flight is a data race on the graph itself, same as calling
-        ``add_edge`` directly.
+        Two concurrency modes:
+
+        * ``epoch=False`` (legacy): the serving network is mutated in
+          place.  Call it between batches — mutating the network while
+          queries are in flight is a data race on the graph itself, same
+          as calling ``add_edge`` directly.
+        * ``epoch=True``: copy-on-write.  The changes are applied to a
+          *copy* of the serving network, the overlay is recustomized
+          from that snapshot
+          (:meth:`~repro.search.overlay.OverlayGraph.recustomized_on`),
+          and the snapshot is installed atomically via
+          :meth:`install_epoch`.  Safe to call while queries are in
+          flight: batches that already captured the old epoch finish on
+          its untouched network, new batches see the update.  This is
+          the path the live traffic pipeline
+          (:mod:`repro.service.pipeline`) drives from its background
+          worker.
 
         Raises
         ------
@@ -949,8 +1040,6 @@ class ServingStack:
             If any ``(u, v)`` is not an existing edge (re-weighting
             never creates roads).
         """
-        import math
-
         applied = [(u, v, float(w)) for u, v, w in changes]
         # Validate everything before applying anything: a bad entry must
         # not leave the network half-updated.
@@ -961,6 +1050,8 @@ class ServingStack:
                 raise EdgeError(
                     f"invalid weight {w} for edge ({u!r}, {v!r})"
                 )
+        if epoch:
+            return self._reweight_epoch(applied, recustomize)
         old_fingerprint = self._fingerprint()
         old_artifact = self.preprocessing.peek(old_fingerprint, self.engine_name)
         for u, v, w in applied:
@@ -988,6 +1079,50 @@ class ServingStack:
             edges=len(applied),
             touched_cells=touched,
             recustomized=recustomized,
+            fingerprint=self._fingerprint() if applied else old_fingerprint,
+            previous_fingerprint=old_fingerprint,
+        )
+
+    def _reweight_epoch(
+        self, applied: list[tuple], recustomize: bool
+    ) -> ReweightOutcome:
+        """The copy-on-write half of :meth:`reweight` (``epoch=True``)."""
+        old_network, old_fingerprint = self._epoch_view()
+        if not applied:
+            return ReweightOutcome(
+                edges=0,
+                touched_cells=(),
+                recustomized=False,
+                fingerprint=old_fingerprint,
+                previous_fingerprint=old_fingerprint,
+                epoch=self.epoch,
+            )
+        old_artifact = self.preprocessing.peek(old_fingerprint, self.engine_name)
+        snapshot = old_network.copy()
+        for u, v, w in applied:
+            snapshot.add_edge(u, v, w)
+        touched: tuple[int, ...] = ()
+        overlay = None
+        if (
+            recustomize
+            and isinstance(old_artifact, OverlayGraph)
+            # Same binding guard as the in-place path: only an overlay
+            # reading *this* epoch's weights can donate untouched cells.
+            and old_artifact.network is old_network
+        ):
+            cells = old_artifact.touched_cells(applied)
+            overlay = old_artifact.recustomized_on(
+                snapshot, cells, changed_edges=applied
+            )
+            touched = tuple(sorted(cells))
+        new_fingerprint = self.install_epoch(snapshot, artifact=overlay)
+        return ReweightOutcome(
+            edges=len(applied),
+            touched_cells=touched,
+            recustomized=overlay is not None,
+            fingerprint=new_fingerprint,
+            previous_fingerprint=old_fingerprint,
+            epoch=self.epoch,
         )
 
     def coalesce_snapshot(self) -> CoalesceSnapshot | None:

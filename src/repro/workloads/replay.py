@@ -1,18 +1,34 @@
 """Workload files for ``repro serve-replay``.
 
 A workload file is the client-side traffic a serving stack is replayed
-against: one protected path query per line, in the plain-text idiom of
-:mod:`repro.network.io`:
+against, in the plain-text idiom of :mod:`repro.network.io`.  Format v1
+is one protected path query per line:
 
 ```
 # repro workload v1
 q <source> <destination> <f_s> <f_t>
 ```
 
+Format v2 additionally interleaves traffic events — edge re-weights the
+live pipeline (:mod:`repro.service.pipeline`) applies while the query
+stream is served:
+
+```
+# repro workload v2
+q <source> <destination> <f_s> <f_t>
+w <u> <v> <weight> <at_ms>
+```
+
 ``q`` lines carry the true endpoints plus the requested protection
-sizes.  :func:`read_workload` / :func:`write_workload` round-trip the
-format; :func:`synthesize_workload` generates one from the seeded query
-generators in :mod:`repro.workloads.queries`.
+sizes; ``w`` lines carry an existing edge's new weight and the event's
+timestamp in milliseconds since replay start.  Lines replay in file
+order, so a ``w`` line conceptually lands between the queries around
+it.  :func:`read_workload` / :func:`write_workload` round-trip queries
+only (v1 compatible); :func:`read_workload_items` /
+:func:`write_workload_items` round-trip the full mixed stream.
+:func:`synthesize_workload` generates queries from the seeded
+generators in :mod:`repro.workloads.queries`; traffic-event waves come
+from :mod:`repro.workloads.scenarios`.
 """
 
 from __future__ import annotations
@@ -23,12 +39,15 @@ from dataclasses import dataclass
 
 from repro.core.query import ClientRequest, PathQuery, ProtectionSetting
 from repro.exceptions import ExperimentError
-from repro.network.graph import RoadNetwork
+from repro.network.graph import NodeId, RoadNetwork
 
 __all__ = [
     "WorkloadEntry",
+    "TrafficEvent",
     "read_workload",
+    "read_workload_items",
     "write_workload",
+    "write_workload_items",
     "synthesize_workload",
 ]
 
@@ -45,54 +64,142 @@ class WorkloadEntry:
         return ClientRequest(user, self.query, self.setting)
 
 
+@dataclass(frozen=True, slots=True)
+class TrafficEvent:
+    """One edge re-weight of a live traffic stream (a v2 ``w`` line).
+
+    Attributes
+    ----------
+    u, v:
+        Endpoints of an *existing* edge (re-weighting never creates
+        roads; :meth:`~repro.service.serving.ServingStack.reweight`
+        enforces this at apply time).
+    weight:
+        The edge's new non-negative weight.
+    at_ms:
+        Event timestamp in milliseconds since stream start — the moment
+        the update became known, from which the pipeline measures
+        staleness (event to installed-epoch latency).
+    """
+
+    u: NodeId
+    v: NodeId
+    weight: float
+    at_ms: int = 0
+
+    def as_change(self) -> tuple[NodeId, NodeId, float]:
+        """The ``(u, v, weight)`` tuple ``ServingStack.reweight`` takes."""
+        return (self.u, self.v, self.weight)
+
+
 def write_workload(
     entries: Sequence[WorkloadEntry], path: str | os.PathLike[str]
 ) -> None:
-    """Write ``entries`` to ``path`` in the text format described above."""
+    """Write query-only ``entries`` to ``path`` (format v1)."""
     with open(path, "w", encoding="utf-8") as fh:
         fh.write("# repro workload v1\n")
         for entry in entries:
-            fh.write(
-                f"q {entry.query.source} {entry.query.destination} "
-                f"{entry.setting.f_s} {entry.setting.f_t}\n"
-            )
+            fh.write(_format_item(entry))
+
+
+def write_workload_items(
+    items: Sequence[WorkloadEntry | TrafficEvent],
+    path: str | os.PathLike[str],
+) -> None:
+    """Write a mixed query/traffic stream to ``path`` (format v2).
+
+    Items keep file order, so interleavings round-trip exactly through
+    :func:`read_workload_items`.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("# repro workload v2\n")
+        for item in items:
+            fh.write(_format_item(item))
+
+
+def _format_item(item: WorkloadEntry | TrafficEvent) -> str:
+    """The one-line wire form of a workload item."""
+    if isinstance(item, TrafficEvent):
+        return f"w {item.u} {item.v} {item.weight!r} {item.at_ms}\n"
+    if isinstance(item, WorkloadEntry):
+        return (
+            f"q {item.query.source} {item.query.destination} "
+            f"{item.setting.f_s} {item.setting.f_t}\n"
+        )
+    raise ExperimentError(f"unsupported workload item {item!r}")
 
 
 def read_workload(path: str | os.PathLike[str]) -> list[WorkloadEntry]:
-    """Read a workload previously written by :func:`write_workload`.
+    """Read only the protected queries of a workload file.
 
-    Node ids are parsed as integers (the id type every generator in this
-    package produces).
+    Accepts both formats: v1 files are returned whole; in a v2 file the
+    ``w`` traffic lines are skipped (callers that replay traffic too use
+    :func:`read_workload_items`).  Node ids are parsed as integers (the
+    id type every generator in this package produces).
 
     Raises
     ------
     ExperimentError
         On malformed lines or unknown record kinds.
     """
-    entries: list[WorkloadEntry] = []
+    return [
+        item
+        for item in read_workload_items(path)
+        if isinstance(item, WorkloadEntry)
+    ]
+
+
+def read_workload_items(
+    path: str | os.PathLike[str],
+) -> list[WorkloadEntry | TrafficEvent]:
+    """Read a workload file as its full mixed item stream, in file order.
+
+    v1 files yield only :class:`WorkloadEntry`; v2 files interleave
+    :class:`TrafficEvent` items where their ``w`` lines sit.
+
+    Raises
+    ------
+    ExperimentError
+        On malformed lines or unknown record kinds.
+    """
+    items: list[WorkloadEntry | TrafficEvent] = []
     with open(path, "r", encoding="utf-8") as fh:
         for line_no, raw in enumerate(fh, start=1):
             line = raw.strip()
             if not line or line.startswith("#"):
                 continue
             fields = line.split()
-            if fields[0] != "q" or len(fields) != 5:
-                raise ExperimentError(
-                    f"malformed workload line {line_no}: {line!r}"
-                )
             try:
-                source, destination, f_s, f_t = (int(f) for f in fields[1:])
+                if fields[0] == "q" and len(fields) == 5:
+                    source, destination, f_s, f_t = (
+                        int(f) for f in fields[1:]
+                    )
+                    items.append(
+                        WorkloadEntry(
+                            query=PathQuery(source, destination),
+                            setting=ProtectionSetting(f_s, f_t),
+                        )
+                    )
+                    continue
+                if fields[0] == "w" and len(fields) == 5:
+                    weight = float(fields[3])
+                    items.append(
+                        TrafficEvent(
+                            u=int(fields[1]),
+                            v=int(fields[2]),
+                            weight=weight,
+                            at_ms=int(fields[4]),
+                        )
+                    )
+                    continue
             except ValueError as exc:
                 raise ExperimentError(
                     f"malformed workload line {line_no}: {line!r}"
                 ) from exc
-            entries.append(
-                WorkloadEntry(
-                    query=PathQuery(source, destination),
-                    setting=ProtectionSetting(f_s, f_t),
-                )
+            raise ExperimentError(
+                f"malformed workload line {line_no}: {line!r}"
             )
-    return entries
+    return items
 
 
 def synthesize_workload(

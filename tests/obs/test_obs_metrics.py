@@ -85,6 +85,26 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("repro_test_seconds", buckets=(2.0, 1.0))
 
+    def test_quantile_reports_bucket_upper_bounds(self):
+        hist = Histogram("repro_test_seconds", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 3.5):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 1.0  # rank clamps to the first sample
+        assert hist.quantile(0.25) == 1.0
+        assert hist.quantile(0.5) == 2.0
+        assert hist.quantile(1.0) == 4.0
+
+    def test_quantile_clamps_overflow_to_last_finite_bound(self):
+        hist = Histogram("repro_test_seconds", buckets=(1.0, 2.0))
+        hist.observe(50.0)  # lands in the +Inf bucket
+        assert hist.quantile(0.99) == 2.0
+
+    def test_quantile_empty_and_invalid(self):
+        hist = Histogram("repro_test_seconds", buckets=(1.0,))
+        assert hist.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):

@@ -100,3 +100,34 @@ class TestTelemetryNeverLeaksEndpoints:
         assert "num_sources" in traces
         assert "settled_nodes" in traces
         assert "serve.answer_batch" in slow_log
+
+    def test_pipeline_install_spans_carry_only_counts(self, marked_network):
+        """Traffic events name edges by node id; their install spans and
+        the ``repro_pipeline_*`` instruments must only ever export
+        counts (events, edges, cells, epochs) — never the ids."""
+        from repro.service.pipeline import TrafficPipeline
+        from repro.workloads.replay import TrafficEvent
+
+        tracer = Tracer()
+        with ServingStack(
+            marked_network, engine="overlay-csr", max_workers=2,
+            tracer=tracer,
+        ) as stack:
+            stack.warm()
+            pipeline = TrafficPipeline(stack, debounce_ms=0.0)
+            for u, v, w in list(marked_network.edges())[:6]:
+                pipeline.publish(TrafficEvent(u, v, w * 2.0))
+                pipeline.pump()
+            surfaces = [
+                stack.metrics.to_json(),
+                stack.metrics.to_prometheus(),
+                tracer.export_jsonl(),
+            ]
+        installs = [r for r in tracer.roots if r.name == "pipeline.install"]
+        assert installs, "publishing traffic produced no install spans"
+        assert "repro_pipeline_installs_total" in surfaces[0]
+        for surface in surfaces:
+            for node in _IDS:
+                assert str(node) not in surface, (
+                    f"pipeline telemetry leaked node id {node}"
+                )

@@ -146,3 +146,142 @@ def test_processors_agree_on_arbitrary_sets(source_idx, dest_idx):
     for pair in naive.paths:
         assert abs(naive.paths[pair].distance - shared.paths[pair].distance) < 1e-9
     assert shared.stats.settled_nodes <= naive.stats.settled_nodes
+
+
+# ---------------------------------------------------------------------------
+# Live traffic pipeline: epoch handoff under arbitrary interleavings
+# ---------------------------------------------------------------------------
+
+import pytest  # noqa: E402
+
+from repro.core.query import ObfuscatedPathQuery  # noqa: E402
+from repro.search.overlay import build_overlay, dumps_overlay  # noqa: E402
+from repro.service.pipeline import TrafficPipeline  # noqa: E402
+from repro.service.serving import ServingStack  # noqa: E402
+from repro.workloads.replay import TrafficEvent  # noqa: E402
+
+PIPE_NET = grid_network(8, 8, perturbation=0.1, seed=77)
+PIPE_NODES = list(PIPE_NET.nodes())
+PIPE_EDGES = list(PIPE_NET.edges())
+
+
+class _ManualClock:
+    """Settable clock so staleness stamps are deterministic."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@st.composite
+def pipeline_scripts(draw, max_size=24):
+    """Interleavings of traffic events, queries, installs and clock steps."""
+    item = st.one_of(
+        st.tuples(
+            st.just("event"),
+            st.integers(0, len(PIPE_EDGES) - 1),
+            st.floats(min_value=0.5, max_value=3.0),
+        ),
+        st.tuples(
+            st.just("query"),
+            st.integers(0, len(PIPE_NODES) - 1),
+            st.integers(0, len(PIPE_NODES) - 1),
+        ),
+        st.just(("pump",)),
+        st.tuples(st.just("tick"), st.floats(min_value=0.001, max_value=2.0)),
+    )
+    return draw(st.lists(item, min_size=1, max_size=max_size))
+
+
+def _apply_prefix(reference, published, applied_so_far, target):
+    for event in published[applied_so_far:target]:
+        reference.add_edge(event.u, event.v, event.weight)
+    return target
+
+
+@given(pipeline_scripts())
+@settings(max_examples=15, deadline=None)
+def test_every_response_is_exact_for_an_applied_stream_prefix(script):
+    clock = _ManualClock()
+    with ServingStack(
+        PIPE_NET.copy(), engine="overlay-csr", max_workers=1
+    ) as stack:
+        stack.warm()
+        pipeline = TrafficPipeline(stack, debounce_ms=0.0, clock=clock)
+        published: list[TrafficEvent] = []
+        reference = PIPE_NET.copy()
+        applied = 0
+        for item in script:
+            if item[0] == "event":
+                _, idx, factor = item
+                u, v, w = PIPE_EDGES[idx]
+                event = TrafficEvent(u, v, round(w * factor, 6))
+                pipeline.publish(event)
+                published.append(event)
+            elif item[0] == "pump":
+                pipeline.pump()
+            elif item[0] == "tick":
+                clock.now += item[1]
+            else:
+                _, si, ti = item
+                s, t = PIPE_NODES[si], PIPE_NODES[ti]
+                if s == t:
+                    continue
+                # The serving state is exactly the stream prefix the
+                # batcher has drained — never a torn mix of a batch.
+                prefix = pipeline.batcher.offset
+                applied = _apply_prefix(reference, published, applied, prefix)
+                response = stack.answer(ObfuscatedPathQuery((s,), (t,)))
+                truth = dijkstra_path(reference, s, t)
+                got = response.candidates.paths[(s, t)]
+                assert got.distance == pytest.approx(truth.distance, abs=1e-9)
+        # Quiesce: everything published must land, and the installed
+        # overlay must be byte-identical to a scratch build on the
+        # final weights (shared-cell reuse can never leak stale state).
+        pipeline.pump()
+        assert pipeline.snapshot().pending == 0
+        applied = _apply_prefix(reference, published, applied, len(published))
+        assert dumps_overlay(
+            stack.preprocessing.peek(stack._fingerprint(), "overlay-csr")
+        ) == dumps_overlay(build_overlay(reference, kernel="csr"))
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, len(PIPE_EDGES) - 1),
+            st.floats(min_value=0.5, max_value=3.0),
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+    st.integers(1, 8),
+)
+@settings(max_examples=15, deadline=None)
+def test_batch_partitioning_never_changes_the_final_state(updates, max_batch):
+    """Any batch partitioning (max_batch sweep) converges to the same
+    overlay as applying the events one by one — last-writer-wins within
+    a contiguous batch is state-equivalent to sequential application."""
+    events = [
+        TrafficEvent(*PIPE_EDGES[idx][:2], round(PIPE_EDGES[idx][2] * f, 6))
+        for idx, f in updates
+    ]
+    with ServingStack(
+        PIPE_NET.copy(), engine="overlay-csr", max_workers=1
+    ) as stack:
+        stack.warm()
+        pipeline = TrafficPipeline(stack, debounce_ms=0.0, max_batch=max_batch)
+        for event in events:
+            pipeline.publish(event)
+        pipeline.pump()
+        installed = stack.preprocessing.peek(stack._fingerprint(), "overlay-csr")
+        sequential = PIPE_NET.copy()
+        for event in events:
+            sequential.add_edge(event.u, event.v, event.weight)
+        assert dumps_overlay(installed) == dumps_overlay(
+            build_overlay(sequential, kernel="csr")
+        )
+        for u, v, w in sequential.edges():
+            assert stack.network.edge_weight(u, v) == pytest.approx(w)

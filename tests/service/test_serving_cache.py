@@ -185,3 +185,30 @@ class TestResultCache:
         snap = cache.snapshot()
         assert snap.result_hits == 1 and snap.result_misses == 1
         assert snap.result_hit_rate == pytest.approx(0.5)
+
+
+class TestInvalidateFingerprint:
+    def test_preprocessing_drops_all_engines_of_one_fingerprint(
+        self, small_grid, tiger_net
+    ):
+        cache = PreprocessingCache(capacity=8)
+        cache.get(small_grid, "ch")
+        cache.get(small_grid, "dijkstra-csr")
+        cache.get(tiger_net, "ch")
+        fp = network_fingerprint(small_grid)
+        assert cache.invalidate_fingerprint(fp) == 2
+        assert cache.peek(fp, "ch") is None
+        assert cache.peek(fp, "dijkstra-csr") is None
+        # The other fingerprint's artifact survives.
+        assert cache.peek(network_fingerprint(tiger_net), "ch") is not None
+        # Idempotent: nothing left to drop.
+        assert cache.invalidate_fingerprint(fp) == 0
+
+    def test_result_cache_drops_only_that_fingerprint(self):
+        cache = ResultCache(capacity=8)
+        cache.put("old", (1,), (2,), "ch", _table(1, 2))
+        cache.put("old", (3,), (4,), "ch", _table(3, 4))
+        cache.put("new", (1,), (2,), "ch", _table(1, 2))
+        assert cache.invalidate_fingerprint("old") == 2
+        assert cache.get("old", (1,), (2,), "ch") is None
+        assert cache.get("new", (1,), (2,), "ch") is not None

@@ -147,6 +147,68 @@ class TestWorkload:
         assert all(e.setting.f_s == 3 for e in entries)
 
 
+class TestScenario:
+    def test_writes_v2_traffic_file(self, map_file, tmp_path, capsys):
+        out = tmp_path / "churn.txt"
+        assert main(
+            [
+                "scenario", "uniform", map_file, "-o", str(out),
+                "--duration-ms", "500", "--events", "10",
+            ]
+        ) == 0
+        assert "wrote 10 uniform traffic events" in capsys.readouterr().out
+        assert out.read_text().startswith("# repro workload v2\n")
+        from repro.workloads.replay import TrafficEvent, read_workload_items
+
+        items = read_workload_items(out)
+        assert len(items) == 10
+        assert all(isinstance(i, TrafficEvent) for i in items)
+        assert [i.at_ms for i in items] == sorted(i.at_ms for i in items)
+
+    def test_merge_workload_interleaves_queries(
+        self, map_file, tmp_path, capsys
+    ):
+        queries = str(tmp_path / "queries.txt")
+        assert main(
+            ["workload", map_file, "-o", queries, "--count", "6"]
+        ) == 0
+        out = tmp_path / "rush.txt"
+        assert main(
+            [
+                "scenario", "morning-rush", map_file, "-o", str(out),
+                "--duration-ms", "1000", "--events", "12",
+                "--merge-workload", queries,
+            ]
+        ) == 0
+        assert "12 morning-rush traffic events and 6 queries" in (
+            capsys.readouterr().out
+        )
+        from repro.workloads.replay import TrafficEvent, read_workload_items
+
+        items = read_workload_items(out)
+        flags = [isinstance(i, TrafficEvent) for i in items]
+        assert flags.count(True) == 12
+        assert flags.count(False) == 6
+        # Queries are spread through the stream, not appended at one end.
+        first_q, last_q = flags.index(False), len(flags) - 1 - flags[::-1].index(False)
+        assert any(flags[:first_q]) and any(flags[last_q + 1 :])
+
+    def test_unknown_scenario_rejected_by_parser(self, map_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["scenario", "gridlock", map_file, "-o", str(tmp_path / "x")]
+            )
+
+    def test_bad_duration_fails_cleanly(self, map_file, tmp_path, capsys):
+        assert main(
+            [
+                "scenario", "uniform", map_file,
+                "-o", str(tmp_path / "x.txt"), "--duration-ms", "0",
+            ]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestServeReplay:
     @pytest.fixture()
     def workload_file(self, map_file, tmp_path):
@@ -246,6 +308,59 @@ class TestServeReplay:
         assert roots
         assert all(r["name"] == "serve.answer_batch" for r in roots)
 
+    def test_mixed_workload_drives_the_traffic_pipeline(
+        self, map_file, workload_file, tmp_path, capsys
+    ):
+        mixed = str(tmp_path / "mixed.txt")
+        assert main(
+            [
+                "scenario", "uniform", map_file, "-o", mixed,
+                "--duration-ms", "200", "--events", "10",
+                "--merge-workload", workload_file,
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "serve-replay", map_file, mixed,
+                "--engine", "overlay-csr", "--repeat", "2", "--batch", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "traffic pipeline:" in out
+        assert "20 events" in out  # 10 per repeat, re-published each pass
+        assert "staleness p50/p95/max" in out
+
+    def test_churn_flag_feeds_synthetic_traffic(
+        self, map_file, workload_file, capsys
+    ):
+        assert main(
+            [
+                "serve-replay", map_file, workload_file,
+                "--engine", "overlay-csr", "--repeat", "2",
+                "--churn-cells-per-min", "6000",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "traffic pipeline:" in out
+        assert "staleness p50/p95/max" in out
+
+    def test_query_only_replay_omits_pipeline_report(
+        self, map_file, workload_file, capsys
+    ):
+        assert main(["serve-replay", map_file, workload_file]) == 0
+        assert "traffic pipeline:" not in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "flag,value",
+        [("--churn-cells-per-min", "-1"), ("--debounce-ms", "-0.5")],
+    )
+    def test_bad_pipeline_flags_fail_cleanly(
+        self, map_file, workload_file, capsys, flag, value
+    ):
+        assert main(["serve-replay", map_file, workload_file, flag, value]) == 1
+        assert "error:" in capsys.readouterr().err
+
     def test_slow_query_log_emits_json(
         self, map_file, workload_file, capsys
     ):
@@ -324,6 +439,7 @@ class TestParser:
             "route",
             "protect",
             "workload",
+            "scenario",
             "serve-replay",
             "obs-report",
             "experiment",

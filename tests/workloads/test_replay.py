@@ -1,0 +1,180 @@
+"""Unit tests for repro.workloads.replay and repro.workloads.scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import PathQuery, ProtectionSetting
+from repro.exceptions import ExperimentError
+from repro.network.generators import grid_network
+from repro.workloads.replay import (
+    TrafficEvent,
+    WorkloadEntry,
+    read_workload,
+    read_workload_items,
+    synthesize_workload,
+    write_workload,
+    write_workload_items,
+)
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    incident_spike,
+    morning_rush,
+    scenario_events,
+    uniform_churn,
+)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_network(10, 10, perturbation=0.1, seed=33)
+
+
+def _mixed_items(net):
+    entries = synthesize_workload(net, 4, kind="uniform", seed=1)
+    events = uniform_churn(net, duration_ms=500, events=3, seed=2)
+    # Interleave: q w q w q w q — file order must survive the trip.
+    items = []
+    for entry, event in zip(entries, events):
+        items.append(entry)
+        items.append(event)
+    items.append(entries[3])
+    return items
+
+
+class TestRoundTrip:
+    def test_v1_query_round_trip(self, net, tmp_path):
+        entries = synthesize_workload(net, 6, f_s=2, f_t=4, seed=9)
+        path = tmp_path / "workload.txt"
+        write_workload(entries, path)
+        assert path.read_text().startswith("# repro workload v1\n")
+        assert read_workload(path) == entries
+
+    def test_v2_mixed_round_trip_preserves_order(self, net, tmp_path):
+        items = _mixed_items(net)
+        path = tmp_path / "mixed.txt"
+        write_workload_items(items, path)
+        assert path.read_text().startswith("# repro workload v2\n")
+        back = read_workload_items(path)
+        assert back == items
+        kinds = [type(i).__name__ for i in back]
+        assert kinds == [
+            "WorkloadEntry", "TrafficEvent",
+        ] * 3 + ["WorkloadEntry"]
+
+    def test_weight_survives_repr_precision(self, tmp_path):
+        event = TrafficEvent(0, 1, 0.1 + 0.2, at_ms=17)
+        path = tmp_path / "precise.txt"
+        write_workload_items([event], path)
+        (back,) = read_workload_items(path)
+        assert back.weight == event.weight  # exact, via repr() round-trip
+        assert back.at_ms == 17
+
+    def test_read_workload_skips_traffic_lines(self, net, tmp_path):
+        items = _mixed_items(net)
+        path = tmp_path / "mixed.txt"
+        write_workload_items(items, path)
+        queries = read_workload(path)
+        assert queries == [i for i in items if isinstance(i, WorkloadEntry)]
+
+    def test_blank_lines_and_comments_ignored(self, tmp_path):
+        path = tmp_path / "sparse.txt"
+        path.write_text(
+            "# repro workload v2\n\n"
+            "q 1 2 3 4\n"
+            "# a comment\n"
+            "w 1 2 5.0 250\n"
+        )
+        items = read_workload_items(path)
+        assert items == [
+            WorkloadEntry(PathQuery(1, 2), ProtectionSetting(3, 4)),
+            TrafficEvent(1, 2, 5.0, 250),
+        ]
+
+
+class TestMalformedInput:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "q 1 2 3",  # too few fields
+            "q 1 2 3 4 5",  # too many fields
+            "w 1 2 5.0",  # missing at_ms
+            "w 1 2 not-a-weight 0",
+            "q a b 3 4",  # non-integer node ids
+            "x 1 2 3 4",  # unknown record kind
+        ],
+    )
+    def test_bad_line_raises_with_line_number(self, tmp_path, line):
+        path = tmp_path / "bad.txt"
+        path.write_text(f"# repro workload v2\nq 1 2 3 4\n{line}\n")
+        with pytest.raises(ExperimentError, match="line 3"):
+            read_workload_items(path)
+
+    def test_write_rejects_foreign_items(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            write_workload_items([object()], tmp_path / "nope.txt")
+
+
+class TestScenarios:
+    def test_generators_are_seeded_and_sorted(self, net):
+        for name in SCENARIOS:
+            a = scenario_events(name, net, duration_ms=1000, events=20, seed=5)
+            b = scenario_events(name, net, duration_ms=1000, events=20, seed=5)
+            assert a == b
+            stamps = [e.at_ms for e in a]
+            assert stamps == sorted(stamps)
+            assert all(0 <= e.at_ms <= 1000 for e in a)
+
+    def test_events_only_reweight_existing_edges(self, net):
+        existing = {frozenset((u, v)) for u, v, _ in net.edges()}
+        for name in SCENARIOS:
+            for event in scenario_events(
+                name, net, duration_ms=1000, events=20, seed=5
+            ):
+                assert frozenset((event.u, event.v)) in existing
+                assert event.weight > 0
+
+    def test_rush_wave_ramps_to_peak_and_back(self, net):
+        baseline = {
+            frozenset((u, v)): w for u, v, w in net.edges()
+        }
+        wave = morning_rush(
+            net, duration_ms=1000, peak_factor=3.0, events=21, seed=7
+        )
+        factors = [
+            e.weight / baseline[frozenset((e.u, e.v))] for e in wave
+        ]
+        peak = max(factors)
+        assert peak == pytest.approx(3.0)
+        assert factors.index(peak) not in (0, len(factors) - 1)
+        assert factors[0] == pytest.approx(1.0)
+        assert factors[-1] == pytest.approx(1.0)
+
+    def test_incident_spikes_then_restores(self, net):
+        baseline = {frozenset((u, v)): w for u, v, w in net.edges()}
+        stream = incident_spike(
+            net, duration_ms=400, spike_factor=8.0, seed=3
+        )
+        spikes = [e for e in stream if e.at_ms == 0]
+        restores = [e for e in stream if e.at_ms == 400]
+        assert spikes and len(spikes) == len(restores)
+        for event in spikes:
+            assert event.weight == pytest.approx(
+                8.0 * baseline[frozenset((event.u, event.v))]
+            )
+        for event in restores:
+            assert event.weight == pytest.approx(
+                baseline[frozenset((event.u, event.v))]
+            )
+
+    def test_invalid_arguments_rejected(self, net):
+        with pytest.raises(ExperimentError):
+            scenario_events("no-such-scenario", net)
+        with pytest.raises(ExperimentError):
+            morning_rush(net, duration_ms=0)
+        with pytest.raises(ExperimentError):
+            morning_rush(net, peak_factor=0.5)
+        with pytest.raises(ExperimentError):
+            uniform_churn(net, jitter=1.0)
+        with pytest.raises(ExperimentError):
+            incident_spike(net, duration_ms=-1)

@@ -10,10 +10,11 @@ than the tolerance (default 25%):
   ``value < baseline * (1 - tolerance)``;
 * ``direction: lower`` metrics (settled-node counters) regress when
   ``value > baseline * (1 + tolerance)``;
-* metrics whose baseline entry carries a ``max`` field are gated
-  *absolutely* — ``value <= max`` — ignoring the relative tolerance
-  (used for near-zero quantities like ``telemetry_overhead_pct``,
-  where a multiplicative band degenerates).
+* metrics whose baseline entry carries a ``max`` (or ``min``) field are
+  gated *absolutely* — ``value <= max`` / ``value >= min`` — ignoring
+  the relative tolerance (used for quantities with a hard budget, like
+  ``telemetry_overhead_pct`` or ``throughput_under_churn_pct``, where a
+  multiplicative band around a noisy baseline is the wrong shape).
 
 Metrics present in the run but absent from the baseline are reported as
 ``new`` and never gated (commit a refreshed baseline to start tracking
@@ -58,9 +59,13 @@ def compare(run: dict, baseline: dict, tolerance: float) -> tuple[list[str], lis
         value, ref = got["value"], base["value"]
         direction = base.get("direction", "lower")
         absolute_max = base.get("max")
+        absolute_min = base.get("min")
         if absolute_max is not None:
             ok = value <= absolute_max
             verdict = f"<= {absolute_max:.3f} (absolute)"
+        elif absolute_min is not None:
+            ok = value >= absolute_min
+            verdict = f">= {absolute_min:.3f} (absolute)"
         elif direction == "higher":
             bound = ref * (1.0 - tolerance)
             ok = value >= bound

@@ -48,10 +48,12 @@ DOCSTRING_AUDIT_FILES = [
     "src/repro/search/overlay.py",
     "src/repro/service/__init__.py",
     "src/repro/service/cache.py",
+    "src/repro/service/pipeline.py",
     "src/repro/service/serving.py",
     "src/repro/service/simulator.py",
     "src/repro/service/stats.py",
     "src/repro/workloads/replay.py",
+    "src/repro/workloads/scenarios.py",
 ]
 
 # Dunders where a docstring adds nothing over the data-model contract.
