@@ -20,7 +20,7 @@ import time
 
 from repro.network.generators import grid_network
 from repro.service.cache import PreprocessingCache
-from repro.service.serving import CoalesceConfig, ServingStack
+from repro.service.serving import CoalesceConfig, ServingConfig, ServingStack
 from repro.workloads.queries import overlapping_session_queries
 
 _SESSIONS = 8
@@ -69,17 +69,20 @@ def _bench_engine(engine: str) -> None:
     sessions = _session_workloads()
     total = _SESSIONS * _QUERIES_PER_SESSION
 
-    solo = ServingStack(_NET, engine=engine, preprocessing_cache=_PREPROCESSING)
+    solo = ServingStack.from_config(
+        _NET,
+        ServingConfig(engine=engine),
+        preprocessing_cache=_PREPROCESSING,
+    )
     solo.warm()
     t_solo, solo_outputs = _run_concurrent(solo, sessions)
     settled_solo = solo.server.counters.stats.settled_nodes
     solo.close()
 
-    coalesced = ServingStack(
+    coalesced = ServingStack.from_config(
         _NET,
-        engine=engine,
+        ServingConfig(engine=engine, coalesce=CoalesceConfig(max_batch=total, max_wait_s=2.0)),
         preprocessing_cache=_PREPROCESSING,
-        coalesce=CoalesceConfig(max_batch=total, max_wait_s=2.0),
     )
     coalesced.warm()
     t_co, co_outputs = _run_concurrent(coalesced, sessions)

@@ -24,7 +24,7 @@ from repro.core.query import ProtectionSetting
 from repro.core.system import OpaqueSystem
 from repro.network.generators import grid_network
 from repro.service.cache import PreprocessingCache, ResultCache
-from repro.service.serving import ServingStack
+from repro.service.serving import ServingConfig, ServingStack
 from repro.workloads.queries import hotspot_queries, requests_from_queries
 
 _ENGINE = "ch"
@@ -48,7 +48,7 @@ def _run_sessions(shared_stack: ServingStack | None) -> tuple[float, list]:
         stack = (
             shared_stack
             if shared_stack is not None
-            else ServingStack(_NET, engine=_ENGINE)
+            else ServingStack.from_config(_NET, ServingConfig(engine=_ENGINE))
         )
         system = OpaqueSystem(_NET, mode="independent", serving=stack, seed=3)
         results = system.submit(_REQUESTS)
@@ -62,9 +62,9 @@ def test_serving_cache_speedup_repeated_sessions():
     """Warm shared caches must beat cold per-session setup by >= 5x."""
     t_cold, cold_outputs = _run_sessions(None)
 
-    shared = ServingStack(
+    shared = ServingStack.from_config(
         _NET,
-        engine=_ENGINE,
+        ServingConfig(engine=_ENGINE),
         preprocessing_cache=PreprocessingCache(),
         result_cache=ResultCache(capacity=1024),
     )
@@ -96,7 +96,10 @@ def test_concurrent_dispatch_matches_serial():
     queries = [record.query for record in records]
 
     def tables(workers: int):
-        with ServingStack(_NET, engine=_ENGINE, max_workers=workers) as stack:
+        with ServingStack.from_config(
+            _NET,
+            ServingConfig(engine=_ENGINE, max_workers=workers),
+        ) as stack:
             responses = stack.answer_batch(queries)
         return [
             {pair: (p.nodes, p.distance) for pair, p in r.candidates.paths.items()}

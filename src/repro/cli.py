@@ -17,6 +17,8 @@ Usage (also via ``python -m repro``):
     repro serve-replay city.txt rush.txt --engine overlay-csr --churn-cells-per-min 120
     repro serve-replay city.txt rush.txt --engine ch-csr --coalesce-window 8
     repro serve-replay city.txt rush.txt --metrics-out m.json --trace-out t.jsonl
+    repro serve city.txt --port 8080 --engine overlay-csr --workers 4
+    repro loadgen city.txt rush.txt --host 127.0.0.1 --port 8080 --clients 4
     repro obs-report --metrics m.json --traces t.jsonl
     repro experiment E1 E4 --telemetry-dir telemetry/
 """
@@ -289,6 +291,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="slowest root spans to list (0 disables)",
     )
 
+    gw = sub.add_parser(
+        "serve",
+        help="serve a network over HTTP (the asyncio gateway)",
+    )
+    gw.add_argument("network")
+    gw.add_argument("--host", default="127.0.0.1", help="bind address")
+    gw.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = pick free)"
+    )
+    gw.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "shard worker processes (0 serves in-process; N spawns N "
+            "warmed per-shard serving stacks)"
+        ),
+    )
+    gw.add_argument(
+        "--engine",
+        choices=list_engines(),
+        default="dijkstra-csr",
+        help="server-side search engine in every shard",
+    )
+    gw.add_argument(
+        "--concurrency", type=int, default=4, help="dispatcher threads/shard"
+    )
+    gw.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="admission ceiling before 429 + Retry-After",
+    )
+    gw.add_argument(
+        "--window-ms",
+        type=float,
+        default=0.0,
+        help="micro-batch admission window per shard (milliseconds)",
+    )
+    gw.add_argument(
+        "--max-batch", type=int, default=8, help="queries per micro-batch"
+    )
+    gw.add_argument(
+        "--coalesce-window",
+        type=int,
+        default=0,
+        help="per-shard coalescer window size (0 disables coalescing)",
+    )
+    gw.add_argument(
+        "--spill-dir",
+        default=None,
+        help=(
+            "artifact spill/handoff directory shared with shard workers "
+            "(a temporary one is created when workers > 0)"
+        ),
+    )
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="drive a running gateway with concurrent HTTP clients",
+    )
+    lg.add_argument("network", help="map file (for workload obfuscation)")
+    lg.add_argument("workload", help="workload file from 'workload'")
+    lg.add_argument("--host", default="127.0.0.1", help="gateway host")
+    lg.add_argument("--port", type=int, required=True, help="gateway port")
+    lg.add_argument(
+        "--clients", type=int, default=4, help="concurrent connections"
+    )
+    lg.add_argument(
+        "--repeats", type=int, default=1, help="passes over the stream"
+    )
+    lg.add_argument(
+        "--mode",
+        choices=["independent", "shared"],
+        default="independent",
+        help="obfuscation variant applied to the workload",
+    )
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument(
+        "--json-out",
+        default=None,
+        help="also write the load report (LoadReport.to_dict) to this file",
+    )
+
     exp = sub.add_parser("experiment", help="run experiments (E1..E14)")
     exp.add_argument("ids", nargs="+", help="experiment ids, e.g. E1 E4")
     exp.add_argument(
@@ -479,7 +565,12 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     )
     from repro.obs.trace import SLOW_QUERY_LOGGER
     from repro.service.cache import ResultCache
-    from repro.service.serving import CoalesceConfig, ServingStack, replay
+    from repro.service.serving import (
+        CoalesceConfig,
+        ServingConfig,
+        ServingStack,
+        replay,
+    )
     from repro.workloads.replay import (
         TrafficEvent,
         WorkloadEntry,
@@ -552,15 +643,17 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
             slow_handler.setFormatter(JSONLogFormatter())
             logging.getLogger(SLOW_QUERY_LOGGER).addHandler(slow_handler)
     registry = MetricsRegistry()
-    with ServingStack(
+    with ServingStack.from_config(
         net,
-        engine=args.engine,
+        ServingConfig(
+            engine=args.engine,
+            max_workers=args.concurrency,
+            coalesce=coalesce,
+            spill_dir=args.spill_dir,
+        ),
         result_cache=ResultCache(
             capacity=args.result_capacity, metrics=registry
         ),
-        max_workers=args.concurrency,
-        spill_dir=args.spill_dir,
-        coalesce=coalesce,
         metrics=registry,
         tracer=tracer,
     ) as stack:
@@ -774,6 +867,93 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.gateway import GatewayConfig, run_gateway
+    from repro.service.serving import CoalesceConfig, ServingConfig
+
+    if args.workers < 0 or args.concurrency < 1:
+        print(
+            "error: --workers must be >= 0 and --concurrency >= 1",
+            file=sys.stderr,
+        )
+        return 1
+    net = read_network(args.network)
+    serving = ServingConfig(
+        engine=args.engine,
+        max_workers=args.concurrency,
+        coalesce=(
+            CoalesceConfig(max_batch=args.coalesce_window)
+            if args.coalesce_window
+            else None
+        ),
+        spill_dir=args.spill_dir,
+    )
+    config = GatewayConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        window_ms=args.window_ms,
+        max_batch=args.max_batch,
+    )
+    run_gateway(net, serving=serving, config=config)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.core.obfuscator import PathQueryObfuscator
+    from repro.service.wire import RouteRequest
+    from repro.workloads.loadgen import run_load
+    from repro.workloads.replay import WorkloadEntry, read_workload_items
+
+    if args.clients < 1 or args.repeats < 1:
+        print(
+            "error: --clients and --repeats must be >= 1", file=sys.stderr
+        )
+        return 1
+    net = read_network(args.network)
+    entries = [
+        item
+        for item in read_workload_items(args.workload)
+        if isinstance(item, WorkloadEntry)
+    ]
+    if not entries:
+        print("error: empty workload", file=sys.stderr)
+        return 1
+    # Same one-time obfuscation as serve-replay: the gateway sees the
+    # fixed server-visible stream, repeated --repeats times.
+    obfuscator = PathQueryObfuscator(net, seed=args.seed)
+    requests = [e.as_request(f"w-{i}") for i, e in enumerate(entries)]
+    records = obfuscator.obfuscate_batch(requests, mode=args.mode)
+    wire_requests = [
+        RouteRequest.from_query(record.query) for record in records
+    ]
+    report = run_load(
+        args.host,
+        args.port,
+        wire_requests,
+        clients=args.clients,
+        repeats=args.repeats,
+    )
+    print(
+        f"sent {report.requests} requests over {args.clients} clients "
+        f"in {report.total_seconds:.3f}s ({report.rps:.0f} rps)"
+    )
+    print(
+        f"latency p50/p99: {report.p50_latency * 1e3:.2f} / "
+        f"{report.p99_latency * 1e3:.2f} ms; errors: {report.errors}"
+    )
+    if args.json_out:
+        from pathlib import Path
+        import json as _json
+
+        Path(args.json_out).write_text(
+            _json.dumps(report.to_dict(), indent=2), encoding="utf-8"
+        )
+        print(f"wrote load report to {args.json_out}")
+    return 0 if report.errors == 0 else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -787,6 +967,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "workload": _cmd_workload,
         "scenario": _cmd_scenario,
         "serve-replay": _cmd_serve_replay,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
         "obs-report": _cmd_obs_report,
         "experiment": _cmd_experiment,
     }

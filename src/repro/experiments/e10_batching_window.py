@@ -36,7 +36,7 @@ from repro.core.system import OpaqueSystem
 from repro.experiments.harness import ExperimentResult
 from repro.network.generators import grid_network
 from repro.service.cache import PreprocessingCache
-from repro.service.serving import CoalesceConfig, ServingStack
+from repro.service.serving import CoalesceConfig, ServingConfig, ServingStack
 from repro.service.simulator import BatchingObfuscationService, poisson_arrivals
 from repro.workloads.queries import hotspot_queries, requests_from_queries
 
@@ -109,7 +109,10 @@ def run(config: Config | None = None) -> ExperimentResult:
     preprocessing = PreprocessingCache()
     for window in config.windows:
         # Cold pass: fresh serving stack, every query pays full search.
-        stack = ServingStack(network, engine=config.engine)
+        stack = ServingStack.from_config(
+            network,
+            ServingConfig(engine=config.engine),
+        )
         system = OpaqueSystem(
             network, mode="shared", serving=stack, seed=config.seed
         )
@@ -130,37 +133,43 @@ def run(config: Config | None = None) -> ExperimentResult:
 
         # Cross-session columns: per-session dispatch vs one coalesced
         # union pass over the same stream, on the bucket engine.
-        with ServingStack(
+        with ServingStack.from_config(
             network,
-            engine=config.coalesce_engine,
+            ServingConfig(engine=config.coalesce_engine),
             preprocessing_cache=preprocessing,
         ) as solo_stack:
             solo_stack.answer_batch(observed)
             settled_solo = solo_stack.server.counters.stats.settled_nodes
-        with ServingStack(
+        with ServingStack.from_config(
             network,
-            engine=config.coalesce_engine,
-            preprocessing_cache=preprocessing,
-            coalesce=CoalesceConfig(
+            ServingConfig(engine=config.coalesce_engine, coalesce=CoalesceConfig(
                 max_batch=max(len(observed), 1), max_wait_s=60.0
-            ),
+            )),
+            preprocessing_cache=preprocessing,
         ) as co_stack:
             co_stack.answer_batch(observed)
             settled_coalesced = co_stack.server.counters.stats.settled_nodes
             coalesced_queries = co_stack.server.counters.coalesced_queries
 
-        warm_total = warm_report.obfuscated_queries
+        # Latency/breach/cost columns come from the canonical report
+        # shape (ServiceReport.to_dict) so key names stay aligned with
+        # what the gateway's /v1/metrics and serve-replay emit.
+        report_doc = report.to_dict()
+        warm_doc = warm_report.to_dict()
+        warm_total = warm_doc["obfuscated_queries"]
         result.rows.append(
             {
                 "window_s": window,
-                "mean_latency_s": report.mean_latency,
-                "p95_latency_s": report.p95_latency,
-                "mean_breach": report.mean_breach,
-                "obfuscated_queries": report.obfuscated_queries,
-                "settled_cold": report.server_settled_nodes,
-                "settled_warm": warm_report.server_settled_nodes,
+                "mean_latency_s": report_doc["mean_latency_s"],
+                "p95_latency_s": report_doc["p95_latency_s"],
+                "mean_breach": report_doc["mean_breach"],
+                "obfuscated_queries": report_doc["obfuscated_queries"],
+                "settled_cold": report_doc["server_settled_nodes"],
+                "settled_warm": warm_doc["server_settled_nodes"],
                 "warm_hit_rate": (
-                    warm_report.cached_queries / warm_total if warm_total else 0.0
+                    warm_doc["cached_queries"] / warm_total
+                    if warm_total
+                    else 0.0
                 ),
                 "settled_solo": settled_solo,
                 "settled_coalesced": settled_coalesced,

@@ -24,7 +24,7 @@ from repro.experiments.harness import ExperimentResult
 from repro.network.generators import grid_network
 from repro.service.cache import ResultCache
 from repro.service.pipeline import TrafficPipeline
-from repro.service.serving import ServingStack
+from repro.service.serving import ServingConfig, ServingStack
 from repro.workloads.scenarios import uniform_churn
 
 __all__ = ["Config", "run"]
@@ -131,11 +131,10 @@ def run(config: Config | None = None) -> ExperimentResult:
         # The result cache is disabled so every row measures *search*
         # throughput — churn changes the fingerprint on each install,
         # and a cache-hit baseline would make the comparison meaningless.
-        stack = ServingStack(
+        stack = ServingStack.from_config(
             network.copy(),
-            engine="overlay-csr",
+            ServingConfig(engine="overlay-csr", max_workers=2),
             result_cache=ResultCache(capacity=0),
-            max_workers=2,
         )
         stack.warm()
         total_events = max(1, round(rate * config.duration_s / 60.0))
@@ -157,16 +156,22 @@ def run(config: Config | None = None) -> ExperimentResult:
             baseline_rate = qps
         throughput_pct = 100.0 * qps / baseline_rate if baseline_rate else 0.0
         minutes = elapsed / 60.0 if elapsed > 0 else 1.0
+        # Snapshot-derived columns come from the canonical report shape
+        # (PipelineSnapshot.to_dict) so key names cannot drift from what
+        # serve-replay and the gateway's /v1/metrics emit.
+        snap_doc = snap.to_dict()
         result.rows.append(
             {
                 "churn_per_min": rate,
-                "events": snap.events,
-                "installs": snap.installs,
-                "cells_per_min": round(snap.cells_recustomized / minutes, 1),
+                "events": snap_doc["events"],
+                "installs": snap_doc["installs"],
+                "cells_per_min": round(
+                    snap_doc["cells_recustomized"] / minutes, 1
+                ),
                 "queries_per_s": round(qps, 1),
                 "throughput_pct": round(throughput_pct, 1),
-                "staleness_p95_ms": round(snap.staleness_p95_ms, 2),
-                "staleness_max_ms": round(snap.staleness_max_ms, 2),
+                "staleness_p95_ms": round(snap_doc["staleness_p95_ms"], 2),
+                "staleness_max_ms": round(snap_doc["staleness_max_ms"], 2),
             }
         )
         stack.close()

@@ -18,7 +18,11 @@ subpackage models that dimension twice over:
 * :mod:`repro.service.pipeline` — the live traffic pipeline: an
   in-process event stream feeding a debounced :class:`DeltaBatcher`
   and a background :class:`RecustomizeWorker` that installs re-weights
-  as atomic network epochs while queries keep serving.
+  as atomic network epochs while queries keep serving;
+* :mod:`repro.service.gateway` + :mod:`repro.service.wire` — the HTTP
+  network boundary: an asyncio gateway speaking a versioned canonical
+  JSON wire schema, with shard worker processes, admission control and
+  redaction-enforced access logging (``repro serve``).
 """
 
 from repro.service.cache import (
@@ -42,6 +46,7 @@ from repro.service.serving import (
     QueryCoalescer,
     ReplayReport,
     ReweightOutcome,
+    ServingConfig,
     ServingStack,
     replay,
 )
@@ -66,6 +71,7 @@ __all__ = [
     "CoalesceSnapshot",
     "QueryCoalescer",
     "ReweightOutcome",
+    "ServingConfig",
     "ServingStack",
     "ReplayReport",
     "replay",

@@ -138,6 +138,22 @@ class CacheSnapshot:
         total = self.result_hits + self.result_misses
         return self.result_hits / total if total else 0.0
 
+    def to_dict(self) -> dict:
+        """Stable-key report shape (see ``docs/API.md``)."""
+        return {
+            "schema": 1,
+            "kind": "cache_snapshot",
+            "preprocessing_hits": self.preprocessing_hits,
+            "preprocessing_misses": self.preprocessing_misses,
+            "preprocessing_evictions": self.preprocessing_evictions,
+            "preprocessing_disk_loads": self.preprocessing_disk_loads,
+            "preprocessing_hit_rate": self.preprocessing_hit_rate,
+            "result_hits": self.result_hits,
+            "result_misses": self.result_misses,
+            "result_evictions": self.result_evictions,
+            "result_hit_rate": self.result_hit_rate,
+        }
+
 
 class PreprocessingCache:
     """Thread-safe LRU of per-network preprocessing artifacts.
@@ -364,6 +380,25 @@ class PreprocessingCache:
                 preprocessing_evictions=self.evictions,
                 preprocessing_disk_loads=self.disk_loads,
             )
+
+    def spill_now(self, fingerprint: str, engine_name: str) -> Path | None:
+        """Persist the cached artifact for a key to the spill dir *now*.
+
+        Spill normally happens lazily on LRU eviction; this forces it so
+        another process pointed at the same ``spill_dir`` can warm from
+        disk instead of rebuilding — the artifact-handoff channel the
+        network gateway uses to start shard workers
+        (:mod:`repro.service.gateway`).  Returns the spill file's path,
+        or ``None`` when there is no spill dir, no in-memory artifact
+        for the key, or the artifact's type has no persistent format.
+        """
+        with self._lock:
+            artifact = self._entries.get((fingerprint, engine_name))
+        if artifact is None:
+            return None
+        self._spill((fingerprint, engine_name), artifact)
+        path = self._spill_path((fingerprint, engine_name))
+        return path if path is not None and path.exists() else None
 
     # ------------------------------------------------------------------
     # Disk spill (contracted graphs — directly for "ch", via the wrapped

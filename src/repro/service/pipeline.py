@@ -469,6 +469,22 @@ class PipelineSnapshot:
     staleness_p95_ms: float = 0.0
     staleness_max_ms: float = 0.0
 
+    def to_dict(self) -> dict:
+        """Stable-key report shape (see ``docs/API.md``)."""
+        return {
+            "schema": 1,
+            "kind": "pipeline_snapshot",
+            "events": self.events,
+            "pending": self.pending,
+            "installs": self.installs,
+            "edges_applied": self.edges_applied,
+            "cells_recustomized": self.cells_recustomized,
+            "epoch": self.epoch,
+            "staleness_p50_ms": self.staleness_p50_ms,
+            "staleness_p95_ms": self.staleness_p95_ms,
+            "staleness_max_ms": self.staleness_max_ms,
+        }
+
 
 class TrafficPipeline:
     """Facade wiring stream → batcher → worker onto one serving stack.
@@ -611,6 +627,14 @@ class TrafficPipeline:
                     f"({self.batcher.pending()} events pending)"
                 )
             time.sleep(0.001)
+        # A drain advances the batcher offset (zeroing ``pending``) at
+        # the *start* of a step, so the worker may still be inside the
+        # final install here.  Steps serialize on the step lock — take
+        # it once so every counter (installs, edges, epoch) is final
+        # before this method returns.
+        with self.worker._step_lock:
+            pass
+        self._raise_worker_error()
         self._m_pending.set(self.batcher.pending())
         self._raise_worker_error()
 

@@ -44,6 +44,7 @@ from __future__ import annotations
 import math
 import threading
 import time
+import warnings
 from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -74,6 +75,7 @@ __all__ = [
     "CoalesceSnapshot",
     "QueryCoalescer",
     "ReweightOutcome",
+    "ServingConfig",
     "ServingStack",
     "ReplayReport",
     "replay",
@@ -350,6 +352,25 @@ class CoalesceSnapshot:
         """Average queries per flushed window (0 when idle)."""
         return self.queries / self.windows if self.windows else 0.0
 
+    def to_dict(self) -> dict:
+        """Stable-key report shape (see ``docs/API.md``).
+
+        Every report surface (``serve-replay``, ``obs-report``, the
+        gateway's ``/v1/metrics``) emits this one shape: a ``schema``
+        version stamp, a ``kind`` discriminator and flat counters.
+        """
+        return {
+            "schema": 1,
+            "kind": "coalesce_snapshot",
+            "windows": self.windows,
+            "queries": self.queries,
+            "shared_windows": self.shared_windows,
+            "coalesced_queries": self.coalesced_queries,
+            "union_pairs": self.union_pairs,
+            "max_window": self.max_window,
+            "mean_window": self.mean_window,
+        }
+
 
 class _Ticket:
     """One in-flight coalesced query and its rendezvous event."""
@@ -510,6 +531,75 @@ class QueryCoalescer:
             )
 
 
+@dataclass(frozen=True, slots=True)
+class ServingConfig:
+    """Frozen construction-time knobs of a :class:`ServingStack`.
+
+    The one value that describes how to build a stack — pass it to
+    :meth:`ServingStack.from_config`, ship it across process boundaries
+    (it is picklable; the network gateway sends it to shard workers), or
+    embed it in a deployment manifest.  Runtime collaborators that hold
+    live state (pre-built caches, a shared
+    :class:`~repro.obs.metrics.MetricsRegistry`, a tracer) stay keyword
+    arguments of :meth:`~ServingStack.from_config` — they are wiring,
+    not configuration.
+
+    Attributes
+    ----------
+    engine:
+        Name from the :data:`repro.search.ENGINES` registry.
+    max_workers:
+        Dispatcher thread-pool size (1 = serial).
+    coalesce:
+        Optional :class:`CoalesceConfig` enabling the cross-session
+        query coalescer.
+    spill_dir:
+        Disk-spill directory for the preprocessing cache (also the
+        artifact handoff channel between gateway shard workers).
+    preprocessing_capacity:
+        In-memory artifact slots of the preprocessing cache (>= 1).
+    result_capacity:
+        Result-table slots of the result cache (0 disables it).
+    """
+
+    engine: str = "dijkstra"
+    max_workers: int = 4
+    coalesce: CoalesceConfig | None = None
+    spill_dir: str | None = None
+    preprocessing_capacity: int = 8
+    result_capacity: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if self.preprocessing_capacity < 1:
+            raise ValueError("preprocessing_capacity must be >= 1")
+        if self.result_capacity < 0:
+            raise ValueError("result_capacity must be >= 0")
+
+    def to_dict(self) -> dict:
+        """Stable-key report shape (see ``docs/API.md``)."""
+        return {
+            "schema": 1,
+            "kind": "serving_config",
+            "engine": self.engine,
+            "max_workers": self.max_workers,
+            "coalesce": (
+                None
+                if self.coalesce is None
+                else {
+                    "max_batch": self.coalesce.max_batch,
+                    "max_wait_s": self.coalesce.max_wait_s,
+                }
+            ),
+            "spill_dir": (
+                str(self.spill_dir) if self.spill_dir is not None else None
+            ),
+            "preprocessing_capacity": self.preprocessing_capacity,
+            "result_capacity": self.result_capacity,
+        }
+
+
 class ServingStack:
     """Thread-safe caching/concurrency layer in front of a directions server.
 
@@ -521,21 +611,34 @@ class ServingStack:
     call :meth:`answer`/:meth:`answer_batch` directly to drive the
     server side alone.
 
+    Construct stacks through :meth:`from_config`: one frozen
+    :class:`ServingConfig` carries every construction-time knob, and the
+    keyword arguments below that hold live collaborators (caches,
+    metrics, tracer) ride alongside it.  The legacy keyword form
+    (``ServingStack(net, engine=..., max_workers=...)``) still works but
+    emits a single :class:`DeprecationWarning`.
+
     Parameters
     ----------
     network:
         The server's road network (shared by every component).
+    config:
+        A :class:`ServingConfig`; when ``None`` (the deprecated path)
+        one is synthesized from the legacy keyword arguments.
     engine:
         Name from the :data:`repro.search.ENGINES` registry; decides
         both the preprocessing artifact and the per-worker MSMD handles.
+        *(deprecated — set on* :class:`ServingConfig` *)*
     preprocessing_cache, result_cache:
         Preconfigured caches, e.g. shared across several stacks serving
         different networks; fresh defaults otherwise.
     max_workers:
         Dispatcher thread-pool size (1 = serial).
+        *(deprecated — set on* :class:`ServingConfig` *)*
     spill_dir:
         Disk-spill directory for the default preprocessing cache
         (ignored when ``preprocessing_cache`` is given).
+        *(deprecated — set on* :class:`ServingConfig` *)*
     coalesce:
         A :class:`CoalesceConfig` to enable the cross-session
         :class:`QueryCoalescer`: concurrent queries (from any thread or
@@ -575,12 +678,35 @@ class ServingStack:
         coalesce: CoalesceConfig | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        *,
+        config: ServingConfig | None = None,
     ) -> None:
         from repro.search import get_engine
 
+        if config is None:
+            # The single deprecation path: every legacy keyword
+            # construction funnels through here, so one filter catches
+            # them all (the test suite turns it into an error).
+            warnings.warn(
+                "ServingStack(engine=..., max_workers=...) keyword "
+                "construction is deprecated; build a ServingConfig and "
+                "call ServingStack.from_config(network, config)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = ServingConfig(
+                engine=engine,
+                max_workers=max_workers,
+                coalesce=coalesce,
+                spill_dir=(
+                    str(spill_dir) if spill_dir is not None else None
+                ),
+            )
+        #: the frozen construction-time knobs this stack was built from
+        self.config = config
         self.network = network
-        self.engine_name = engine
-        self._engine = get_engine(engine)
+        self.engine_name = config.engine
+        self._engine = get_engine(config.engine)
         #: registry collecting every component's instruments
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: the live tracer, or None when tracing is off
@@ -593,15 +719,21 @@ class ServingStack:
         self.preprocessing = (
             preprocessing_cache
             if preprocessing_cache is not None
-            else PreprocessingCache(spill_dir=spill_dir, metrics=self.metrics)
+            else PreprocessingCache(
+                capacity=config.preprocessing_capacity,
+                spill_dir=config.spill_dir,
+                metrics=self.metrics,
+            )
         )
         self.results = (
             result_cache
             if result_cache is not None
-            else ResultCache(metrics=self.metrics)
+            else ResultCache(
+                capacity=config.result_capacity, metrics=self.metrics
+            )
         )
         self.dispatcher = ConcurrentDispatcher(
-            self._engine.make_processor, max_workers=max_workers
+            self._engine.make_processor, max_workers=config.max_workers
         )
         self.server = DirectionsServer(
             network,
@@ -610,7 +742,9 @@ class ServingStack:
         )
         #: cross-session micro-batching window, or None when disabled
         self.coalescer = (
-            QueryCoalescer(self, coalesce) if coalesce is not None else None
+            QueryCoalescer(self, config.coalesce)
+            if config.coalesce is not None
+            else None
         )
         self._lock = threading.Lock()
         self._fingerprint_memo: tuple[int, str] | None = None
@@ -618,6 +752,34 @@ class ServingStack:
         self._m_epoch = self.metrics.gauge(
             "repro_serve_epoch",
             desc="sequence number of the installed network epoch",
+        )
+
+    @classmethod
+    def from_config(
+        cls,
+        network,
+        config: ServingConfig | None = None,
+        *,
+        preprocessing_cache: PreprocessingCache | None = None,
+        result_cache: ResultCache | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> "ServingStack":
+        """Build a stack from a frozen :class:`ServingConfig`.
+
+        The non-deprecated constructor.  ``config`` defaults to
+        ``ServingConfig()``; the keyword arguments carry live
+        collaborators that cannot live on a frozen config (pre-built
+        caches shared across stacks, a shared metrics registry, a
+        tracer).
+        """
+        return cls(
+            network,
+            preprocessing_cache=preprocessing_cache,
+            result_cache=result_cache,
+            metrics=metrics,
+            tracer=tracer,
+            config=config if config is not None else ServingConfig(),
         )
 
     @property
@@ -1211,6 +1373,24 @@ class ReplayReport:
     def p99_latency(self) -> float:
         """99th-percentile per-query latency in seconds."""
         return self.percentile(0.99)
+
+    def to_dict(self) -> dict:
+        """Stable-key report shape (see ``docs/API.md``).
+
+        The same ``{"schema", "kind", ...counters}`` contract as every
+        other report surface; raw per-query latencies stay off the wire
+        (they are a measurement buffer, not a report).
+        """
+        return {
+            "schema": 1,
+            "kind": "replay_report",
+            "queries": self.queries,
+            "total_seconds": self.total_seconds,
+            "p50_latency_s": self.p50_latency,
+            "p95_latency_s": self.p95_latency,
+            "p99_latency_s": self.p99_latency,
+            "cache": self.cache.to_dict(),
+        }
 
 
 def replay(

@@ -117,6 +117,34 @@ class ServiceReport:
             return 1.0
         return sum(self.breach_by_user.values()) / len(self.breach_by_user)
 
+    def to_dict(self) -> dict:
+        """Stable-key report shape (see ``docs/API.md``).
+
+        Aggregates only — the per-user latency/breach maps stay in
+        memory (user names are session identifiers, not report
+        material).
+        """
+        return {
+            "schema": 1,
+            "kind": "service_report",
+            "users": len(self.latencies_by_user),
+            "windows_processed": self.windows_processed,
+            "obfuscated_queries": self.obfuscated_queries,
+            "server_settled_nodes": self.server_settled_nodes,
+            "cached_queries": self.cached_queries,
+            "coalesced_queries": self.coalesced_queries,
+            "mean_latency_s": self.mean_latency,
+            "p50_latency_s": self.p50_latency,
+            "p95_latency_s": self.p95_latency,
+            "p99_latency_s": self.p99_latency,
+            "mean_breach": self.mean_breach,
+            "cache": (
+                self.serving_caches.to_dict()
+                if self.serving_caches is not None
+                else None
+            ),
+        }
+
 
 class BatchingObfuscationService:
     """Windowed batching in front of an :class:`OpaqueSystem`.

@@ -23,7 +23,7 @@ from repro.core.query import ObfuscatedPathQuery
 from repro.network.graph import RoadNetwork
 from repro.obs import JSONLogFormatter, MetricsRecorder, Tracer, recording
 from repro.obs.trace import SLOW_QUERY_LOGGER
-from repro.service.serving import ServingStack
+from repro.service.serving import ServingConfig, ServingStack
 
 #: node ids no aggregate count on this graph can coincidentally equal
 _IDS = [9100001 + i for i in range(16)]
@@ -67,8 +67,10 @@ def _instrumented_run(network: RoadNetwork) -> list[str]:
     logger.addHandler(handler)
     tracer = Tracer(slow_threshold_s=0.0)  # every root is "slow"
     try:
-        with ServingStack(
-            network, engine="dijkstra", max_workers=2, tracer=tracer
+        with ServingStack.from_config(
+            network,
+            ServingConfig(engine="dijkstra", max_workers=2),
+            tracer=tracer,
         ) as stack:
             with recording(MetricsRecorder(stack.metrics)):
                 stack.answer_batch(queries)
@@ -109,8 +111,9 @@ class TestTelemetryNeverLeaksEndpoints:
         from repro.workloads.replay import TrafficEvent
 
         tracer = Tracer()
-        with ServingStack(
-            marked_network, engine="overlay-csr", max_workers=2,
+        with ServingStack.from_config(
+            marked_network,
+            ServingConfig(engine="overlay-csr", max_workers=2),
             tracer=tracer,
         ) as stack:
             stack.warm()
@@ -131,3 +134,107 @@ class TestTelemetryNeverLeaksEndpoints:
                 assert str(node) not in surface, (
                     f"pipeline telemetry leaked node id {node}"
                 )
+
+
+class TestGatewayNeverLeaksEndpoints:
+    """HTTP boundary end of the invariant: access logs, the metrics
+    endpoint and error bodies must never carry node ids — only the 200
+    route payload itself (the client's own answer) may."""
+
+    def _run_gateway_surfaces(self, network):
+        import http.client
+        import json
+
+        from repro.service.gateway import (
+            ACCESS_LOGGER,
+            API_PREFIX,
+            GatewayServer,
+        )
+
+        island = 9100099  # reachable by no edge; same 7-digit marker family
+        network.add_node(island, 99.0, 99.0)
+
+        class CapturingHandler(logging.Handler):
+            def __init__(self):
+                super().__init__()
+                self.lines: list[str] = []
+
+            def emit(self, record):
+                self.lines.append(record.getMessage())
+
+        handler = CapturingHandler()
+        access = logging.getLogger(ACCESS_LOGGER)
+        access.addHandler(handler)
+        previous_level = access.level
+        access.setLevel(logging.INFO)
+        error_bodies: list[str] = []
+        try:
+            with GatewayServer(
+                network, ServingConfig(engine="dijkstra")
+            ) as server:
+                conn = http.client.HTTPConnection(
+                    server.host, server.port, timeout=30
+                )
+
+                def call(method, path, doc=None):
+                    body = None if doc is None else json.dumps(doc)
+                    conn.request(method, path, body=body)
+                    response = conn.getresponse()
+                    return response.status, response.read().decode()
+
+                status, _ = call(
+                    "POST",
+                    f"{API_PREFIX}/route",
+                    {"sources": _IDS[:2], "destinations": _IDS[-2:]},
+                )
+                assert status == 200
+                for method, path, doc in [
+                    # duplicate endpoints: core QueryError names the id
+                    ("POST", f"{API_PREFIX}/route",
+                     {"sources": [_IDS[0], _IDS[0]],
+                      "destinations": [_IDS[1]]}),
+                    # unreachable endpoint: NoPathError names both ids
+                    ("POST", f"{API_PREFIX}/route",
+                     {"sources": [_IDS[0]], "destinations": [island]}),
+                    # unknown field whose *value* is an endpoint list
+                    ("POST", f"{API_PREFIX}/route",
+                     {"sources": [_IDS[0]], "destinations": [_IDS[1]],
+                      "waypoints": _IDS[2:4]}),
+                    ("GET", f"{API_PREFIX}/nope", None),
+                ]:
+                    status, body = call(method, path, doc)
+                    assert status >= 400
+                    error_bodies.append(body)
+                status, metrics_body = call("GET", f"{API_PREFIX}/metrics")
+                assert status == 200
+                conn.close()
+        finally:
+            access.removeHandler(handler)
+            access.setLevel(previous_level)
+        assert handler.lines, "gateway produced no access-log lines"
+        return handler.lines, error_bodies, metrics_body, island
+
+    def test_access_log_errors_and_metrics_are_clean(self, marked_network):
+        lines, errors, metrics_body, island = self._run_gateway_surfaces(
+            marked_network
+        )
+        surfaces = ["\n".join(lines), "\n".join(errors), metrics_body]
+        for surface in surfaces:
+            for node in [*_IDS, island]:
+                assert str(node) not in surface, (
+                    f"gateway surface leaked node id {node}: "
+                    f"{surface[:400]}..."
+                )
+
+    def test_access_log_lines_are_structured_and_useful(self, marked_network):
+        import json
+
+        lines, _errors, _metrics, _island = self._run_gateway_surfaces(
+            marked_network
+        )
+        docs = [json.loads(line) for line in lines]
+        assert {doc["route"] for doc in docs} >= {"route", "metrics"}
+        for doc in docs:
+            assert set(doc) == {
+                "request_id", "method", "route", "status", "duration_ms",
+            }

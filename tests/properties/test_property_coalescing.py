@@ -19,7 +19,7 @@ from hypothesis import strategies as st
 
 from repro.core.query import ObfuscatedPathQuery
 from repro.network.generators import grid_network
-from repro.service.serving import CoalesceConfig, ServingStack
+from repro.service.serving import CoalesceConfig, ServingConfig, ServingStack
 
 NET = grid_network(10, 10, perturbation=0.1, seed=4001)
 NODES = list(NET.nodes())
@@ -72,15 +72,14 @@ def _table(response):
 @settings(max_examples=40, deadline=None)
 def test_any_partition_matches_serial_batches(stepping_clock, stream):
     queries, windows = stream
-    serial = ServingStack(NET, engine="dijkstra")
-    coalesced = ServingStack(
+    serial = ServingStack.from_config(NET, ServingConfig(engine="dijkstra"))
+    coalesced = ServingStack.from_config(
         NET,
-        engine="dijkstra",
-        coalesce=CoalesceConfig(
+        ServingConfig(engine="dijkstra", coalesce=CoalesceConfig(
             max_batch=len(queries) + 1,  # only the clock closes windows
             max_wait_s=0.5,
             clock=stepping_clock(),
-        ),
+        )),
     )
     try:
         for window in windows:
@@ -105,15 +104,17 @@ def test_any_partition_matches_serial_batches(stepping_clock, stream):
 def test_partition_invariant_cache_totals(stepping_clock, stream):
     """hits+misses totals match fully-serial one-query-at-a-time serving."""
     queries, windows = stream
-    one_by_one = ServingStack(NET, engine="dijkstra")
-    coalesced = ServingStack(
+    one_by_one = ServingStack.from_config(
         NET,
-        engine="dijkstra",
-        coalesce=CoalesceConfig(
+        ServingConfig(engine="dijkstra"),
+    )
+    coalesced = ServingStack.from_config(
+        NET,
+        ServingConfig(engine="dijkstra", coalesce=CoalesceConfig(
             max_batch=len(queries) + 1,
             max_wait_s=0.5,
             clock=stepping_clock(),
-        ),
+        )),
     )
     try:
         reference = [one_by_one.answer_batch([q])[0] for q in queries]
@@ -137,15 +138,14 @@ def test_partition_invariant_cache_totals(stepping_clock, stream):
 def test_coalesced_work_never_exceeds_serial(stepping_clock, stream):
     """Union passes settle at most what per-query dispatch settles."""
     queries, windows = stream
-    serial = ServingStack(NET, engine="dijkstra")
-    coalesced = ServingStack(
+    serial = ServingStack.from_config(NET, ServingConfig(engine="dijkstra"))
+    coalesced = ServingStack.from_config(
         NET,
-        engine="dijkstra",
-        coalesce=CoalesceConfig(
+        ServingConfig(engine="dijkstra", coalesce=CoalesceConfig(
             max_batch=len(queries) + 1,
             max_wait_s=0.5,
             clock=stepping_clock(),
-        ),
+        )),
     )
     try:
         for window in windows:

@@ -157,7 +157,7 @@ import pytest  # noqa: E402
 from repro.core.query import ObfuscatedPathQuery  # noqa: E402
 from repro.search.overlay import build_overlay, dumps_overlay  # noqa: E402
 from repro.service.pipeline import TrafficPipeline  # noqa: E402
-from repro.service.serving import ServingStack  # noqa: E402
+from repro.service.serving import ServingConfig, ServingStack  # noqa: E402
 from repro.workloads.replay import TrafficEvent  # noqa: E402
 
 PIPE_NET = grid_network(8, 8, perturbation=0.1, seed=77)
@@ -205,8 +205,9 @@ def _apply_prefix(reference, published, applied_so_far, target):
 @settings(max_examples=15, deadline=None)
 def test_every_response_is_exact_for_an_applied_stream_prefix(script):
     clock = _ManualClock()
-    with ServingStack(
-        PIPE_NET.copy(), engine="overlay-csr", max_workers=1
+    with ServingStack.from_config(
+        PIPE_NET.copy(),
+        ServingConfig(engine="overlay-csr", max_workers=1),
     ) as stack:
         stack.warm()
         pipeline = TrafficPipeline(stack, debounce_ms=0.0, clock=clock)
@@ -268,8 +269,9 @@ def test_batch_partitioning_never_changes_the_final_state(updates, max_batch):
         TrafficEvent(*PIPE_EDGES[idx][:2], round(PIPE_EDGES[idx][2] * f, 6))
         for idx, f in updates
     ]
-    with ServingStack(
-        PIPE_NET.copy(), engine="overlay-csr", max_workers=1
+    with ServingStack.from_config(
+        PIPE_NET.copy(),
+        ServingConfig(engine="overlay-csr", max_workers=1),
     ) as stack:
         stack.warm()
         pipeline = TrafficPipeline(stack, debounce_ms=0.0, max_batch=max_batch)

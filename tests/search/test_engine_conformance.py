@@ -256,7 +256,7 @@ def test_trace_settled_counts_match_server_counters(name):
     """
     from repro.core.query import ObfuscatedPathQuery
     from repro.obs.trace import Tracer
-    from repro.service.serving import ServingStack
+    from repro.service.serving import ServingConfig, ServingStack
 
     # Euclidean-consistent weights (the harness's metric convention)
     # keep the heuristic engines exact alongside everything else, and
@@ -281,7 +281,11 @@ def test_trace_settled_counts_match_server_counters(name):
     assert len({(q.sources, q.destinations) for q in queries}) == len(queries)
 
     tracer = Tracer()
-    with ServingStack(net, engine=name, max_workers=2, tracer=tracer) as stack:
+    with ServingStack.from_config(
+        net,
+        ServingConfig(engine=name, max_workers=2),
+        tracer=tracer,
+    ) as stack:
         stack.answer_batch(queries)
     spans = [
         span

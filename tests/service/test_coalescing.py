@@ -16,7 +16,7 @@ from repro.core.query import (
 from repro.core.system import OpaqueSystem
 from repro.exceptions import NoPathError
 from repro.network.graph import RoadNetwork
-from repro.service.serving import CoalesceConfig, ServingStack
+from repro.service.serving import CoalesceConfig, ServingConfig, ServingStack
 
 
 def _queries(network, n=6, seed=5, offset=40):
@@ -43,7 +43,10 @@ class TestWindowSemantics:
     def test_count_threshold_flushes_inline(self, small_grid):
         queries = _queries(small_grid)
         config = CoalesceConfig(max_batch=len(queries), max_wait_s=60.0)
-        with ServingStack(small_grid, coalesce=config) as stack:
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(coalesce=config),
+        ) as stack:
             responses = stack.answer_batch(queries)
             snap = stack.coalesce_snapshot()
         assert snap.windows == 1
@@ -58,7 +61,10 @@ class TestWindowSemantics:
         config = CoalesceConfig(
             max_batch=64, max_wait_s=1.0, clock=stepping_clock(2.0)
         )
-        with ServingStack(small_grid, coalesce=config) as stack:
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(coalesce=config),
+        ) as stack:
             response = stack.answer(query)
             snap = stack.coalesce_snapshot()
         assert snap.windows == 1 and snap.queries == 1
@@ -67,8 +73,9 @@ class TestWindowSemantics:
         assert snap.shared_windows == 0 and snap.coalesced_queries == 0
 
     def test_flush_on_empty_window_is_noop(self, small_grid):
-        with ServingStack(
-            small_grid, coalesce=CoalesceConfig(max_batch=4)
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(coalesce=CoalesceConfig(max_batch=4)),
         ) as stack:
             assert stack.coalescer.flush() == 0
             assert stack.coalesce_snapshot().windows == 0
@@ -80,7 +87,7 @@ class TestWindowSemantics:
             CoalesceConfig(max_wait_s=-1.0)
 
     def test_snapshot_none_without_coalescer(self, small_grid):
-        with ServingStack(small_grid) as stack:
+        with ServingStack.from_config(small_grid) as stack:
             assert stack.coalesce_snapshot() is None
             assert stack.coalescer is None
 
@@ -88,23 +95,31 @@ class TestWindowSemantics:
 class TestExactness:
     def test_coalesced_responses_byte_identical_to_serial(self, small_grid):
         queries = _queries(small_grid, n=8)
-        with ServingStack(small_grid, engine="dijkstra") as serial:
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(engine="dijkstra"),
+        ) as serial:
             expected = _tables(serial.answer_batch(queries))
         config = CoalesceConfig(max_batch=len(queries), max_wait_s=60.0)
-        with ServingStack(
-            small_grid, engine="dijkstra", coalesce=config
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(engine="dijkstra", coalesce=config),
         ) as stack:
             got = _tables(stack.answer_batch(queries))
         assert got == expected
 
     def test_cross_thread_sessions_share_one_union_pass(self, small_grid):
         queries = _queries(small_grid, n=8)
-        with ServingStack(small_grid, engine="ch-csr") as serial:
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(engine="ch-csr"),
+        ) as serial:
             expected = _tables(serial.answer_batch(queries))
             settled_serial = serial.server.counters.stats.settled_nodes
         config = CoalesceConfig(max_batch=len(queries), max_wait_s=10.0)
-        with ServingStack(
-            small_grid, engine="ch-csr", coalesce=config
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(engine="ch-csr", coalesce=config),
         ) as stack:
             outputs: list = [None] * 4
             def session(i):
@@ -136,7 +151,7 @@ class TestExactness:
         config = CoalesceConfig(
             max_batch=2, max_wait_s=1.0, clock=stepping_clock(2.0)
         )
-        with ServingStack(net, coalesce=config) as stack:
+        with ServingStack.from_config(net, ServingConfig(coalesce=config)) as stack:
             with pytest.raises(NoPathError):
                 stack.answer_batch([good, bad])
             # The good window-mate was evaluated and cached anyway; its
@@ -147,7 +162,10 @@ class TestExactness:
     def test_work_attributed_once_across_slices(self, small_grid):
         queries = _queries(small_grid, n=4)
         config = CoalesceConfig(max_batch=4, max_wait_s=60.0)
-        with ServingStack(small_grid, coalesce=config) as stack:
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(coalesce=config),
+        ) as stack:
             responses = stack.answer_batch(queries)
             settled = stack.server.counters.stats.settled_nodes
         per_response = [r.candidates.stats.settled_nodes for r in responses]
@@ -161,7 +179,10 @@ class TestCacheInterplay:
     def test_coalesced_results_populate_result_cache(self, small_grid):
         queries = _queries(small_grid, n=4)
         config = CoalesceConfig(max_batch=4, max_wait_s=60.0)
-        with ServingStack(small_grid, coalesce=config) as stack:
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(coalesce=config),
+        ) as stack:
             cold = stack.answer_batch(queries)
             warm = stack.answer_batch(queries)
             snap = stack.snapshot()
@@ -175,7 +196,10 @@ class TestCacheInterplay:
     def test_in_window_duplicates_share_one_slice(self, small_grid):
         query = _queries(small_grid, n=1)[0]
         config = CoalesceConfig(max_batch=3, max_wait_s=60.0)
-        with ServingStack(small_grid, coalesce=config) as stack:
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(coalesce=config),
+        ) as stack:
             responses = stack.answer_batch([query, query, query])
         assert [r.from_cache for r in responses] == [False, True, True]
         assert responses[0].candidates is responses[2].candidates
@@ -184,7 +208,10 @@ class TestCacheInterplay:
     def test_preprocessing_artifact_shared_with_union_pass(self, small_grid):
         queries = _queries(small_grid, n=4)
         config = CoalesceConfig(max_batch=4, max_wait_s=60.0)
-        with ServingStack(small_grid, engine="ch", coalesce=config) as stack:
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(engine="ch", coalesce=config),
+        ) as stack:
             stack.answer_batch(queries)
             stack.answer_batch(_queries(small_grid, n=4, seed=9))
         assert stack.preprocessing.misses == 1  # one contraction total
@@ -201,7 +228,10 @@ class TestSystemIntegration:
         config = CoalesceConfig(
             max_batch=64, max_wait_s=1.0, clock=stepping_clock(2.0)
         )
-        with ServingStack(small_grid, coalesce=config) as stack:
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(coalesce=config),
+        ) as stack:
             system = OpaqueSystem(
                 small_grid, mode="independent", serving=stack, seed=1
             )
@@ -232,7 +262,10 @@ class TestSystemIntegration:
         arrivals = poisson_arrivals(requests, rate=50.0, seed=0)
         config = CoalesceConfig(max_batch=32, max_wait_s=0.5,
                                 clock=stepping_clock(1.0))
-        with ServingStack(small_grid, coalesce=config) as stack:
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(coalesce=config),
+        ) as stack:
             system = OpaqueSystem(small_grid, mode="shared", serving=stack, seed=3)
             _res, report = BatchingObfuscationService(system, window=10.0).run(
                 arrivals

@@ -17,7 +17,7 @@ from repro.service.pipeline import (
     TrafficPipeline,
     replay_with_traffic,
 )
-from repro.service.serving import ServingStack
+from repro.service.serving import ServingConfig, ServingStack
 from repro.workloads.replay import TrafficEvent
 
 
@@ -158,7 +158,10 @@ class TestDeltaBatcher:
 class TestEpochReweight:
     def test_install_swaps_network_without_mutating_the_old(self, net):
         u, v, w = next(net.edges())
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             stack.warm()
             old_network = stack.network
             old_epoch = stack.epoch
@@ -174,7 +177,10 @@ class TestEpochReweight:
             _assert_exact(stack, stack.answer(_query(stack.network, 3, 77)))
 
     def test_recustomized_install_matches_scratch_build(self, net):
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             overlay = stack.warm()
             u, v, w = next(
                 (u, v, w)
@@ -191,7 +197,10 @@ class TestEpochReweight:
             )
 
     def test_empty_change_set_is_a_no_op(self, net):
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             stack.warm()
             epoch = stack.epoch
             outcome = stack.reweight([], epoch=True)
@@ -200,7 +209,10 @@ class TestEpochReweight:
 
     def test_epoch_validation_is_atomic(self, net):
         u, v, w = next(net.edges())
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             stack.warm()
             epoch = stack.epoch
             with pytest.raises(EdgeError):
@@ -217,14 +229,20 @@ class TestEpochReweight:
 
 class TestRecustomizeWorker:
     def test_step_without_pending_events_is_none(self, net):
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             stack.warm()
             pipeline = TrafficPipeline(stack, debounce_ms=0.0)
             assert pipeline.worker.step() is None
 
     def test_staleness_measured_on_the_injected_clock(self, net):
         clock = ManualClock()
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             stack.warm()
             pipeline = TrafficPipeline(stack, debounce_ms=0.0, clock=clock)
             pipeline.publish_many(_events(net, 2))
@@ -237,7 +255,10 @@ class TestRecustomizeWorker:
             assert snap.staleness_max_ms == pytest.approx(250.0)
 
     def test_retirement_releases_old_epoch_cache_keys(self, net):
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             stack.warm()
             pipeline = TrafficPipeline(stack, debounce_ms=0.0, keep_epochs=1)
             fingerprints = [stack._fingerprint()]
@@ -253,7 +274,10 @@ class TestRecustomizeWorker:
                 assert stack.preprocessing.peek(fp, "overlay-csr") is not None
 
     def test_background_error_is_parked_and_reraised(self, net):
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             stack.warm()
             pipeline = TrafficPipeline(stack, debounce_ms=0.0)
             pipeline.start()
@@ -265,7 +289,10 @@ class TestRecustomizeWorker:
                 pipeline.worker.stop(drain=False)
 
     def test_keep_epochs_validation(self, net):
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             with pytest.raises(ValueError):
                 RecustomizeWorker(
                     stack,
@@ -276,7 +303,10 @@ class TestRecustomizeWorker:
 
 class TestTrafficPipeline:
     def test_pump_installs_and_counts(self, net):
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             stack.warm()
             pipeline = TrafficPipeline(stack, debounce_ms=0.0)
             pipeline.publish_many(_events(net, 5))
@@ -290,7 +320,10 @@ class TestTrafficPipeline:
             assert "epoch" in repr(pipeline)
 
     def test_background_quiesce_reaches_scratch_built_state(self, net):
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             stack.warm()
             with TrafficPipeline(stack, debounce_ms=1.0) as pipeline:
                 pipeline.publish_many(_events(net, 12, factor=0.9))
@@ -305,7 +338,10 @@ class TestTrafficPipeline:
             )
 
     def test_pipeline_metrics_registered_on_the_stack(self, net):
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             stack.warm()
             pipeline = TrafficPipeline(stack, debounce_ms=0.0)
             pipeline.publish_many(_events(net, 2))
@@ -322,7 +358,10 @@ class TestTrafficPipeline:
 
 class TestReplayWithTraffic:
     def test_mixed_stream_serves_and_installs_in_order(self, net):
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             stack.warm()
             pipeline = TrafficPipeline(stack, debounce_ms=0.0)
             u, v, w = next(net.edges())
@@ -342,7 +381,10 @@ class TestReplayWithTraffic:
             _assert_exact(stack, stack.answer(_query(stack.network, 3, 77)))
 
     def test_invalid_parameters_rejected(self, net):
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             pipeline = TrafficPipeline(stack)
             with pytest.raises(ValueError):
                 replay_with_traffic(stack, [], pipeline, repeats=0)

@@ -32,7 +32,7 @@ from repro.search.dijkstra import dijkstra_path
 from repro.search.overlay import build_overlay, dumps_overlay
 from repro.service.cache import ResultCache
 from repro.service.pipeline import TrafficPipeline
-from repro.service.serving import ServingStack
+from repro.service.serving import ServingConfig, ServingStack
 from repro.workloads.replay import TrafficEvent
 
 NET = grid_network(14, 14, perturbation=0.1, seed=404)
@@ -67,8 +67,10 @@ def _churn_events(seed, count):
 class TestPipelineSoak:
     def test_concurrent_sessions_survive_thousands_of_churn_events(self):
         tracer = Tracer(max_roots=100_000)
-        stack = ServingStack(
-            NET.copy(), engine="overlay-csr", max_workers=4, tracer=tracer
+        stack = ServingStack.from_config(
+            NET.copy(),
+            ServingConfig(engine="overlay-csr", max_workers=4),
+            tracer=tracer,
         )
         errors: list[BaseException] = []
         responses: list = []
@@ -163,11 +165,10 @@ class TestPipelineSoak:
         queries = _session_queries(7, count=12)
 
         def run(events):
-            stack = ServingStack(
+            stack = ServingStack.from_config(
                 NET.copy(),
-                engine="overlay-csr",
+                ServingConfig(engine="overlay-csr", max_workers=2),
                 result_cache=ResultCache(capacity=0),
-                max_workers=2,
             )
             with stack:
                 overlay = stack.warm()

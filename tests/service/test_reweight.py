@@ -11,7 +11,7 @@ from repro.network.generators import grid_network
 from repro.search.dijkstra import dijkstra_path
 from repro.search.overlay import OverlayGraph, build_overlay, dumps_overlay
 from repro.service.cache import PreprocessingCache
-from repro.service.serving import ReweightOutcome, ServingStack
+from repro.service.serving import ReweightOutcome, ServingConfig, ServingStack
 
 
 @pytest.fixture()
@@ -35,7 +35,10 @@ def _assert_exact(net, response):
 
 class TestReweight:
     def test_incremental_recustomization(self, net):
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             old_overlay = stack.warm()
             assert isinstance(old_overlay, OverlayGraph)
             query = _query(net, 3, 140)
@@ -76,7 +79,10 @@ class TestReweight:
             _assert_exact(net, response)
 
     def test_matches_scratch_build(self, net):
-        with ServingStack(net, engine="overlay", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay", max_workers=1),
+        ) as stack:
             stack.warm()
             u, v, w = next(net.edges())
             stack.reweight([(u, v, w * 2.0)])
@@ -88,7 +94,10 @@ class TestReweight:
             )
 
     def test_missing_edge_rejected(self, net):
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             with pytest.raises(EdgeError):
                 stack.reweight([(0, 0, 1.0)])
             # Nothing was applied: the fingerprint did not move.
@@ -98,7 +107,10 @@ class TestReweight:
     def test_invalid_weight_applies_nothing(self, net, bad):
         u, v, w = next(net.edges())
         version = net.version
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             with pytest.raises(EdgeError):
                 stack.reweight([(u, v, w * 2.0), (u, v, bad)])
         # Atomic: the valid leading change was not applied either.
@@ -106,7 +118,10 @@ class TestReweight:
         assert net.version == version
 
     def test_metric_flag_tracks_reweights(self, net):
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             overlay = stack.warm()
             assert overlay.metric  # grid weights are Euclidean lengths
             u, v, w = next(
@@ -132,7 +147,10 @@ class TestReweight:
             _assert_exact(net, stack.answer(_query(net, 3, 140)))
 
     def test_non_overlay_engine_falls_back_to_rebuild(self, net):
-        with ServingStack(net, engine="dijkstra-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="dijkstra-csr", max_workers=1),
+        ) as stack:
             stack.warm()
             u, v, w = next(net.edges())
             outcome = stack.reweight([(u, v, w * 2.0)])
@@ -149,12 +167,14 @@ class TestReweight:
         net_a = grid_network(10, 10, perturbation=0.1, seed=6)
         net_b = grid_network(10, 10, perturbation=0.1, seed=6)
         cache = PreprocessingCache()
-        with ServingStack(
-            net_b, engine="overlay-csr",
-            preprocessing_cache=cache, max_workers=1,
-        ) as stack_b, ServingStack(
-            net_a, engine="overlay-csr",
-            preprocessing_cache=cache, max_workers=1,
+        with ServingStack.from_config(
+            net_b,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+            preprocessing_cache=cache,
+        ) as stack_b, ServingStack.from_config(
+            net_a,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+            preprocessing_cache=cache,
         ) as stack_a:
             foreign = stack_b.warm()
             assert stack_a.warm() is foreign  # same fingerprint, B's object
@@ -168,7 +188,10 @@ class TestReweight:
             _assert_exact(net_a, stack_a.answer(_query(net_a, 3, 77)))
 
     def test_cold_cache_falls_back_to_rebuild(self, net):
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             u, v, w = next(net.edges())
             outcome = stack.reweight([(u, v, w * 2.0)])
             assert not outcome.recustomized
@@ -178,19 +201,28 @@ class TestReweight:
 
 class TestDispatchHint:
     def test_hint_is_source_cell(self, net):
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             overlay = stack.warm()
             query = _query(net, 3, 140)
             hint = stack.dispatch_hint(query)
             assert hint == overlay.partition.cell_of[query.sources[0]]
 
     def test_hint_none_without_overlay(self, net):
-        with ServingStack(net, engine="ch", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="ch", max_workers=1),
+        ) as stack:
             stack.warm()
             assert stack.dispatch_hint(_query(net, 3, 140)) is None
 
     def test_hint_none_on_cold_cache(self, net):
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             assert stack.dispatch_hint(_query(net, 3, 140)) is None
             assert stack.preprocessing.misses == 0
 
@@ -199,10 +231,16 @@ class TestDispatchHint:
             _query(net, s, t, seed=i)
             for i, (s, t) in enumerate([(3, 140), (140, 3), (60, 80), (7, 100)])
         ]
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             stack.warm()
             batched = stack.answer_batch(queries)
-        with ServingStack(net, engine="overlay-csr", max_workers=1) as stack:
+        with ServingStack.from_config(
+            net,
+            ServingConfig(engine="overlay-csr", max_workers=1),
+        ) as stack:
             stack.warm()
             solo = [stack.answer(q) for q in queries]
         for got, ref in zip(batched, solo):

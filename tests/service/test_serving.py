@@ -8,7 +8,7 @@ from repro.core.obfuscator import PathQueryObfuscator
 from repro.core.query import ClientRequest, PathQuery, ProtectionSetting
 from repro.core.system import OpaqueSystem
 from repro.service.cache import PreprocessingCache, ResultCache
-from repro.service.serving import ServingStack, replay
+from repro.service.serving import ServingConfig, ServingStack, replay
 
 
 def _requests(n=6, offset=40):
@@ -27,7 +27,10 @@ def _queries(network, n=6, seed=5, mode="independent", offset=40):
 class TestServingStack:
     def test_cold_then_warm_batches(self, small_grid):
         queries = _queries(small_grid)
-        with ServingStack(small_grid, engine="dijkstra") as stack:
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(engine="dijkstra"),
+        ) as stack:
             cold = stack.answer_batch(queries)
             warm = stack.answer_batch(queries)
         assert all(not r.from_cache for r in cold)
@@ -40,7 +43,10 @@ class TestServingStack:
 
     def test_server_accounting_includes_cache_hits(self, small_grid):
         queries = _queries(small_grid, n=4)
-        with ServingStack(small_grid, engine="dijkstra") as stack:
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(engine="dijkstra"),
+        ) as stack:
             stack.answer_batch(queries)
             settled_after_cold = stack.server.counters.stats.settled_nodes
             stack.answer_batch(queries)
@@ -54,8 +60,9 @@ class TestServingStack:
         queries = _queries(small_grid, n=8)
 
         def run(workers):
-            with ServingStack(
-                small_grid, engine="dijkstra", max_workers=workers
+            with ServingStack.from_config(
+                small_grid,
+                ServingConfig(engine="dijkstra", max_workers=workers),
             ) as stack:
                 responses = stack.answer_batch(queries)
             return [
@@ -68,33 +75,38 @@ class TestServingStack:
 
     def test_preprocessed_engine_shares_artifact(self, small_grid):
         pre = PreprocessingCache()
-        with ServingStack(
-            small_grid, engine="ch", preprocessing_cache=pre, max_workers=2
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(engine="ch", max_workers=2),
+            preprocessing_cache=pre,
         ) as stack:
             stack.answer_batch(_queries(small_grid, n=4))
         # One contraction total, regardless of worker count.
         assert pre.misses == 1
 
     def test_empty_batch(self, small_grid):
-        with ServingStack(small_grid) as stack:
+        with ServingStack.from_config(small_grid) as stack:
             assert stack.answer_batch([]) == []
 
     def test_single_query_answer(self, small_grid):
         query = _queries(small_grid, n=1)[0]
-        with ServingStack(small_grid) as stack:
+        with ServingStack.from_config(small_grid) as stack:
             response = stack.answer(query)
             assert response.query is query
             assert stack.answer(query).from_cache
 
     def test_warm_builds_artifact_once(self, small_grid):
-        with ServingStack(small_grid, engine="ch") as stack:
+        with ServingStack.from_config(small_grid, ServingConfig(engine="ch")) as stack:
             first = stack.warm()
             assert stack.warm() is first
             assert stack.preprocessing.misses == 1
 
     def test_duplicate_queries_in_batch_share_one_evaluation(self, small_grid):
         query = _queries(small_grid, n=1)[0]
-        with ServingStack(small_grid, engine="dijkstra") as stack:
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(engine="dijkstra"),
+        ) as stack:
             responses = stack.answer_batch([query, query, query])
             settled = stack.server.counters.stats.settled_nodes
         assert [r.from_cache for r in responses] == [False, True, True]
@@ -102,7 +114,10 @@ class TestServingStack:
         # Counters agree with the from_cache flags: 1 miss, 2 shared hits.
         assert (stack.results.hits, stack.results.misses) == (2, 1)
         # One search's worth of work, not three.
-        single = ServingStack(small_grid, engine="dijkstra")
+        single = ServingStack.from_config(
+            small_grid,
+            ServingConfig(engine="dijkstra"),
+        )
         single.answer_batch([query])
         assert settled == single.server.counters.stats.settled_nodes
         single.close()
@@ -115,12 +130,16 @@ class TestServingStack:
         shared = ResultCache(capacity=64)
         # Both networks contain node ids 0..47, so (S, T) keys collide.
         queries = _queries(small_grid, n=3, offset=30)
-        with ServingStack(
-            small_grid, engine="dijkstra", result_cache=shared
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(engine="dijkstra"),
+            result_cache=shared,
         ) as stack_a:
             responses_a = stack_a.answer_batch(queries)
-        with ServingStack(
-            tiger_net, engine="dijkstra", result_cache=shared
+        with ServingStack.from_config(
+            tiger_net,
+            ServingConfig(engine="dijkstra"),
+            result_cache=shared,
         ) as stack_b:
             responses_b = stack_b.answer_batch(queries)
         assert all(not r.from_cache for r in responses_b)
@@ -130,7 +149,7 @@ class TestServingStack:
     def test_network_mutation_invalidates_results(self, small_grid):
         net = small_grid.copy()
         queries = _queries(net, n=2)
-        with ServingStack(net, engine="dijkstra") as stack:
+        with ServingStack.from_config(net, ServingConfig(engine="dijkstra")) as stack:
             stack.answer_batch(queries)
             net.add_edge(0, 33, 0.001)  # new shortcut changes shortest paths
             responses = stack.answer_batch(queries)
@@ -138,7 +157,7 @@ class TestServingStack:
 
     def test_fingerprint_memoized_until_mutation(self, small_grid):
         net = small_grid.copy()
-        with ServingStack(net, engine="dijkstra") as stack:
+        with ServingStack.from_config(net, ServingConfig(engine="dijkstra")) as stack:
             first = stack._fingerprint()
             assert stack._fingerprint() is first  # memo hit, not a rehash
             net.add_edge(0, 33, 0.5)
@@ -150,7 +169,7 @@ class TestServingStack:
 
 class TestOpaqueSystemIntegration:
     def test_serving_is_exclusive_with_engine(self, small_grid):
-        stack = ServingStack(small_grid)
+        stack = ServingStack.from_config(small_grid)
         with pytest.raises(ValueError):
             OpaqueSystem(small_grid, serving=stack, engine="ch")
         with pytest.raises(ValueError):
@@ -158,7 +177,7 @@ class TestOpaqueSystemIntegration:
         stack.close()
 
     def test_serving_requires_same_network(self, small_grid, tiger_net):
-        stack = ServingStack(small_grid)
+        stack = ServingStack.from_config(small_grid)
         with pytest.raises(ValueError):
             OpaqueSystem(tiger_net, serving=stack)
         stack.close()
@@ -168,7 +187,10 @@ class TestOpaqueSystemIntegration:
         plain = OpaqueSystem(small_grid, mode="independent", seed=1)
         expected = plain.submit(requests)
 
-        with ServingStack(small_grid, engine="dijkstra") as stack:
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(engine="dijkstra"),
+        ) as stack:
             system = OpaqueSystem(
                 small_grid, mode="independent", serving=stack, seed=1
             )
@@ -179,7 +201,10 @@ class TestOpaqueSystemIntegration:
 
     def test_session_report_surfaces_cache_counters(self, small_grid):
         requests = _requests()
-        with ServingStack(small_grid, engine="dijkstra") as stack:
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(engine="dijkstra"),
+        ) as stack:
             first = OpaqueSystem(
                 small_grid, mode="independent", serving=stack, seed=1
             )
@@ -199,7 +224,10 @@ class TestOpaqueSystemIntegration:
 
     def test_shared_mode_through_stack(self, small_grid):
         requests = _requests()
-        with ServingStack(small_grid, engine="dijkstra") as stack:
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(engine="dijkstra"),
+        ) as stack:
             system = OpaqueSystem(
                 small_grid, mode="shared", serving=stack, seed=2
             )
@@ -210,7 +238,10 @@ class TestOpaqueSystemIntegration:
 class TestReplay:
     def test_replay_latencies_and_hit_rate(self, small_grid):
         queries = _queries(small_grid, n=5)
-        with ServingStack(small_grid, engine="dijkstra") as stack:
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(engine="dijkstra"),
+        ) as stack:
             report = replay(stack, queries, repeats=3, batch_size=2)
         assert report.queries == 15
         assert len(report.latencies) == 15
@@ -219,7 +250,7 @@ class TestReplay:
         assert report.cache.result_misses == 5
 
     def test_replay_validates_arguments(self, small_grid):
-        with ServingStack(small_grid) as stack:
+        with ServingStack.from_config(small_grid) as stack:
             with pytest.raises(ValueError):
                 replay(stack, [], repeats=0)
             with pytest.raises(ValueError):
@@ -232,7 +263,10 @@ class TestReplay:
         ticks = iter(range(1000))
         clock = lambda: float(next(ticks))  # noqa: E731
         queries = _queries(small_grid, n=4)
-        with ServingStack(small_grid, engine="dijkstra") as stack:
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(engine="dijkstra"),
+        ) as stack:
             report = replay(
                 stack, queries, repeats=2, batch_size=2, clock=clock
             )
@@ -263,7 +297,10 @@ class TestReplay:
 
         requests = _requests()
         arrivals = poisson_arrivals(requests, rate=4.0, seed=0)
-        with ServingStack(small_grid, engine="dijkstra") as stack:
+        with ServingStack.from_config(
+            small_grid,
+            ServingConfig(engine="dijkstra"),
+        ) as stack:
             cold_system = OpaqueSystem(
                 small_grid, mode="shared", serving=stack, seed=3
             )
@@ -281,3 +318,70 @@ class TestReplay:
         assert warm.cached_queries == warm.obfuscated_queries
         assert warm.server_settled_nodes == 0
         assert warm.serving_caches.result_hits >= warm.cached_queries
+
+
+class TestServingConfig:
+    """The frozen config object and the legacy-kwargs deprecation path."""
+
+    def test_defaults(self):
+        config = ServingConfig()
+        assert config.engine == "dijkstra"
+        assert config.max_workers == 4
+        assert config.coalesce is None
+        assert config.result_capacity == 256
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_workers": 0},
+            {"preprocessing_capacity": 0},
+            {"result_capacity": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ServingConfig(**kwargs)
+
+    def test_frozen(self):
+        config = ServingConfig()
+        with pytest.raises(AttributeError):
+            config.engine = "overlay"
+
+    def test_to_dict_shape(self, tmp_path):
+        from repro.service.serving import CoalesceConfig
+
+        doc = ServingConfig(
+            engine="overlay-csr",
+            coalesce=CoalesceConfig(max_batch=4, max_wait_s=0.1),
+            spill_dir=str(tmp_path),
+        ).to_dict()
+        assert doc["schema"] == 1
+        assert doc["kind"] == "serving_config"
+        assert doc["engine"] == "overlay-csr"
+        assert doc["coalesce"] == {"max_batch": 4, "max_wait_s": 0.1}
+
+    def test_from_config_builds_equivalent_stack(self, small_grid):
+        config = ServingConfig(engine="dijkstra", max_workers=2)
+        with ServingStack.from_config(small_grid, config) as stack:
+            assert stack.config == config
+            queries = _queries(small_grid, n=2)
+            assert stack.answer_batch(queries)
+
+    def test_legacy_kwargs_warn_once_and_still_work(self, small_grid):
+        with pytest.warns(DeprecationWarning, match="ServingStack"):
+            stack = ServingStack(small_grid, engine="dijkstra", max_workers=2)
+        with stack:
+            assert stack.config == ServingConfig(
+                engine="dijkstra", max_workers=2
+            )
+            queries = _queries(small_grid, n=2)
+            assert stack.answer_batch(queries)
+
+    def test_from_config_does_not_warn(self, small_grid, recwarn):
+        with ServingStack.from_config(
+            small_grid, ServingConfig(engine="dijkstra")
+        ):
+            pass
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]

@@ -1,0 +1,219 @@
+"""Wire schema tests: round trips, strict decoding, error codes.
+
+The wire layer is the gateway's contract with clients; these tests pin
+the canonical encoding (sorted keys, no whitespace), the strict decode
+rules (unknown fields and malformed endpoints are rejected with
+machine-readable codes), and the redaction property that error bodies
+never carry free-form exception text.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.query import ObfuscatedPathQuery
+from repro.network.generators import grid_network
+from repro.service.serving import ServingConfig, ServingStack
+from repro.service.wire import (
+    ERROR_CODES,
+    WIRE_SCHEMA_VERSION,
+    BatchRequest,
+    BatchResponse,
+    ErrorResponse,
+    RouteRequest,
+    RouteResponse,
+    WireError,
+    canonical_json,
+)
+
+
+@pytest.fixture(scope="module")
+def answered():
+    """One answered obfuscated query on a small grid."""
+    network = grid_network(6, 6, seed=3)
+    nodes = sorted(network.nodes())
+    query = ObfuscatedPathQuery(tuple(nodes[:3]), tuple(nodes[-3:]))
+    with ServingStack.from_config(
+        network, ServingConfig(engine="dijkstra")
+    ) as stack:
+        response = stack.answer_batch([query])[0]
+    return query, response
+
+
+class TestCanonicalJson:
+    def test_sorted_keys_no_whitespace(self):
+        assert canonical_json({"b": 1, "a": [2, 3]}) == '{"a":[2,3],"b":1}'
+
+    def test_equal_documents_are_equal_bytes(self):
+        left = {"x": 1, "y": {"b": 2, "a": 3}}
+        right = {"y": {"a": 3, "b": 2}, "x": 1}
+        assert canonical_json(left) == canonical_json(right)
+
+
+class TestRouteRequest:
+    def test_json_round_trip(self):
+        request = RouteRequest((1, 2, 3), (9, 8))
+        again = RouteRequest.from_json(request.to_json())
+        assert again == request
+
+    def test_query_round_trip(self):
+        query = ObfuscatedPathQuery((4, 5), (6, 7))
+        request = RouteRequest.from_query(query)
+        assert request.to_query() == query
+
+    def test_wire_order_preserved(self):
+        request = RouteRequest.from_json(
+            RouteRequest((3, 1, 2), (7, 5)).to_json()
+        )
+        assert request.sources == (3, 1, 2)
+        assert request.destinations == (7, 5)
+
+    def test_schema_stamp_present(self):
+        assert RouteRequest((1,), (2,)).to_dict()["schema"] == (
+            WIRE_SCHEMA_VERSION
+        )
+
+    def test_unsupported_schema_rejected(self):
+        doc = RouteRequest((1,), (2,)).to_dict()
+        doc["schema"] = 99
+        with pytest.raises(WireError) as err:
+            RouteRequest.from_dict(doc)
+        assert err.value.code == "invalid_request"
+
+    def test_unknown_field_rejected(self):
+        doc = RouteRequest((1,), (2,)).to_dict()
+        doc["extra"] = True
+        with pytest.raises(WireError) as err:
+            RouteRequest.from_dict(doc)
+        assert err.value.code == "invalid_request"
+
+    @pytest.mark.parametrize(
+        "sources", [[], [1.5], ["a"], [True], None, "1,2"]
+    )
+    def test_malformed_sources_rejected(self, sources):
+        with pytest.raises(WireError) as err:
+            RouteRequest.from_dict(
+                {"sources": sources, "destinations": [2]}
+            )
+        assert err.value.code == "invalid_request"
+
+    def test_invalid_json_code(self):
+        with pytest.raises(WireError) as err:
+            RouteRequest.from_json(b"{not json")
+        assert err.value.code == "invalid_json"
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(WireError) as err:
+            RouteRequest.from_json("[1,2,3]")
+        assert err.value.code == "invalid_request"
+
+    def test_duplicate_endpoints_do_not_leak_node_ids(self):
+        # The core QueryError message interpolates node ids; the wire
+        # error the client sees must not.
+        request = RouteRequest((5, 5), (7,))
+        with pytest.raises(WireError) as err:
+            request.to_query()
+        assert err.value.code == "invalid_request"
+        assert "5" not in str(err.value)
+
+
+class TestBatchRequest:
+    def test_json_round_trip(self):
+        batch = BatchRequest(
+            (RouteRequest((1, 2), (3,)), RouteRequest((4,), (5, 6)))
+        )
+        assert BatchRequest.from_json(batch.to_json()) == batch
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(WireError) as err:
+            BatchRequest.from_dict({"queries": []})
+        assert err.value.code == "invalid_request"
+
+    def test_non_object_entry_rejected(self):
+        with pytest.raises(WireError) as err:
+            BatchRequest.from_dict({"queries": [[1, 2]]})
+        assert err.value.code == "invalid_request"
+
+    def test_to_queries_order(self):
+        batch = BatchRequest(
+            (RouteRequest((1,), (2,)), RouteRequest((3,), (4,)))
+        )
+        queries = batch.to_queries()
+        assert [q.sources for q in queries] == [(1,), (3,)]
+
+
+class TestRouteResponse:
+    def test_from_server_covers_wire_order(self, answered):
+        query, server_response = answered
+        response = RouteResponse.from_server(server_response)
+        expected = [
+            (s, t) for s in query.sources for t in query.destinations
+        ]
+        assert [(p[0], p[1]) for p in response.paths] == expected
+
+    def test_json_round_trip(self, answered):
+        _, server_response = answered
+        response = RouteResponse.from_server(server_response)
+        assert RouteResponse.from_json(response.to_json()) == response
+
+    def test_payload_excludes_serving_metadata(self, answered):
+        _, server_response = answered
+        response = RouteResponse.from_server(server_response)
+        payload = response.payload_dict()
+        assert "from_cache" not in payload
+        assert "coalesced" not in payload
+
+    def test_payload_identical_across_cache_flags(self, answered):
+        # The byte-identity surface must not depend on how the answer
+        # was produced — only on the paths themselves.
+        _, server_response = answered
+        cold = RouteResponse.from_server(server_response)
+        warm = RouteResponse(
+            cold.paths, from_cache=True, coalesced=True
+        )
+        assert warm.payload_json() == cold.payload_json()
+        assert warm.to_json() != cold.to_json()
+
+    def test_malformed_path_entry_rejected(self):
+        with pytest.raises(WireError) as err:
+            RouteResponse.from_dict({"paths": [{"source": 1}]})
+        assert err.value.code == "invalid_request"
+
+
+class TestBatchResponse:
+    def test_json_round_trip(self, answered):
+        _, server_response = answered
+        batch = BatchResponse.from_server([server_response] * 2)
+        assert BatchResponse.from_json(batch.to_json()) == batch
+
+
+class TestErrorResponse:
+    @pytest.mark.parametrize("code", sorted(ERROR_CODES))
+    def test_round_trip_every_code(self, code):
+        error = ErrorResponse(code)
+        again = ErrorResponse.from_json(error.to_json())
+        assert again.code == code
+        assert again.message == ERROR_CODES[code]
+
+    def test_unknown_code_rejected_at_build(self):
+        with pytest.raises(ValueError):
+            ErrorResponse("made_up_code")
+
+    def test_message_is_generic_lookup(self):
+        # The message field cannot be set by callers at all — it is
+        # derived, so exception text can never reach the body.
+        error = ErrorResponse("no_path")
+        assert error.message == ERROR_CODES["no_path"]
+        with pytest.raises(TypeError):
+            ErrorResponse("no_path", message="node 91001 unreachable")
+
+    def test_retry_after_round_trip(self):
+        error = ErrorResponse("overloaded", retry_after_s=0.25)
+        doc = json.loads(error.to_json())
+        assert doc["retry_after_s"] == 0.25
+        assert ErrorResponse.from_dict(doc).retry_after_s == 0.25
+
+    def test_retry_after_omitted_when_absent(self):
+        assert "retry_after_s" not in ErrorResponse("internal").to_dict()

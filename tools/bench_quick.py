@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform
 import random
@@ -62,8 +63,15 @@ from repro.search.overlay import build_overlay  # noqa: E402
 from repro.core.query import ObfuscatedPathQuery  # noqa: E402
 from repro.search.result import SearchStats  # noqa: E402
 from repro.service.cache import PreprocessingCache, ResultCache  # noqa: E402
+from repro.service.gateway import GatewayConfig, GatewayServer  # noqa: E402
 from repro.service.pipeline import TrafficPipeline  # noqa: E402
-from repro.service.serving import CoalesceConfig, ServingStack  # noqa: E402
+from repro.service.serving import (
+    CoalesceConfig,
+    ServingConfig,
+    ServingStack  # noqa: E402,
+)
+from repro.service.wire import RouteRequest, RouteResponse  # noqa: E402
+from repro.workloads.loadgen import run_load  # noqa: E402
 from repro.workloads.queries import overlapping_session_queries  # noqa: E402
 from repro.workloads.scenarios import uniform_churn  # noqa: E402
 
@@ -202,12 +210,11 @@ def run_suite(full: bool = False, repeats: int = 3) -> dict:
     preprocessing = PreprocessingCache()
 
     def run_sessions(coalesce: CoalesceConfig | None):
-        stack = ServingStack(
+        stack = ServingStack.from_config(
             net,
-            engine="dijkstra-csr",
+            ServingConfig(engine="dijkstra-csr", coalesce=coalesce),
             preprocessing_cache=preprocessing,
             result_cache=ResultCache(capacity=0),
-            coalesce=coalesce,
         )
         stack.warm()
         try:
@@ -261,11 +268,10 @@ def run_suite(full: bool = False, repeats: int = 3) -> dict:
     ]
 
     def run_pipeline(churn_events):
-        stack = ServingStack(
+        stack = ServingStack.from_config(
             net.copy(),
-            engine="overlay-csr",
+            ServingConfig(engine="overlay-csr", max_workers=2),
             result_cache=ResultCache(capacity=0),
-            max_workers=2,
         )
         stack.warm()
         pipeline = TrafficPipeline(stack, debounce_ms=2.0)
@@ -314,6 +320,73 @@ def run_suite(full: bool = False, repeats: int = 3) -> dict:
             qps_idle, qps_churn, pipe_snap = round_idle, round_churn, round_snap
     cells_per_min = (
         pipe_snap.cells_recustomized / (pipeline_duration_s / 60.0)
+    )
+
+    # Network gateway: RPS and tail latency over real HTTP through the
+    # asyncio front-end, single-process vs shard workers.  Every
+    # response body captured during both runs must be byte-identical to
+    # the in-process answer_batch encoding of the same query (FATAL,
+    # not gated — a divergence is a correctness bug, not a regression).
+    # The multi-process ratio is normalized per usable core so the gate
+    # transfers between the 1-CPU CI box (ratio ~1 is ideal there) and
+    # many-core hosts (ratio ~workers is ideal).
+    gateway_engine = "dijkstra-csr"
+    gateway_queries = pipeline_queries
+    gateway_requests = [RouteRequest.from_query(q) for q in gateway_queries]
+    gateway_repeats = 3 if full else 2
+    with ServingStack.from_config(
+        net,
+        ServingConfig(engine=gateway_engine),
+        preprocessing_cache=preprocessing,
+        result_cache=ResultCache(capacity=0),
+    ) as identity_stack:
+        expected_payloads = sorted(
+            RouteResponse.from_server(r).payload_json()
+            for r in identity_stack.answer_batch(gateway_queries)
+        ) * gateway_repeats
+
+    def run_gateway_load(workers: int):
+        label = f"{workers}-worker" if workers else "single-process"
+        with GatewayServer(
+            net,
+            ServingConfig(engine=gateway_engine),
+            GatewayConfig(workers=workers),
+        ) as server:
+            best = None
+            for _ in range(repeats):
+                report = run_load(
+                    server.host,
+                    server.port,
+                    gateway_requests,
+                    clients=4,
+                    repeats=gateway_repeats,
+                    capture_payloads=True,
+                )
+                if report.errors:
+                    raise SystemExit(
+                        f"FATAL: gateway {label} run returned "
+                        f"{report.errors} HTTP errors"
+                    )
+                got = sorted(
+                    RouteResponse.from_json(p).payload_json()
+                    for p in report.payloads
+                )
+                if sorted(got) != sorted(expected_payloads):
+                    raise SystemExit(
+                        f"FATAL: gateway {label} responses diverge from "
+                        "in-process answer_batch"
+                    )
+                if best is None or report.rps > best.rps:
+                    best = report
+            return best
+
+    gateway_single = run_gateway_load(0)
+    gateway_workers = 4
+    gateway_multi = run_gateway_load(gateway_workers)
+    cores = os.cpu_count() or 1
+    mp_speedup_per_core = (
+        (gateway_multi.rps / gateway_single.rps)
+        / min(gateway_workers, cores)
     )
 
     metrics = {
@@ -417,6 +490,35 @@ def run_suite(full: bool = False, repeats: int = 3) -> dict:
                 "MetricsRecorder installed (gated absolutely at 5%)"
             ),
         },
+        "gateway_http_rps": {
+            "value": round(gateway_single.rps, 1),
+            "direction": "higher",
+            "min": 25.0,
+            "desc": (
+                "single-process HTTP requests/s through the gateway "
+                "(4 keep-alive clients; conservative absolute floor)"
+            ),
+        },
+        "gateway_p99_ms": {
+            "value": round(gateway_single.p99_latency * 1000.0, 2),
+            "direction": "lower",
+            "max": 250.0,
+            "desc": (
+                "per-request p99 latency (ms) over HTTP, single-process "
+                "(gated absolutely at 250ms)"
+            ),
+        },
+        "gateway_mp_speedup_per_core": {
+            "value": round(mp_speedup_per_core, 3),
+            "direction": "higher",
+            "min": 0.4,
+            "desc": (
+                "4-shard-worker RPS over single-process RPS, divided by "
+                "min(4, cores) — ~1.0 is ideal scaling on any host; the "
+                "absolute floor catches dispatch pathologies without "
+                "demanding parallel speedup of a 1-CPU box"
+            ),
+        },
     }
     return {
         "schema": 1,
@@ -447,6 +549,16 @@ def run_suite(full: bool = False, repeats: int = 3) -> dict:
             "pipeline_installs": pipe_snap.installs,
             "pipeline_cells_per_min": round(cells_per_min, 1),
             "pipeline_staleness_max_ms": round(pipe_snap.staleness_max_ms, 2),
+            "gateway_cores": cores,
+            "gateway_workers": gateway_workers,
+            "gateway_rps_single": round(gateway_single.rps, 1),
+            "gateway_rps_mp": round(gateway_multi.rps, 1),
+            "gateway_p50_ms": round(
+                gateway_single.p50_latency * 1000.0, 2
+            ),
+            "gateway_mp_p99_ms": round(
+                gateway_multi.p99_latency * 1000.0, 2
+            ),
         },
     }
 

@@ -48,10 +48,13 @@ DOCSTRING_AUDIT_FILES = [
     "src/repro/search/overlay.py",
     "src/repro/service/__init__.py",
     "src/repro/service/cache.py",
+    "src/repro/service/gateway.py",
     "src/repro/service/pipeline.py",
     "src/repro/service/serving.py",
     "src/repro/service/simulator.py",
     "src/repro/service/stats.py",
+    "src/repro/service/wire.py",
+    "src/repro/workloads/loadgen.py",
     "src/repro/workloads/replay.py",
     "src/repro/workloads/scenarios.py",
 ]

@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Thin wrapper over the HTTP load generator (``repro loadgen``).
+
+Lets CI and shell scripts drive the gateway load generator without an
+installed console script::
+
+    PYTHONPATH=src python tools/loadgen.py grid:12x12 uniform \
+        --host 127.0.0.1 --port 8080 --clients 4 --repeats 2
+
+All arguments are forwarded verbatim to the ``repro loadgen``
+subcommand (see ``repro.cli``); exit code is non-zero when any request
+errored, so a failing gateway fails the calling job.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(["loadgen", *sys.argv[1:]]))
