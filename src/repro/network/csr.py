@@ -206,42 +206,64 @@ class CSRGraph:
         :mod:`array` buffer (which boxes a fresh object per access), so
         the search kernels read through this lazily built mirror.  The
         compact arrays remain the canonical storage.
+
+        Safe under concurrent first calls: the completed tuple is
+        published with one slot assignment behind a lock, so dispatcher
+        worker threads racing here share a single O(m) build and every
+        caller gets the same tuple object.
         """
         view = self._kview
         if view is None:
-            view = self._kview = (
-                list(self.offsets),
-                list(self.targets),
-                list(self.weights),
-            )
+            with _KVIEW_LOCK:
+                view = self._kview
+                if view is None:
+                    view = (
+                        list(self.offsets),
+                        list(self.targets),
+                        list(self.weights),
+                    )
+                    self._kview = view
         return view
 
     def reverse_kernel_view(self) -> tuple[list, list, list]:
         """Reverse ``(offsets, targets, weights)`` as plain lists.
 
-        Aliases :meth:`kernel_view` for undirected snapshots.
+        Aliases :meth:`kernel_view` for undirected snapshots.  Shares
+        the same single-build guarantee as :meth:`kernel_view`.
         """
         view = self._rkview
         if view is None:
             if self.rtargets is self.targets:
                 view = self.kernel_view()
+                with _KVIEW_LOCK:
+                    if self._rkview is None:
+                        self._rkview = view
+                    view = self._rkview
             else:
-                view = (
-                    list(self.roffsets),
-                    list(self.rtargets),
-                    list(self.rweights),
-                )
-            self._rkview = view
+                with _KVIEW_LOCK:
+                    view = self._rkview
+                    if view is None:
+                        view = (
+                            list(self.roffsets),
+                            list(self.rtargets),
+                            list(self.rweights),
+                        )
+                        self._rkview = view
         return view
 
     def as_numpy(self) -> dict[str, object]:
-        """Zero-copy numpy views of the flat arrays (requires numpy).
+        """Read-only zero-copy numpy views of the flat arrays.
 
         Returns
         -------
         dict
             ``{"offsets", "targets", "weights", "xs", "ys"}`` ndarray
-            views sharing memory with the snapshot.
+            views sharing memory with the snapshot.  Every view is
+            marked non-writable: the underlying buffers are the
+            memoized per-version snapshot shared by all queries, so a
+            writable alias would silently corrupt every future search
+            on this network version.  Mutating a view raises
+            ``ValueError``.
 
         Raises
         ------
@@ -250,13 +272,16 @@ class CSRGraph:
         """
         import numpy as np
 
-        return {
+        views = {
             "offsets": np.frombuffer(self.offsets, dtype=np.int64),
             "targets": np.frombuffer(self.targets, dtype=np.int64),
             "weights": np.frombuffer(self.weights, dtype=np.float64),
             "xs": np.frombuffer(self.xs, dtype=np.float64),
             "ys": np.frombuffer(self.ys, dtype=np.float64),
         }
+        for arr in views.values():
+            arr.flags.writeable = False
+        return views
 
     # ------------------------------------------------------------------
     # Round trip
@@ -310,6 +335,11 @@ def _reverse_csr(
             cursor[v] = slot + 1
     return roffsets, rtargets, rweights
 
+
+# Guards the lazy kernel-view builds.  One process-wide lock (not per
+# instance) keeps CSRGraph slot-only and picklable; builds are rare —
+# once per snapshot — so contention is negligible.
+_KVIEW_LOCK = threading.Lock()
 
 # Per-network memo: network -> (version stamp, snapshot).  Weak keys so a
 # discarded network releases its snapshot; the lock only guards the dict

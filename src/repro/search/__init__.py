@@ -54,9 +54,13 @@ from repro.network.csr import CSRGraph, csr_snapshot
 from repro.network.partition import Partition, partition_network, partition_snapshot
 from repro.search.overlay import (
     CSROverlayProcessor,
+    NestedOverlayGraph,
+    NestedOverlayProcessor,
     OverlayGraph,
     OverlayProcessor,
+    build_nested_overlay,
     build_overlay,
+    nested_overlay_snapshot,
     overlay_snapshot,
 )
 from repro.search.kernels import (
@@ -69,6 +73,14 @@ from repro.search.kernels import (
     csr_ch_path,
     csr_dijkstra_path,
     csr_dijkstra_to_many,
+)
+from repro.search.vectorized import (
+    VecGraph,
+    VecSharedTreeProcessor,
+    numpy_available,
+    vec_batch_paths,
+    vec_dijkstra_path,
+    vec_snapshot,
 )
 
 __all__ = [
@@ -116,6 +128,16 @@ __all__ = [
     "overlay_snapshot",
     "OverlayProcessor",
     "CSROverlayProcessor",
+    "NestedOverlayGraph",
+    "build_nested_overlay",
+    "nested_overlay_snapshot",
+    "NestedOverlayProcessor",
+    "VecGraph",
+    "VecSharedTreeProcessor",
+    "numpy_available",
+    "vec_batch_paths",
+    "vec_dijkstra_path",
+    "vec_snapshot",
     "SearchEngine",
     "ENGINES",
     "get_engine",
@@ -218,6 +240,20 @@ def _route_overlay_csr(network, source, destination, context=None, stats=None):
     return context.route(source, destination, stats=stats)
 
 
+def _prepare_overlay_nested(network):
+    return nested_overlay_snapshot(network, kernel="csr")
+
+
+def _route_overlay_nested(network, source, destination, context=None, stats=None):
+    if context is None:
+        context = nested_overlay_snapshot(network, kernel="csr")
+    return context.route(source, destination, stats=stats)
+
+
+def _route_dijkstra_vec(network, source, destination, context=None, stats=None):
+    return vec_dijkstra_path(network, source, destination, vec=context, stats=stats)
+
+
 #: every registered engine, keyed by name
 ENGINES: dict[str, SearchEngine] = {
     engine.name: engine
@@ -307,8 +343,33 @@ ENGINES: dict[str, SearchEngine] = {
             route=_route_overlay_csr,
             make_processor=CSROverlayProcessor,
         ),
+        SearchEngine(
+            name="overlay-nested",
+            description=(
+                "two-level nested partition overlay "
+                "(boundary-of-boundary sweeps, per-supercell recustomization)"
+            ),
+            prepare=_prepare_overlay_nested,
+            route=_route_overlay_nested,
+            make_processor=NestedOverlayProcessor,
+        ),
     )
 }
+
+# The numpy-vectorized tier registers only when numpy imports, so
+# interpreters without numpy keep the exact engine catalogue above (and
+# the conformance harness never parametrizes engines it cannot run).
+if numpy_available():
+    ENGINES["dijkstra-vec"] = SearchEngine(
+        name="dijkstra-vec",
+        description=(
+            "numpy-vectorized batched SSMD frontier sweeps "
+            "(2-D distance tables; requires numpy)"
+        ),
+        prepare=vec_snapshot,
+        route=_route_dijkstra_vec,
+        make_processor=VecSharedTreeProcessor,
+    )
 
 
 def get_engine(name: str) -> SearchEngine:

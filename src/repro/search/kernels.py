@@ -47,6 +47,7 @@ CPython.
 from __future__ import annotations
 
 import threading
+from array import array
 from collections.abc import Iterable, Sequence
 from heapq import heappop, heappush
 
@@ -66,6 +67,11 @@ from repro.search.multi import (
     _validate,
 )
 from repro.search.result import PathResult, SearchStats
+
+try:  # pragma: no cover - numpy-less interpreters use the scalar paths
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 __all__ = [
     "KernelScratch",
@@ -286,6 +292,211 @@ def overlay_sweep(
     rec = _obs_record.RECORDER
     if rec is not None:
         rec.record("overlay_sweep", settled, relaxed, pushes)
+    return best, meet, dist, parent, via, done
+
+
+def nested_overlay_sweep(
+    level1: tuple,
+    top: tuple,
+    active: bytearray,
+    seeds: Iterable[tuple[int, float]],
+    num_nodes: int,
+    target_offsets: dict[int, float] | None = None,
+    best_bound: float = _INF,
+    stats: SearchStats | None = None,
+    goal: tuple[float, float] | None = None,
+    xs: Sequence[float] | None = None,
+    ys: Sequence[float] | None = None,
+    top_np: tuple | None = None,
+    xy_np: tuple | None = None,
+) -> tuple[float, int, Sequence[float], list[int], list[int], bytearray]:
+    """Two-level mixed sweep over a nested overlay (CRP-style).
+
+    The boundary phase of the nested overlay
+    (:class:`repro.search.overlay.NestedOverlayGraph`): the same
+    multi-source, optionally goal-directed Dijkstra as
+    :func:`overlay_sweep`, except each settled node relaxes one of *two*
+    CSR arc sets chosen by supercell membership.  ``active[u]`` flags
+    boundary nodes inside the query's source/target supercells — those
+    relax the full ``level1`` overlay adjacency (clique shortcuts + cut
+    arcs); every other node relaxes the far sparser ``top`` adjacency
+    (supercell clique shortcuts + cross-supercell arcs), so the sweep
+    settles O(boundary-of-boundary) nodes outside the endpoint regions.
+    Exactness is the standard CRP argument: between consecutive
+    super-boundary visits a shortest path stays inside one supercell,
+    and the supercell cliques carry exactly those restricted distances.
+
+    Parameters
+    ----------
+    level1, top:
+        Each an ``(offsets, targets, weights, kinds)`` CSR quadruple
+        over boundary-node indices.  ``top`` kinds ``<= -2`` encode the
+        owning supercell as ``-2 - supercell`` (expanded by the nested
+        stitcher); cut/clique kinds pass through from ``level1``.
+    active:
+        Per-node flags selecting the ``level1`` arc set.
+    seeds, num_nodes, target_offsets, best_bound, goal, xs, ys:
+        As :func:`overlay_sweep` (same admissibility contract).
+    top_np:
+        Optional ``(targets, weights)`` numpy mirrors of the ``top``
+        arrays.  When given (and numpy imported), the dense top-level
+        relaxations run as whole-slice array compares — one C pass finds
+        the improving arcs, and only those re-enter the Python push
+        loop.  Distances are unchanged: the array ops perform the same
+        IEEE float64 adds and compares as the scalar loop.
+    xy_np:
+        Optional ``(xs, ys)`` numpy mirrors of the node coordinates,
+        required for the vectorized path when ``goal`` is set (the A*
+        heuristic is then precomputed for all nodes in one
+        ``np.hypot``).
+
+    Returns
+    -------
+    (best, meet, dist, parent, via, done)
+        As :func:`overlay_sweep` (``dist`` is a numpy array on the
+        vectorized path, a list otherwise — reads yield the same
+        float64 values either way).
+    """
+    if stats is None:
+        stats = SearchStats()
+    from math import hypot
+
+    o1, t1, w1, k1 = level1
+    o2, t2, w2, k2 = top
+    vec = None
+    if _np is not None and top_np is not None:
+        if goal is None or target_offsets is None or xy_np is not None:
+            vec = top_np
+    if vec is not None:
+        tt, tw = vec
+        # One buffer, two views: the heap loop indexes the C-double
+        # array (list-speed scalar reads), the relax step compares
+        # whole slices through the zero-copy numpy view.
+        dist = array("d", (_INF,)) * num_nodes
+        dist_np = _np.frombuffer(dist)
+    else:
+        tt = tw = dist_np = None
+        dist = [_INF] * num_nodes
+    parent = [-1] * num_nodes
+    via = [-1] * num_nodes
+    done = bytearray(num_nodes)
+    heap: list[tuple[float, float, int]] = []
+    pop, push = heappop, heappush
+    pushes = 0
+    hmemo: list[float] | None = None
+    harr: list[float] | None = None
+    gx = gy = 0.0
+    if goal is not None and target_offsets is not None:
+        gx, gy = goal
+        if vec is not None:
+            bx, by = xy_np
+            harr = _np.hypot(bx - gx, by - gy).tolist()
+        else:
+            hmemo = [-1.0] * num_nodes
+    for i, offset in seeds:
+        if offset < dist[i]:
+            dist[i] = offset
+            if harr is not None:
+                push(heap, (offset + harr[i], offset, i))
+            elif hmemo is not None:
+                h = hypot(xs[i] - gx, ys[i] - gy)
+                hmemo[i] = h
+                push(heap, (offset + h, offset, i))
+            else:
+                push(heap, (offset, offset, i))
+            pushes += 1
+    best = best_bound
+    meet = -1
+    settled = relaxed = 0
+    maxd = 0.0
+    while heap:
+        key, d, u = pop(heap)
+        if done[u]:
+            continue
+        if target_offsets is not None and key >= best:
+            break
+        done[u] = 1
+        settled += 1
+        if d > maxd:
+            maxd = d
+        if target_offsets is not None:
+            offset = target_offsets.get(u)
+            if offset is not None:
+                candidate = d + offset
+                if candidate < best:
+                    best = candidate
+                    meet = u
+        if vec is not None and not active[u]:
+            start = o2[u]
+            end = o2[u + 1]
+            relaxed += end - start
+            if end > start:
+                nds = d + tw[start:end]
+                sel = (nds < dist_np[tt[start:end]]).nonzero()[0]
+                for j in sel.tolist():
+                    e = start + j
+                    v = t2[e]
+                    nd = nds[j]
+                    if nd < dist[v]:
+                        dist[v] = nd
+                        parent[v] = u
+                        via[v] = k2[e]
+                        nd = float(nd)
+                        if harr is not None:
+                            push(heap, (nd + harr[v], nd, v))
+                        else:
+                            push(heap, (nd, nd, v))
+                        pushes += 1
+            continue
+        if active[u]:
+            offsets, targets, weights, kinds = o1, t1, w1, k1
+        else:
+            offsets, targets, weights, kinds = o2, t2, w2, k2
+        start = offsets[u]
+        end = offsets[u + 1]
+        relaxed += end - start
+        if harr is not None:
+            for e in range(start, end):
+                v = targets[e]
+                nd = d + weights[e]
+                if nd < dist[v]:
+                    dist[v] = nd
+                    parent[v] = u
+                    via[v] = kinds[e]
+                    push(heap, (nd + harr[v], nd, v))
+                    pushes += 1
+        elif hmemo is None:
+            for e in range(start, end):
+                v = targets[e]
+                nd = d + weights[e]
+                if nd < dist[v]:
+                    dist[v] = nd
+                    parent[v] = u
+                    via[v] = kinds[e]
+                    push(heap, (nd, nd, v))
+                    pushes += 1
+        else:
+            for e in range(start, end):
+                v = targets[e]
+                nd = d + weights[e]
+                if nd < dist[v]:
+                    dist[v] = nd
+                    parent[v] = u
+                    via[v] = kinds[e]
+                    h = hmemo[v]
+                    if h < 0.0:
+                        h = hypot(xs[v] - gx, ys[v] - gy)
+                        hmemo[v] = h
+                    push(heap, (nd + h, nd, v))
+                    pushes += 1
+    stats.settled_nodes += settled
+    stats.relaxed_edges += relaxed
+    stats.heap_pushes += pushes
+    if maxd > stats.max_settled_distance:
+        stats.max_settled_distance = maxd
+    rec = _obs_record.RECORDER
+    if rec is not None:
+        rec.record("nested_sweep", settled, relaxed, pushes)
     return best, meet, dist, parent, via, done
 
 

@@ -496,6 +496,8 @@ _LAZY_PROCESSORS: dict[str, tuple[str, str]] = {
     "ch-csr": ("repro.search.kernels", "CSRCHManyToManyProcessor"),
     "overlay": ("repro.search.overlay", "OverlayProcessor"),
     "overlay-csr": ("repro.search.overlay", "CSROverlayProcessor"),
+    "dijkstra-vec": ("repro.search.vectorized", "VecSharedTreeProcessor"),
+    "overlay-nested": ("repro.search.overlay", "NestedOverlayProcessor"),
 }
 
 

@@ -51,26 +51,45 @@ from __future__ import annotations
 
 import os
 import threading
+from collections import namedtuple
 from collections.abc import Iterable, Sequence
+from heapq import heappop, heappush
 from typing import TextIO
 from weakref import WeakKeyDictionary
 
 from repro.exceptions import GraphError, NoPathError
 from repro.network.csr import CSRGraph
 from repro.network.graph import NodeId
-from repro.network.partition import Partition, partition_snapshot
+from repro.network.partition import (
+    Partition,
+    partition_adjacency,
+    partition_snapshot,
+)
 from repro.obs import record as _obs_record
 from repro.search.dijkstra import dijkstra_to_many
-from repro.search.kernels import csr_dijkstra_to_many, overlay_sweep
+from repro.search.kernels import (
+    csr_dijkstra_to_many,
+    nested_overlay_sweep,
+    overlay_sweep,
+)
 from repro.search.multi import MSMDResult, PreprocessingProcessor, _validate
 from repro.search.result import PathResult, SearchStats
 
+try:  # pragma: no cover - numpy-less interpreters skip the fast path
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 __all__ = [
     "OverlayGraph",
+    "NestedOverlayGraph",
     "build_overlay",
+    "build_nested_overlay",
     "overlay_snapshot",
+    "nested_overlay_snapshot",
     "OverlayProcessor",
     "CSROverlayProcessor",
+    "NestedOverlayProcessor",
     "write_overlay",
     "read_overlay",
     "dumps_overlay",
@@ -262,8 +281,13 @@ class OverlayGraph:
         partition: Partition | None = None,
         cell_capacity: int | None = None,
         kernel: str = "dict",
+        **extra,
     ) -> "OverlayGraph":
         """Partition (if needed) and customize every cell.
+
+        ``extra`` keyword arguments pass through to the constructor, so
+        subclasses with additional knobs (:class:`NestedOverlayGraph`'s
+        ``super_capacity``) build through this same entry point.
 
         Raises
         ------
@@ -287,7 +311,7 @@ class OverlayGraph:
             )
         return cls(
             network, partition, kernel, cliques, cell_csr, cell_rcsr,
-            stats, partition.num_cells,
+            stats, partition.num_cells, **extra,
         )
 
     @staticmethod
@@ -457,8 +481,23 @@ class OverlayGraph:
                 _edge_is_metric(network, edge[0], edge[1])
                 for edge in changed_edges
             )
+        return self._rebuilt(
+            network, cliques, cell_csr, cell_rcsr, stats, touched,
+            metric, changed_edges,
+        )
+
+    def _rebuilt(
+        self, network, cliques, cell_csr, cell_rcsr, stats, touched,
+        metric, changed_edges,
+    ) -> "OverlayGraph":
+        """Construct the recustomized copy (subclass hook).
+
+        Subclasses carrying derived state (:class:`NestedOverlayGraph`'s
+        supercell tables) override this to thread sharing information
+        from ``touched``/``changed_edges`` into their constructor.
+        """
         return type(self)(
-            network, partition, self.kernel, cliques, cell_csr,
+            network, self.partition, self.kernel, cliques, cell_csr,
             cell_rcsr, stats, len(touched), metric=metric,
         )
 
@@ -678,7 +717,7 @@ class OverlayGraph:
                 for b, tail in bwd.items():
                     bi = index[b]
                     if done[bi]:
-                        candidate = dist[bi] + tail.distance
+                        candidate = float(dist[bi]) + tail.distance
                         if candidate < best:
                             best = candidate
                             meet = bi
@@ -779,6 +818,594 @@ def build_overlay(
     )
 
 
+#: one supercell clique arc: restricted distance between two
+#: super-boundary nodes, its level-1 boundary-index chain, and the
+#: level-1 via kinds of each chain arc (for path stitching).
+_SuperArc = namedtuple("_SuperArc", ("distance", "chain", "kinds"))
+
+
+def _super_customize(
+    offsets, targets, weights, kinds, members, sboundary, stats
+) -> dict:
+    """Compute one supercell's pruned super-boundary clique.
+
+    One restricted Dijkstra per super-boundary node, over the level-1
+    overlay arcs whose heads stay inside the supercell — the exact
+    analogue of :meth:`OverlayGraph._customize_cell` one level up.  An
+    arc whose tree path runs through another super-boundary node of the
+    supercell (strictly positive prefix and remainder) is pruned; the
+    surviving arcs compose to the same distances.
+    """
+    mset = frozenset(members)
+    sbset = frozenset(sboundary)
+    clique: dict[int, dict[int, _SuperArc]] = {}
+    settled = relaxed = pushes = 0
+    maxd = 0.0
+    for b in sboundary:
+        dist: dict[int, float] = {b: 0.0}
+        parent: dict[int, int] = {}
+        via: dict[int, int] = {}
+        done: set[int] = set()
+        remaining = len(sbset)
+        heap: list[tuple[float, int]] = [(0.0, b)]
+        pushes += 1
+        while heap and remaining:
+            d, u = heappop(heap)
+            if u in done:
+                continue
+            done.add(u)
+            settled += 1
+            if d > maxd:
+                maxd = d
+            if u in sbset:
+                remaining -= 1
+            for e in range(offsets[u], offsets[u + 1]):
+                v = targets[e]
+                if v not in mset:
+                    continue
+                relaxed += 1
+                nd = d + weights[e]
+                if nd < dist.get(v, _INF):
+                    dist[v] = nd
+                    parent[v] = u
+                    via[v] = kinds[e]
+                    heappush(heap, (nd, v))
+                    pushes += 1
+        kept: dict[int, _SuperArc] = {}
+        for b2 in sboundary:
+            if b2 == b or b2 not in done:
+                continue
+            chain = [b2]
+            node = b2
+            while node != b:
+                node = parent[node]
+                chain.append(node)
+            chain.reverse()
+            total = dist[b2]
+            if any(
+                m in sbset and 0.0 < dist[m] < total for m in chain[1:-1]
+            ):
+                continue
+            kept[b2] = _SuperArc(
+                total, tuple(chain), tuple(via[n] for n in chain[1:])
+            )
+        clique[b] = kept
+    stats.settled_nodes += settled
+    stats.relaxed_edges += relaxed
+    stats.heap_pushes += pushes
+    if maxd > stats.max_settled_distance:
+        stats.max_settled_distance = maxd
+    return clique
+
+
+class NestedOverlayGraph(OverlayGraph):
+    """Two-level overlay: the boundary graph is itself partitioned.
+
+    Level 1 is byte-identical to :class:`OverlayGraph` — same
+    partition, same cliques, same :func:`dumps_overlay` text.  On top of
+    it, the boundary graph is partitioned into *supercells* aligned on
+    whole base cells: the cell-quotient graph (cells adjacent when a
+    cut edge joins them — structure only, deliberately
+    weight-independent, so the super-partition survives re-weighting
+    exactly like the base partition) goes through
+    :func:`repro.network.partition.partition_adjacency`, and a
+    supercell's members are all boundary nodes of its cells.  Aligning
+    on cells means clique arcs never cross supercells, so the
+    *super-boundary* — members with a cut arc leaving the supercell —
+    is just the supercell's perimeter, a small fraction of its
+    boundary nodes.  Each supercell gets a pruned clique between its
+    super-boundary nodes computed over the level-1 overlay arcs
+    restricted to the supercell.
+
+    Point queries then run the mixed sweep
+    (:func:`repro.search.kernels.nested_overlay_sweep`): level-1 arcs
+    inside the source/target supercells, supercell cliques plus
+    cross-supercell arcs everywhere else — settling
+    O(boundary-of-boundary) nodes outside the endpoint regions instead
+    of walking the whole boundary graph.  Distances are exact (the
+    standard CRP argument; the engine-conformance harness checks the
+    registered ``"overlay-nested"`` engine against plain Dijkstra).
+
+    :meth:`recustomized` stays cell-local on both levels: untouched
+    base cells share their cliques as before, and only supercells whose
+    members' overlay arcs could have changed are re-customized — the
+    rest share their super-clique tables with this instance.
+
+    Attributes
+    ----------
+    super_capacity:
+        Supercell capacity in *base cells* (defaults to
+        :func:`~repro.network.partition.default_cell_capacity` of the
+        cell count).
+    sup:
+        The cell-quotient :class:`~repro.network.partition.Partition`
+        (node ids are base-cell indices).
+    sup_cliques:
+        ``sup_cliques[sc][b][b2]`` is the ``_SuperArc`` from
+        super-boundary index ``b`` to ``b2`` of supercell ``sc``.
+    top_offsets, top_targets, top_weights, top_kinds:
+        CSR adjacency over boundary indices at the top level: supercell
+        clique arcs (kind ``-2 - sc``) and cross-supercell cut arcs
+        (their level-1 kind).
+    customized_supercells:
+        How many supercells this instance customized itself.
+    """
+
+    __slots__ = (
+        "super_capacity",
+        "sup",
+        "sup_cliques",
+        "top_offsets",
+        "top_targets",
+        "top_weights",
+        "top_kinds",
+        "customized_supercells",
+        "_sup_of",
+        "_sup_members",
+        "_sup_sboundary",
+        "_top_np",
+        "_bxy_np",
+        "_reuse",
+    )
+
+    def __init__(
+        self,
+        network,
+        partition: Partition,
+        kernel: str,
+        cliques: list[dict],
+        cell_csr: list,
+        cell_rcsr: list,
+        customize_stats: SearchStats,
+        customized_cells: int,
+        metric: bool | None = None,
+        super_capacity: int | None = None,
+        _reuse: tuple | None = None,
+    ) -> None:
+        # Set before super().__init__ — the base constructor runs
+        # _assemble, which our override extends with the supercell level.
+        self.super_capacity = super_capacity
+        self._reuse = _reuse
+        super().__init__(
+            network, partition, kernel, cliques, cell_csr, cell_rcsr,
+            customize_stats, customized_cells, metric=metric,
+        )
+        self._reuse = None
+
+    # ------------------------------------------------------------------
+    # Construction / customization
+    # ------------------------------------------------------------------
+    def _assemble(self, metric: bool | None = None) -> None:
+        """Freeze level 1, then partition and customize the boundary graph."""
+        super()._assemble(metric)
+        self._assemble_super()
+
+    def _cell_quotient(self) -> tuple[list, list[float], list[float]]:
+        """The weight-independent cell-quotient graph plus cell centroids.
+
+        Cells are adjacent when a cut edge joins them; the adjacency
+        comes from :attr:`Partition.cut_edges` (structure only), so
+        re-weighting cannot move the super-partition.
+        """
+        partition = self.partition
+        adj: list[set[int]] = [set() for _ in range(partition.num_cells)]
+        cell_of = partition.cell_of
+        for u, v in partition.cut_edges:
+            cu, cv = cell_of[u], cell_of[v]
+            adj[cu].add(cv)
+            adj[cv].add(cu)
+        network = self.network
+        xs: list[float] = []
+        ys: list[float] = []
+        for members in partition.cells:
+            xs.append(
+                sum(network.position(m).x for m in members) / len(members)
+            )
+            ys.append(
+                sum(network.position(m).y for m in members) / len(members)
+            )
+        return [sorted(neighbors) for neighbors in adj], xs, ys
+
+    def _assemble_super(self) -> None:
+        """Partition the cell-quotient graph and customize every supercell."""
+        reuse = self._reuse
+        old = affected = None
+        if reuse is not None:
+            old, affected = reuse
+            if self.super_capacity is None:
+                self.super_capacity = old.super_capacity
+            self.sup = old.sup
+        else:
+            adj, cxs, cys = self._cell_quotient()
+            self.sup = partition_adjacency(
+                adj, xs=cxs, ys=cys, cell_capacity=self.super_capacity
+            )
+            if self.super_capacity is None:
+                self.super_capacity = self.sup.cell_capacity
+        partition = self.partition
+        index = self.boundary_index
+        num = len(self.boundary_ids)
+        sup_of = [0] * num
+        for sc, cells in enumerate(self.sup.cells):
+            for cell in cells:
+                for b in partition.boundary[cell]:
+                    sup_of[index[b]] = sc
+        # Super-boundary: members with a cut arc leaving the supercell
+        # (clique arcs never cross supercells — they are cell-internal,
+        # and supercells are unions of whole cells).
+        is_sb = bytearray(num)
+        offsets, targets, kinds = (
+            self.over_offsets, self.over_targets, self.over_kinds
+        )
+        for b in range(num):
+            for e in range(offsets[b], offsets[b + 1]):
+                if kinds[e] < 0 and sup_of[targets[e]] != sup_of[b]:
+                    is_sb[b] = 1
+                    is_sb[targets[e]] = 1
+        members: list[list[int]] = [[] for _ in range(self.sup.num_cells)]
+        sboundary: list[list[int]] = [[] for _ in range(self.sup.num_cells)]
+        for b in range(num):
+            members[sup_of[b]].append(b)
+            if is_sb[b]:
+                sboundary[sup_of[b]].append(b)
+        self._sup_of = sup_of
+        self._sup_members = [tuple(m) for m in members]
+        self._sup_sboundary = [tuple(sb) for sb in sboundary]
+        sup_cliques: list[dict] = []
+        customized = 0
+        for sc in range(self.sup.num_cells):
+            if old is not None and affected is not None and sc not in affected:
+                sup_cliques.append(old.sup_cliques[sc])
+                continue
+            sup_cliques.append(
+                _super_customize(
+                    self.over_offsets, self.over_targets,
+                    self.over_weights, self.over_kinds,
+                    self._sup_members[sc], self._sup_sboundary[sc],
+                    self.customize_stats,
+                )
+            )
+            customized += 1
+        self.sup_cliques = sup_cliques
+        self.customized_supercells = customized
+        self._assemble_top(is_sb)
+
+    def _assemble_top(self, is_sb: bytearray) -> None:
+        """Freeze the top level into flat CSR arrays over boundary indices."""
+        num = len(self.boundary_ids)
+        sup_of = self._sup_of
+        offsets = [0]
+        targets: list[int] = []
+        weights: list[float] = []
+        kinds: list[int] = []
+        for b in range(num):
+            if is_sb[b]:
+                sc = sup_of[b]
+                for b2, arc in self.sup_cliques[sc][b].items():
+                    targets.append(b2)
+                    weights.append(arc.distance)
+                    kinds.append(-2 - sc)
+                for e in range(self.over_offsets[b], self.over_offsets[b + 1]):
+                    t = self.over_targets[e]
+                    if sup_of[t] != sc:
+                        targets.append(t)
+                        weights.append(self.over_weights[e])
+                        kinds.append(self.over_kinds[e])
+            offsets.append(len(targets))
+        self.top_offsets = offsets
+        self.top_targets = targets
+        self.top_weights = weights
+        self.top_kinds = kinds
+        # Numpy mirrors for the vectorized relax path of
+        # nested_overlay_sweep; plain lists stay authoritative so the
+        # engine runs (and round-trips) identically without numpy.
+        if _np is not None:
+            self._top_np = (
+                _np.asarray(targets, dtype=_np.intp),
+                _np.asarray(weights, dtype=_np.float64),
+            )
+            self._bxy_np = (
+                _np.asarray(self._bxs, dtype=_np.float64),
+                _np.asarray(self._bys, dtype=_np.float64),
+            )
+        else:
+            self._top_np = None
+            self._bxy_np = None
+
+    def _rebuilt(
+        self, network, cliques, cell_csr, cell_rcsr, stats, touched,
+        metric, changed_edges,
+    ) -> "NestedOverlayGraph":
+        """Recustomized copy sharing unaffected supercell tables."""
+        return type(self)(
+            network, self.partition, self.kernel, cliques, cell_csr,
+            cell_rcsr, stats, len(touched), metric=metric,
+            super_capacity=self.super_capacity,
+            _reuse=(self, self._affected_supercells(touched, changed_edges)),
+        )
+
+    def _affected_supercells(self, touched, changed_edges):
+        """Supercells whose restricted arcs a recustomization may change.
+
+        A touched base cell re-weights its boundary nodes' clique arcs,
+        so its supercell is affected; a changed *cut* edge re-weights
+        one overlay arc directly, affecting its supercell when both
+        endpoint cells share one (cross-supercell arcs live only in the
+        always-rebuilt top arrays).  ``None`` (unknown changed edges —
+        cut-arc weights are re-read unconditionally, so any of them may
+        have moved) rebuilds every supercell.
+        """
+        if changed_edges is None:
+            return None
+        sup_of_cell = self.sup.cell_of
+        affected = {sup_of_cell[cell] for cell in touched}
+        cell_of = self.partition.cell_of
+        for edge in changed_edges:
+            u, v = edge[0], edge[1]
+            cu = cell_of.get(u)
+            cv = cell_of.get(v)
+            if cu == cv:
+                continue  # intra-cell: covered by touched above
+            if cu is not None and cv is not None:
+                su = sup_of_cell[cu]
+                if su == sup_of_cell[cv]:
+                    affected.add(su)
+        return affected
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_supercells(self) -> int:
+        """Number of supercells in the boundary-graph partition."""
+        return self.sup.num_cells
+
+    @property
+    def num_super_boundary_nodes(self) -> int:
+        """Boundary nodes participating in the top level."""
+        return sum(len(sb) for sb in self._sup_sboundary)
+
+    @property
+    def num_top_arcs(self) -> int:
+        """Arcs in the top-level adjacency (super cliques + cross arcs)."""
+        return len(self.top_targets)
+
+    def __repr__(self) -> str:
+        return (
+            f"NestedOverlayGraph(kernel={self.kernel!r}, "
+            f"cells={self.num_cells}, boundary={self.num_boundary_nodes}, "
+            f"supercells={self.num_supercells}, "
+            f"super_boundary={self.num_super_boundary_nodes}, "
+            f"top_arcs={self.num_top_arcs})"
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _active_for(self, indices: Iterable[int]) -> bytearray:
+        """Level-1 flags for every member of the given indices' supercells."""
+        active = bytearray(len(self.boundary_ids))
+        sup_of = self._sup_of
+        for sc in {sup_of[i] for i in indices}:
+            for m in self._sup_members[sc]:
+                active[m] = 1
+        return active
+
+    def route(
+        self,
+        source: NodeId,
+        destination: NodeId,
+        stats: SearchStats | None = None,
+    ) -> PathResult:
+        """Two-phase point query with the mixed two-level sweep.
+
+        Raises
+        ------
+        NoPathError
+            If the destination is unreachable.
+        UnknownNodeError
+            If either endpoint is missing from the network.
+        """
+        if stats is None:
+            stats = SearchStats()
+        cs = self.partition.cell_index(source)
+        ct = self.partition.cell_index(destination)
+        if source == destination:
+            return PathResult(source, source, (source,), 0.0)
+        rec = _obs_record.RECORDER
+        if rec is not None:
+            rec.record("overlay_route", cells=(cs,) if ct == cs else (cs, ct))
+        extra = (destination,) if ct == cs else ()
+        fwd = self._local_forward(cs, source, extra, stats)
+        bwd = self._local_backward(ct, destination, stats)
+        direct = fwd.get(destination) if ct == cs else None
+        index = self.boundary_index
+        seeds = []
+        for b in self.partition.boundary[cs]:
+            path = fwd.get(b)
+            if path is not None:
+                seeds.append((index[b], path.distance))
+        target_offsets = {index[b]: path.distance for b, path in bwd.items()}
+        active = self._active_for(
+            [i for i, _offset in seeds] + list(target_offsets)
+        )
+        goal = None
+        if self.metric:
+            p = self.network.position(destination)
+            goal = (p.x, p.y)
+        best, meet, _dist, parent, via, _done = nested_overlay_sweep(
+            (self.over_offsets, self.over_targets,
+             self.over_weights, self.over_kinds),
+            (self.top_offsets, self.top_targets,
+             self.top_weights, self.top_kinds),
+            active, seeds,
+            num_nodes=len(self.boundary_ids),
+            target_offsets=target_offsets,
+            best_bound=direct.distance if direct is not None else _INF,
+            stats=stats,
+            goal=goal,
+            xs=self._bxs,
+            ys=self._bys,
+            top_np=self._top_np,
+            xy_np=self._bxy_np,
+        )
+        if meet < 0:
+            if direct is not None:
+                return direct
+            raise NoPathError(source, destination)
+        return self._stitch(source, destination, fwd, bwd, best, meet, parent, via)
+
+    def many_to_many(
+        self,
+        sources: Sequence[NodeId],
+        destinations: Sequence[NodeId],
+        stats: SearchStats | None = None,
+    ) -> dict[tuple[NodeId, NodeId], PathResult]:
+        """All-pairs shortest paths with per-source mixed sweeps.
+
+        Mirrors :meth:`OverlayGraph.many_to_many`; every destination
+        cell's supercells stay active in every sweep so the settled
+        distances read off for each target are exact.
+        """
+        if stats is None:
+            stats = SearchStats()
+        partition = self.partition
+        index = self.boundary_index
+        src_cells = {s: partition.cell_index(s) for s in sources}
+        dst_cells = {t: partition.cell_index(t) for t in destinations}
+        rec = _obs_record.RECORDER
+        if rec is not None:
+            rec.record(
+                "overlay_msmd",
+                cells=set(src_cells.values()) | set(dst_cells.values()),
+            )
+        backs = {
+            t: self._local_backward(dst_cells[t], t, stats)
+            for t in destinations
+        }
+        dst_idx = [
+            index[b] for bwd in backs.values() for b in bwd
+        ]
+        results: dict[tuple[NodeId, NodeId], PathResult] = {}
+        for s in sources:
+            cs = src_cells[s]
+            extra = tuple(t for t in destinations if dst_cells[t] == cs)
+            fwd = self._local_forward(cs, s, extra, stats)
+            seeds = []
+            for b in partition.boundary[cs]:
+                path = fwd.get(b)
+                if path is not None:
+                    seeds.append((index[b], path.distance))
+            active = self._active_for(
+                [i for i, _offset in seeds] + dst_idx
+            )
+            _best, _meet, dist, parent, via, done = nested_overlay_sweep(
+                (self.over_offsets, self.over_targets,
+                 self.over_weights, self.over_kinds),
+                (self.top_offsets, self.top_targets,
+                 self.top_weights, self.top_kinds),
+                active, seeds,
+                num_nodes=len(self.boundary_ids),
+                target_offsets=None,
+                stats=stats,
+                top_np=self._top_np,
+            )
+            for t in destinations:
+                direct = fwd.get(t) if dst_cells[t] == cs else None
+                best = direct.distance if direct is not None else _INF
+                meet = -1
+                bwd = backs[t]
+                for b, tail in bwd.items():
+                    bi = index[b]
+                    if done[bi]:
+                        candidate = float(dist[bi]) + tail.distance
+                        if candidate < best:
+                            best = candidate
+                            meet = bi
+                if meet >= 0:
+                    results[(s, t)] = self._stitch(
+                        s, t, fwd, bwd, best, meet, parent, via
+                    )
+                elif direct is not None:
+                    results[(s, t)] = direct
+        return results
+
+    def _stitch(
+        self, source, destination, fwd, bwd, best, meet, parent, via
+    ) -> PathResult:
+        """Expand a mixed two-level tree chain into a full node path."""
+        chain = [meet]
+        node = meet
+        while parent[node] >= 0:
+            node = parent[node]
+            chain.append(node)
+        chain.reverse()
+        # Flatten supercell clique arcs into their level-1 chains, then
+        # splice exactly like the flat overlay.
+        flat = [chain[0]]
+        flat_kinds: list[int] = []
+        for prev, curr in zip(chain, chain[1:]):
+            kind = via[curr]
+            if kind <= -2:
+                arc = self.sup_cliques[-2 - kind][prev][curr]
+                flat.extend(arc.chain[1:])
+                flat_kinds.extend(arc.kinds)
+            else:
+                flat.append(curr)
+                flat_kinds.append(kind)
+        ids = self.boundary_ids
+        nodes = list(fwd[ids[flat[0]]].nodes)
+        for prev, curr, kind in zip(flat, flat[1:], flat_kinds):
+            if kind < 0:  # cut arc: a real edge
+                nodes.append(ids[curr])
+            else:  # clique arc: splice the stored intra-cell path
+                nodes.extend(self.cliques[kind][ids[prev]][ids[curr]].nodes[1:])
+        nodes.extend(bwd[ids[meet]].nodes[1:])
+        return PathResult(
+            source=source,
+            destination=destination,
+            nodes=tuple(nodes),
+            distance=best,
+        )
+
+
+def build_nested_overlay(
+    network,
+    partition: Partition | None = None,
+    cell_capacity: int | None = None,
+    kernel: str = "csr",
+    super_capacity: int | None = None,
+) -> NestedOverlayGraph:
+    """Build a :class:`NestedOverlayGraph` (non-memoized entry point)."""
+    return NestedOverlayGraph.build(
+        network,
+        partition=partition,
+        cell_capacity=cell_capacity,
+        kernel=kernel,
+        super_capacity=super_capacity,
+    )
+
+
 # Per-network memo: network -> (version, {(kernel, capacity): weakref}).
 # The overlays are held *weakly*: an OverlayGraph strongly references its
 # network, so a strong global cache would pin every network (and its
@@ -819,6 +1446,48 @@ def overlay_snapshot(
             if overlay is not None:
                 return overlay
     overlay = build_overlay(network, cell_capacity=cell_capacity, kernel=kernel)
+    with _OVERLAY_LOCK:
+        memo = _OVERLAYS.get(network)
+        if memo is None or memo[0] != version:
+            memo = (version, {})
+            _OVERLAYS[network] = memo
+        memo[1][key] = weakref.ref(overlay)
+    return overlay
+
+
+def nested_overlay_snapshot(
+    network,
+    kernel: str = "csr",
+    cell_capacity: int | None = None,
+    super_capacity: int | None = None,
+) -> NestedOverlayGraph:
+    """The (memoized) :class:`NestedOverlayGraph` of ``network``.
+
+    Same weak, version-stamped memo as :func:`overlay_snapshot` (the
+    key spaces are disjoint, so flat and nested overlays of one network
+    coexist); use :meth:`NestedOverlayGraph.recustomized` after
+    re-weighting to pay only for the touched cells and supercells.
+    """
+    import weakref
+
+    version = getattr(network, "version", None)
+    if version is None:
+        return build_nested_overlay(
+            network, cell_capacity=cell_capacity, kernel=kernel,
+            super_capacity=super_capacity,
+        )
+    key = ("nested", kernel, cell_capacity, super_capacity)
+    with _OVERLAY_LOCK:
+        memo = _OVERLAYS.get(network)
+        if memo is not None and memo[0] == version:
+            ref = memo[1].get(key)
+            overlay = ref() if ref is not None else None
+            if overlay is not None:
+                return overlay
+    overlay = build_nested_overlay(
+        network, cell_capacity=cell_capacity, kernel=kernel,
+        super_capacity=super_capacity,
+    )
     with _OVERLAY_LOCK:
         memo = _OVERLAYS.get(network)
         if memo is None or memo[0] != version:
@@ -887,6 +1556,24 @@ class CSROverlayProcessor(OverlayProcessor):
 
     name = "overlay-csr"
     _kernel = "csr"
+
+
+class NestedOverlayProcessor(OverlayProcessor):
+    """Two-level nested-overlay MSMD processor (``"overlay-nested"``).
+
+    Identical batch contract and distances to :class:`OverlayProcessor`;
+    the per-network artifact is the :class:`NestedOverlayGraph`, whose
+    sweeps skip interior boundary nodes of every supercell the query's
+    endpoints do not touch.
+    """
+
+    name = "overlay-nested"
+    _kernel = "csr"
+
+    def _build(self, network) -> NestedOverlayGraph:
+        return nested_overlay_snapshot(
+            network, kernel=self._kernel, cell_capacity=self._cell_capacity
+        )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,453 @@
+"""Numpy-vectorized batch kernels over :class:`~repro.network.csr.CSRGraph`.
+
+The scalar kernels in :mod:`repro.search.kernels` pay CPython's
+per-iteration interpreter cost on every relaxed arc.  This module trades
+the label-setting heap for label-correcting *frontier waves* evaluated
+as whole-array numpy operations: each iteration gathers the out-arcs of
+every frontier node in one shot (CSR slice arithmetic), relaxes them
+with a segment-minimum (``np.minimum.reduceat`` over target-sorted
+candidates — the ``np.add.at`` family without its per-element dispatch
+cost), and the nodes whose labels improved form the next frontier.
+
+Batching is the point: the per-source sweeps of an MSMD batch (or of a
+coalesced union pass) share one 2-D distance table of shape
+``(num_sources, num_nodes)``, so every wave relaxes the union frontier
+for all sources at once and the fixed per-iteration numpy overhead is
+amortized across the whole batch.
+
+Exactness
+---------
+With non-negative weights the frontier iteration converges to the least
+fixpoint of ``dist[v] = min(dist[u] + w(u, v))`` under IEEE float64 —
+the same equations Dijkstra's algorithm solves in settlement order — so
+the converged distances are *bit-identical* to the scalar kernels', not
+merely close.  Per-source truncation mirrors the shared-tree kernels: a
+frontier entry whose label cannot improve any destination that source
+still needs is dropped, and every node that ends below that bound is at
+its final (Dijkstra) value, which keeps union-pass tables byte-identical
+to solo evaluations.
+
+Paths are reconstructed after convergence by walking the reverse
+adjacency along exact label equalities (``dist[u] + w == dist[v]``),
+which both terminates (each hop strictly decreases the label) and
+reproduces the reported distance exactly.
+
+numpy is optional for the package; when it is missing this module still
+imports (so the engine registry can probe :func:`numpy_available`) and
+every kernel raises ``ImportError`` instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable, Sequence
+from weakref import WeakKeyDictionary
+
+from repro.exceptions import NoPathError
+from repro.network.csr import CSRGraph, csr_snapshot
+from repro.network.graph import NodeId
+from repro.obs import record as _obs_record
+from repro.search.multi import (
+    MSMDResult,
+    PreprocessingProcessor,
+    UnionPassResult,
+    _screen_union_queries,
+    _slice_union_tables,
+    _validate,
+)
+from repro.search.result import PathResult, SearchStats
+
+try:  # pragma: no cover - exercised via numpy_available()
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy-less interpreters
+    np = None
+
+__all__ = [
+    "VecGraph",
+    "VecSharedTreeProcessor",
+    "numpy_available",
+    "vec_batch_paths",
+    "vec_dijkstra_path",
+    "vec_snapshot",
+]
+
+_INF = float("inf")
+
+
+def numpy_available() -> bool:
+    """Whether numpy imported, i.e. whether the ``*-vec`` engines work."""
+    return np is not None
+
+
+def _require_numpy():
+    if np is None:
+        raise ImportError(
+            "numpy is required for the vectorized (*-vec) search kernels"
+        )
+    return np
+
+
+class VecGraph:
+    """A :class:`CSRGraph` plus the ndarray views the batch kernels read.
+
+    Thin and immutable: the read-only zero-copy views from
+    :meth:`CSRGraph.as_numpy` (``offsets``/``targets``/``weights``) plus
+    the precomputed out-degree array.  Path reconstruction goes through
+    the wrapped snapshot's scalar reverse kernel view, so one artifact
+    serves both phases.
+    """
+
+    __slots__ = ("csr", "offsets", "targets", "weights", "deg")
+
+    def __init__(self, csr: CSRGraph) -> None:
+        _require_numpy()
+        views = csr.as_numpy()
+        self.csr = csr
+        self.offsets = views["offsets"]
+        self.targets = views["targets"]
+        self.weights = views["weights"]
+        self.deg = np.diff(self.offsets)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the wrapped snapshot."""
+        return self.csr.num_nodes
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        """Whether ``node_id`` is part of the snapshot."""
+        return node_id in self.csr.index_of
+
+    def __repr__(self) -> str:
+        return f"VecGraph({self.csr!r})"
+
+
+# Per-network memo mirroring csr_snapshot: weak keys, version-stamped,
+# and re-wrapped whenever the underlying CSR snapshot was rebuilt.
+_VEC_SNAPSHOTS: "WeakKeyDictionary[object, tuple[int, VecGraph]]" = (
+    WeakKeyDictionary()
+)
+_VEC_LOCK = threading.Lock()
+
+
+def vec_snapshot(network) -> VecGraph:
+    """The (memoized) :class:`VecGraph` of ``network``.
+
+    Same memoization contract as
+    :func:`~repro.network.csr.csr_snapshot`: one wrapper per network
+    version, rebuilt transparently after any mutation.  Raises
+    ``ImportError`` when numpy is missing.
+    """
+    _require_numpy()
+    csr = csr_snapshot(network)
+    version = getattr(network, "version", None)
+    if version is None:
+        return VecGraph(csr)
+    with _VEC_LOCK:
+        memo = _VEC_SNAPSHOTS.get(network)
+    if memo is not None and memo[0] == version and memo[1].csr is csr:
+        return memo[1]
+    vec = VecGraph(csr)
+    with _VEC_LOCK:
+        _VEC_SNAPSHOTS[network] = (version, vec)
+    return vec
+
+
+def _sweep_tables(
+    vec: VecGraph,
+    src_idx: "np.ndarray",
+    dest_idx_rows: list[list[int]] | None,
+    stats: SearchStats,
+):
+    """Converge the batched frontier iteration; returns the dist table.
+
+    ``dist`` has shape ``(len(src_idx), num_nodes)``; row ``i`` holds
+    the (exact, Dijkstra-identical) distances from ``src_idx[i]`` to
+    every node that row settled.  ``dest_idx_rows`` gives each row's
+    needed destination indices for truncation (``None`` sweeps every
+    row to the full fixpoint).
+    """
+    n = vec.num_nodes
+    rows = len(src_idx)
+    offsets, targets, weights, deg = (
+        vec.offsets, vec.targets, vec.weights, vec.deg,
+    )
+    dist = np.full((rows, n), np.inf)
+    flat = dist.ravel()  # writable view: entry (row, v) lives at row*n + v
+    row_ids = np.arange(rows)
+    dist[row_ids, src_idx] = 0.0
+    # The frontier is a flat vector of (row, node) entries encoded as
+    # row*n + node: every improved label is relaxed out on the very next
+    # wave, so each wave's arrays are sized by the entries that actually
+    # changed — no dense (rows, n) active plane and no cross-row waste
+    # when the per-source wavefronts do not overlap.
+    frontier = row_ids * n + src_idx
+    dest_pad = None
+    if dest_idx_rows is not None:
+        width = max(1, max(len(d) for d in dest_idx_rows))
+        dest_pad = np.empty((rows, width), dtype=np.int64)
+        for i, dests in enumerate(dest_idx_rows):
+            # A row with no needed destinations is capped at its own
+            # source (label 0), so its frontier prunes immediately.
+            pad = dests[0] if dests else int(src_idx[i])
+            dest_pad[i, : len(dests)] = dests
+            dest_pad[i, len(dests):] = pad
+    settled = relaxed = 0
+    pushes = rows
+    maxd = 0.0
+    while frontier.size:
+        f_node = frontier % n
+        entry_vals = flat[frontier]
+        settled += int(frontier.size)
+        wave_max = float(entry_vals.max())
+        if wave_max > maxd:
+            maxd = wave_max
+        d_e = deg[f_node]
+        total = int(d_e.sum())
+        relaxed += total
+        if total == 0:
+            break
+        # Flatten the CSR slices of every frontier entry into one edge
+        # list: e_idx[k] walks offsets[u]..offsets[u]+deg[u] per entry.
+        prefix = np.concatenate(([0], np.cumsum(d_e)[:-1]))
+        e_idx = np.repeat(offsets[f_node] - prefix, d_e) + np.arange(total)
+        cand = np.repeat(entry_vals, d_e) + weights[e_idx]
+        key = np.repeat(frontier - f_node, d_e) + targets[e_idx]
+        # Segment-min per distinct (row, target) key (duplicates arise
+        # when two frontier nodes share a neighbor), one scatter a wave.
+        order = np.argsort(key, kind="stable")
+        ksorted = key[order]
+        bounds = np.nonzero(
+            np.concatenate(([True], ksorted[1:] != ksorted[:-1]))
+        )[0]
+        uniq = ksorted[bounds]
+        mins = np.minimum.reduceat(cand[order], bounds)
+        imp = mins < flat[uniq]
+        if not imp.any():
+            break
+        improved = uniq[imp]
+        better = mins[imp]
+        flat[improved] = better
+        pushes += int(improved.size)
+        if dest_pad is not None:
+            # Truncation: an improved label re-enters the frontier only
+            # if it could still improve a destination its row needs
+            # (the bound only shrinks, so dropped entries stay useless).
+            caps = dist[row_ids[:, None], dest_pad].max(axis=1)
+            improved = improved[better < caps[improved // n]]
+        frontier = improved
+    stats.settled_nodes += settled
+    stats.relaxed_edges += relaxed
+    stats.heap_pushes += pushes
+    if maxd > stats.max_settled_distance:
+        stats.max_settled_distance = maxd
+    rec = _obs_record.RECORDER
+    if rec is not None:
+        rec.record("vec_sweep", settled, relaxed, pushes)
+    return dist
+
+
+def _walk_back(
+    csr: CSRGraph, dist_row: list, s_idx: int, t_idx: int
+) -> PathResult:
+    """Reconstruct one tree path from the converged labels.
+
+    Follows exact label equalities backward through the reverse
+    adjacency; every equality hop has ``dist[u] <= dist[v]`` with
+    strict decrease preferred, so the walk terminates and the node
+    sequence's weight sum reproduces ``dist[t]`` bit-for-bit.
+    """
+    node_ids = csr.node_ids
+    if s_idx == t_idx:
+        return _trivial(node_ids[s_idx])
+    roffsets, rtargets, rweights = csr.reverse_kernel_view()
+    sequence = [t_idx]
+    v = t_idx
+    hops = 0
+    limit = csr.num_nodes
+    while v != s_idx:
+        dv = dist_row[v]
+        parent = -1
+        fallback = -1
+        for e in range(roffsets[v], roffsets[v + 1]):
+            u = rtargets[e]
+            du = dist_row[u]
+            if du + rweights[e] == dv:
+                if du < dv:
+                    parent = u
+                    break
+                if fallback < 0:
+                    fallback = u  # zero-weight hop
+        if parent < 0:
+            parent = fallback
+        hops += 1
+        if parent < 0 or hops > limit:  # pragma: no cover - defensive
+            raise NoPathError(node_ids[s_idx], node_ids[t_idx])
+        sequence.append(parent)
+        v = parent
+    sequence.reverse()
+    return PathResult(
+        source=node_ids[s_idx],
+        destination=node_ids[t_idx],
+        nodes=tuple(node_ids[i] for i in sequence),
+        distance=dist_row[t_idx],
+    )
+
+
+def _trivial(node: NodeId) -> PathResult:
+    return PathResult(node, node, (node,), 0.0)
+
+
+def vec_batch_paths(
+    network,
+    sources: Sequence[NodeId],
+    destinations_per_source: Sequence[Iterable[NodeId]],
+    vec: VecGraph | None = None,
+    stats: SearchStats | None = None,
+    strict: bool = True,
+) -> list[dict[NodeId, PathResult]]:
+    """All per-source SSMD trees of a batch in one 2-D frontier sweep.
+
+    Row ``i`` of the result maps each destination in
+    ``destinations_per_source[i]`` to its :class:`PathResult` from
+    ``sources[i]``.  Distances and union-pass slicing semantics match
+    :func:`repro.search.kernels.csr_dijkstra_to_many` exactly: with
+    ``strict`` an unreachable destination raises
+    :class:`~repro.exceptions.NoPathError`, otherwise it is omitted
+    from its row.
+
+    Raises
+    ------
+    ImportError
+        When numpy is missing (use the scalar kernels instead).
+    UnknownNodeError
+        If any endpoint is missing from the network.
+    """
+    _require_numpy()
+    if vec is None:
+        vec = vec_snapshot(network)
+    if stats is None:
+        stats = SearchStats()
+    csr = vec.csr
+    src_idx = np.fromiter(
+        (csr.index(s) for s in sources), dtype=np.int64, count=len(sources)
+    )
+    dest_ids_rows = [list(dests) for dests in destinations_per_source]
+    dest_idx_rows = [
+        [csr.index(t) for t in dests] for dests in dest_ids_rows
+    ]
+    if len(src_idx) == 0 or not any(dest_idx_rows):
+        return [{} for _ in dest_idx_rows]
+    dist = _sweep_tables(vec, src_idx, dest_idx_rows, stats)
+    out: list[dict[NodeId, PathResult]] = []
+    for i, dests in enumerate(dest_ids_rows):
+        row = dist[i].tolist()
+        s_idx = int(src_idx[i])
+        paths: dict[NodeId, PathResult] = {}
+        for t, t_idx in zip(dests, dest_idx_rows[i]):
+            if row[t_idx] == _INF:
+                if strict:
+                    raise NoPathError(sources[i], t)
+                continue
+            paths[t] = _walk_back(csr, row, s_idx, t_idx)
+        out.append(paths)
+    return out
+
+
+def vec_dijkstra_path(
+    network,
+    source: NodeId,
+    destination: NodeId,
+    vec: VecGraph | None = None,
+    stats: SearchStats | None = None,
+) -> PathResult:
+    """Point-to-point query on the vectorized kernel.
+
+    Same contract (and bit-identical distances) as
+    :func:`repro.search.kernels.csr_dijkstra_path` — a one-row batch of
+    :func:`vec_batch_paths` truncated at the single destination.
+    """
+    _require_numpy()
+    if vec is None:
+        vec = vec_snapshot(network)
+    if source == destination:
+        vec.csr.index(source)
+        return _trivial(source)
+    rows = vec_batch_paths(
+        network, [source], [[destination]], vec=vec, stats=stats
+    )
+    return rows[0][destination]
+
+
+class VecSharedTreeProcessor(PreprocessingProcessor):
+    """The paper's shared SSMD trees on the batched numpy kernel.
+
+    Registered as ``"dijkstra-vec"``: identical strategy, distances and
+    union-pass slicing to
+    :class:`~repro.search.kernels.CSRSharedTreeProcessor`, but every
+    per-source tree of a batch (or of a coalesced union pass) grows
+    inside one shared 2-D frontier sweep.
+    """
+
+    name = "dijkstra-vec"
+
+    def _build(self, network) -> VecGraph:
+        return vec_snapshot(network)
+
+    def process(self, network, sources, destinations) -> MSMDResult:
+        """Grow every source's SSMD tree in one batched sweep."""
+        _validate(sources, destinations)
+        vec = self.artifact_for(network)
+        result = MSMDResult()
+        trees = vec_batch_paths(
+            network,
+            sources,
+            [destinations] * len(sources),
+            vec=vec,
+            stats=result.stats,
+        )
+        for s, paths in zip(sources, trees):
+            for t in destinations:
+                result.paths[(s, t)] = paths[t]
+        result.searches = len(sources)
+        return result
+
+    def process_union(self, network, set_queries) -> UnionPassResult:
+        """One 2-D sweep over the distinct sources of all queries.
+
+        The batched twin of
+        :meth:`repro.search.kernels.CSRSharedTreeProcessor.process_union`:
+        each distinct source's row is truncated at the union of the
+        destinations any coalesced query needs from it, and the settled
+        region — hence every sliced path — is bit-identical to a solo
+        evaluation of that query.
+        """
+        vec = self.artifact_for(network)
+        checked = _screen_union_queries(vec, set_queries)
+        needed: dict[NodeId, dict[NodeId, None]] = {}
+        for k, (sources, destinations) in enumerate(set_queries):
+            if checked.errors[k] is not None:
+                continue
+            for s in sources:
+                dests = needed.setdefault(s, {})
+                for t in destinations:
+                    dests[t] = None
+        union_stats = SearchStats()
+        trees: dict[NodeId, dict[NodeId, PathResult]] = {}
+        if needed:
+            rows = vec_batch_paths(
+                network,
+                list(needed),
+                [list(dests) for dests in needed.values()],
+                vec=vec,
+                stats=union_stats,
+                strict=False,
+            )
+            trees = dict(zip(needed, rows))
+        return _slice_union_tables(
+            set_queries,
+            checked.errors,
+            lambda s, t: trees[s].get(t),
+            union_stats=union_stats,
+            union_searches=len(needed),
+            pairs_computed=sum(len(dests) for dests in needed.values()),
+        )

@@ -25,6 +25,15 @@ subpackage models that dimension twice over:
   redaction-enforced access logging (``repro serve``).
 """
 
+from repro.service.blob import (
+    Blob,
+    read_blob,
+    read_csr_blob,
+    read_overlay_blob,
+    write_blob,
+    write_csr_blob,
+    write_overlay_blob,
+)
 from repro.service.cache import (
     CacheSnapshot,
     PreprocessingCache,
@@ -81,4 +90,11 @@ __all__ = [
     "RecustomizeWorker",
     "TrafficPipeline",
     "PipelineSnapshot",
+    "Blob",
+    "read_blob",
+    "write_blob",
+    "read_csr_blob",
+    "write_csr_blob",
+    "read_overlay_blob",
+    "write_overlay_blob",
 ]

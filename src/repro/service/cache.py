@@ -12,10 +12,12 @@ the hot path.  This module provides the two thread-safe LRU caches the
   engine)``, holding whatever :meth:`SearchEngine.prepare` built
   (contracted graph, landmark index, partition overlay).  Contracted
   graphs evicted from memory spill to disk via
-  :mod:`repro.search.ch.persist`, partition overlays via
-  :func:`repro.search.overlay.write_overlay`, and both are reloaded on
-  the next miss, so even an evicted network never pays preprocessing
-  twice.  :meth:`PreprocessingCache.put` additionally accepts
+  :mod:`repro.search.ch.persist`; partition overlays and CSR snapshots
+  spill as the page-aligned binary blobs of :mod:`repro.service.blob`
+  and reload through one ``mmap`` — no text parsing, and CSR arrays
+  stay mapping-backed so a cold load faults in only the pages queries
+  touch.  Either way a reload on the next miss means an evicted
+  network never pays preprocessing twice.  :meth:`PreprocessingCache.put` additionally accepts
   externally built artifacts — the hook the serving stack's targeted
   re-customization path (:meth:`~repro.service.serving.ServingStack.reweight`)
   uses to install an incrementally updated overlay under the mutated
@@ -167,10 +169,11 @@ class PreprocessingCache:
     capacity:
         Maximum artifacts held in memory (>= 1).
     spill_dir:
-        Optional directory for disk spill.  On eviction, artifacts that
-        :mod:`repro.search.ch.persist` can serialize (contracted graphs)
-        are written to ``<fingerprint>-<engine>.ch``; a later miss for
-        the same key reloads the file instead of re-contracting.
+        Optional directory for disk spill.  On eviction, artifacts with
+        a persistent format are written to ``<fingerprint>-<engine>``
+        files (``.ch`` contracted graphs, ``.ovlb`` overlay blobs,
+        ``.csrb`` CSR blobs); a later miss for the same key reloads the
+        file instead of re-preprocessing.
 
     Examples
     --------
@@ -403,21 +406,33 @@ class PreprocessingCache:
     # ------------------------------------------------------------------
     # Disk spill (contracted graphs — directly for "ch", via the wrapped
     # graph for "ch-csr" flat hierarchies, see repro.search.ch.persist;
-    # partition overlays via repro.search.overlay's text format)
+    # partition overlays and CSR snapshots via the page-aligned binary
+    # blobs of repro.service.blob, mmap-backed on reload)
     # ------------------------------------------------------------------
-    #: engines whose artifacts spill via the overlay text format; the
+    #: engines whose artifacts spill via the overlay blob format; the
     #: one list both the path chooser and the loader consult, so the
     #: two can never disagree on a key's on-disk format.
-    _OVERLAY_SPILL_ENGINES = ("overlay", "overlay-csr")
+    _OVERLAY_SPILL_ENGINES = ("overlay", "overlay-csr", "overlay-nested")
+
+    #: engines whose artifacts are plain CSR snapshots, spilled as CSR
+    #: blobs and reloaded with mmap-backed arrays (first query faults in
+    #: exactly the pages it walks — cold warm-up is O(nodes), not O(m)).
+    _CSR_SPILL_ENGINES = ("dijkstra-csr", "bidirectional-csr")
 
     def _spill_path(self, key: tuple[str, str]) -> Path | None:
         if self._spill_dir is None:
             return None
         fingerprint, engine_name = key
-        suffix = "ovl" if engine_name in self._OVERLAY_SPILL_ENGINES else "ch"
+        if engine_name in self._OVERLAY_SPILL_ENGINES:
+            suffix = "ovlb"
+        elif engine_name in self._CSR_SPILL_ENGINES:
+            suffix = "csrb"
+        else:
+            suffix = "ch"
         return self._spill_dir / f"{fingerprint}-{engine_name}.{suffix}"
 
     def _spill(self, key: tuple[str, str], artifact: object) -> None:
+        from repro.network.csr import CSRGraph
         from repro.search.ch import ContractedGraph
         from repro.search.kernels import CSRHierarchy
         from repro.search.overlay import OverlayGraph
@@ -427,15 +442,27 @@ class PreprocessingCache:
             return
         if path.exists():  # an earlier eviction already persisted it
             return
-        if isinstance(artifact, OverlayGraph):
-            from repro.exceptions import GraphError
-            from repro.search.overlay import write_overlay
+        if key[1] in self._OVERLAY_SPILL_ENGINES:
+            if isinstance(artifact, OverlayGraph):
+                from repro.exceptions import GraphError
+                from repro.service.blob import write_overlay_blob
 
-            self._spill_dir.mkdir(parents=True, exist_ok=True)
-            try:
-                write_overlay(artifact, path)
-            except GraphError:  # non-integer node ids: spill is best-effort
-                path.unlink(missing_ok=True)
+                self._spill_dir.mkdir(parents=True, exist_ok=True)
+                try:
+                    write_overlay_blob(artifact, path)
+                except GraphError:  # non-int node ids: spill is best-effort
+                    path.unlink(missing_ok=True)
+            return
+        if key[1] in self._CSR_SPILL_ENGINES:
+            if isinstance(artifact, CSRGraph):
+                from repro.exceptions import GraphError
+                from repro.service.blob import write_csr_blob
+
+                self._spill_dir.mkdir(parents=True, exist_ok=True)
+                try:
+                    write_csr_blob(artifact, path)
+                except GraphError:  # non-int node ids: spill is best-effort
+                    path.unlink(missing_ok=True)
             return
         if isinstance(artifact, CSRHierarchy):
             # The flat arrays are a cheap derivative; persist the wrapped
@@ -453,9 +480,13 @@ class PreprocessingCache:
         if path is None or not path.exists():
             return None
         if key[1] in self._OVERLAY_SPILL_ENGINES:
-            from repro.search.overlay import read_overlay
+            from repro.service.blob import read_overlay_blob
 
-            return read_overlay(path, network)
+            return read_overlay_blob(path, network)
+        if key[1] in self._CSR_SPILL_ENGINES:
+            from repro.service.blob import read_csr_blob
+
+            return read_csr_blob(path)
         from repro.search.ch.persist import read_contracted
 
         graph = read_contracted(path)

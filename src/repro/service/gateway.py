@@ -28,7 +28,9 @@ queries and the worker's own :class:`~repro.service.serving.QueryCoalescer`
 Worker handoff: the parent warms its stack once, force-spills the
 preprocessing artifact (:meth:`~repro.service.cache.PreprocessingCache.spill_now`)
 and starts ``spawn`` workers pointed at the same spill directory — each
-worker's ``warm()`` is a disk load, not a rebuild.
+worker's ``warm()`` is an mmap-backed blob load
+(:mod:`repro.service.blob`), not a rebuild, so cold workers come up in
+milliseconds and report their measured ``warm_ms``.
 
 Privacy: the HTTP boundary upholds the obs-layer redaction invariant.
 Access-log fields are validated against
@@ -47,6 +49,7 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import math
 import multiprocessing
 import re
 import tempfile
@@ -206,7 +209,12 @@ def _error_response(
     wire = ErrorResponse(code, retry_after_s=retry_after_s)
     response = _HTTPResponse(_STATUS_FOR_CODE[code], wire.to_json())
     if retry_after_s is not None:
-        response.headers["Retry-After"] = f"{retry_after_s:.3f}"
+        # RFC 9110 §10.2.3: Retry-After is integer delta-seconds; the
+        # precise float hint stays in the JSON body (retry_after_s) for
+        # clients that understand it.
+        response.headers["Retry-After"] = str(
+            max(1, math.ceil(retry_after_s))
+        )
     return response
 
 
@@ -266,12 +274,19 @@ def _worker_main(conn, network, config: ServingConfig) -> None:
     """Entry point of one shard worker process.
 
     Builds a stack from the pickled ``(network, config)`` pair, warms
-    it (a disk load when the parent pre-spilled the artifact into the
-    shared spill dir) and serves pipe requests until ``stop``.
+    it (an mmap blob load when the parent pre-spilled the artifact into
+    the shared spill dir — see :mod:`repro.service.blob`) and serves
+    pipe requests until ``stop``.  The measured warm-up wall time is
+    reported as ``warm_ms`` in every ``metrics`` reply, so the gateway
+    gate can assert cold workers start in milliseconds.
     """
+    import time
+
     stack = ServingStack.from_config(network, config)
     try:
+        t0 = time.perf_counter()
         stack.warm()
+        warm_ms = (time.perf_counter() - t0) * 1000.0
         while True:
             message = conn.recv()
             op = message[0]
@@ -294,7 +309,9 @@ def _worker_main(conn, network, config: ServingConfig) -> None:
                         "epoch": outcome.epoch,
                     }))
                 elif op == "metrics":
-                    conn.send(("ok", _shard_report(stack)))
+                    report = _shard_report(stack)
+                    report["warm_ms"] = round(warm_ms, 3)
+                    conn.send(("ok", report))
                 else:
                     conn.send(("err", "internal"))
             except Exception:

@@ -18,6 +18,7 @@ from the command line via ``repro loadgen`` / ``tools/loadgen.py``.
 from __future__ import annotations
 
 import asyncio
+import json
 import time
 from collections import Counter
 from collections.abc import Sequence
@@ -26,7 +27,39 @@ from dataclasses import dataclass, field
 from repro.service.stats import percentile
 from repro.service.wire import RouteRequest
 
-__all__ = ["LoadReport", "run_load", "run_load_async"]
+__all__ = ["LoadReport", "parse_retry_after", "run_load", "run_load_async"]
+
+# 429 backoff policy: how many times one request is retried before the
+# final 429 is recorded as an error, and the longest single sleep the
+# server hint is clamped to (keeps a misconfigured hint from stalling a
+# bench run).
+_MAX_RETRIES_429 = 2
+_MAX_BACKOFF_S = 1.0
+
+
+def parse_retry_after(header: str | None, payload: bytes) -> float | None:
+    """Backoff hint (seconds) from a 429 response, or ``None``.
+
+    The gateway sends the hint twice: a precise float ``retry_after_s``
+    field in the JSON error body, and an RFC 9110 integer delta-seconds
+    ``Retry-After`` header (which must round up, so it overstates).  The
+    body wins when both parse; the header is the fallback for any
+    RFC-compliant server.
+    """
+    try:
+        hint = json.loads(payload.decode("utf-8")).get("retry_after_s")
+        if isinstance(hint, (int, float)) and hint >= 0:
+            return float(hint)
+    except (ValueError, AttributeError):
+        pass
+    if header is not None:
+        try:
+            value = float(header.strip())
+        except ValueError:
+            return None
+        if value >= 0:
+            return value
+    return None
 
 
 @dataclass(slots=True)
@@ -102,8 +135,12 @@ async def _http_post(
     host: str,
     path: str,
     body: bytes,
-) -> tuple[int, bytes]:
-    """One keep-alive POST round-trip; returns ``(status, body)``."""
+) -> tuple[int, bytes, str | None]:
+    """One keep-alive POST round-trip.
+
+    Returns ``(status, body, retry_after)`` where ``retry_after`` is the
+    raw ``Retry-After`` header value when the server sent one.
+    """
     head = (
         f"POST {path} HTTP/1.1\r\n"
         f"Host: {host}\r\n"
@@ -118,11 +155,15 @@ async def _http_post(
     lines = header_block.decode("latin-1").split("\r\n")
     status = int(lines[0].split(" ", 2)[1])
     length = 0
+    retry_after: str | None = None
     for line in lines[1:]:
-        if line.lower().startswith("content-length:"):
+        lowered = line.lower()
+        if lowered.startswith("content-length:"):
             length = int(line.split(":", 1)[1].strip())
+        elif lowered.startswith("retry-after:"):
+            retry_after = line.split(":", 1)[1].strip()
     payload = await reader.readexactly(length) if length else b""
-    return status, payload
+    return status, payload, retry_after
 
 
 async def _client(
@@ -133,24 +174,40 @@ async def _client(
     report: LoadReport,
     capture_payloads: bool,
 ) -> None:
-    """One load client: a single connection replaying its body slice."""
+    """One load client: a single connection replaying its body slice.
+
+    Honors 429 admission refusals: the request is retried up to
+    ``_MAX_RETRIES_429`` times after sleeping for the server's
+    ``Retry-After`` hint (float JSON body or integer header, via
+    :func:`parse_retry_after`).  Every attempt is recorded in the
+    report; only a 429 that exhausts its retries counts as an error.
+    """
     if not bodies:
         return
     reader, writer = await asyncio.open_connection(host, port)
     try:
         for body in bodies:
-            t0 = time.perf_counter()
-            status, payload = await _http_post(
-                reader, writer, host, path, body
-            )
-            elapsed = time.perf_counter() - t0
-            report.latencies.append(elapsed)
-            report.requests += 1
-            report.status_counts[status] += 1
-            if status != 200:
-                report.errors += 1
-            if capture_payloads:
-                report.payloads.append(payload)
+            attempts_left = _MAX_RETRIES_429
+            while True:
+                t0 = time.perf_counter()
+                status, payload, retry_after = await _http_post(
+                    reader, writer, host, path, body
+                )
+                elapsed = time.perf_counter() - t0
+                report.latencies.append(elapsed)
+                report.requests += 1
+                report.status_counts[status] += 1
+                if status == 429 and attempts_left > 0:
+                    attempts_left -= 1
+                    hint = parse_retry_after(retry_after, payload)
+                    delay = 0.05 if hint is None else hint
+                    await asyncio.sleep(min(delay, _MAX_BACKOFF_S))
+                    continue
+                if status != 200:
+                    report.errors += 1
+                if capture_payloads:
+                    report.payloads.append(payload)
+                break
     finally:
         writer.close()
         try:

@@ -154,3 +154,60 @@ class TestNumpyView:
         assert np.shares_memory(
             views["weights"], np.frombuffer(csr.weights)
         )
+
+    def test_views_are_read_only(self, small_grid):
+        np = pytest.importorskip("numpy")
+        csr = csr_snapshot(small_grid)
+        views = csr.as_numpy()
+        before = {k: bytes(getattr(csr, k)) for k in views}
+        for name, view in views.items():
+            assert not view.flags.writeable, name
+            with pytest.raises(ValueError):
+                view[0] = 999
+        # The memoized snapshot's buffers survived every attempt.
+        for name in views:
+            assert bytes(getattr(csr, name)) == before[name], name
+        assert csr_snapshot(small_grid) is csr
+
+    def test_empty_graph_views(self):
+        pytest.importorskip("numpy")
+        views = csr_snapshot(RoadNetwork()).as_numpy()
+        assert views["offsets"].tolist() == [0]
+        assert views["targets"].shape == (0,)
+        assert views["weights"].shape == (0,)
+        assert not views["offsets"].flags.writeable
+
+
+class TestKernelViewRace:
+    def test_concurrent_first_calls_share_one_view(self):
+        import threading
+
+        net = one_way_grid_network(12, 12, seed=5)
+        csr = csr_snapshot(net)
+        barrier = threading.Barrier(8)
+        results: list[tuple] = []
+        lock = threading.Lock()
+
+        def grab():
+            barrier.wait()
+            forward = csr.kernel_view()
+            backward = csr.reverse_kernel_view()
+            with lock:
+                results.append((forward, backward))
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 8
+        first_f, first_b = results[0]
+        assert all(f is first_f and b is first_b for f, b in results)
+        assert first_f[0] == list(csr.offsets)
+        assert first_b[1] == list(csr.rtargets)
+
+    def test_undirected_reverse_view_aliases_forward(self, small_grid):
+        csr = csr_snapshot(small_grid)
+        assert csr.reverse_kernel_view() is csr.kernel_view()
+        # And the memoized alias is stable on repeat calls.
+        assert csr.reverse_kernel_view() is csr.reverse_kernel_view()

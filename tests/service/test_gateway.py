@@ -236,10 +236,38 @@ class TestErrors:
         doc = json.loads(body)
         assert status == 429
         assert doc["error"] == "overloaded"
+        # Precise float hint in the body, RFC 9110 integer delta-seconds
+        # (rounded up, never 0) on the wire header.
         assert doc["retry_after_s"] == gateway.config.retry_after_s
-        assert headers.get("Retry-After") == (
-            f"{gateway.config.retry_after_s:.3f}"
-        )
+        assert headers.get("Retry-After") == "1"
+        assert headers["Retry-After"].isdigit()
+
+    def test_retry_after_header_rounds_up(self):
+        from repro.service.gateway import _error_response
+
+        assert _error_response(
+            "overloaded", retry_after_s=0.05
+        ).headers["Retry-After"] == "1"
+        assert _error_response(
+            "overloaded", retry_after_s=2.2
+        ).headers["Retry-After"] == "3"
+        assert _error_response(
+            "overloaded", retry_after_s=4.0
+        ).headers["Retry-After"] == "4"
+        assert "Retry-After" not in _error_response("internal").headers
+
+    def test_loadgen_parses_both_retry_hints(self):
+        from repro.workloads.loadgen import parse_retry_after
+
+        body = json.dumps(
+            {"error": "overloaded", "retry_after_s": 0.05}
+        ).encode()
+        # Body float wins over the coarser header.
+        assert parse_retry_after("1", body) == 0.05
+        # Header alone (any RFC-compliant server) still parses.
+        assert parse_retry_after("3", b"not json") == 3.0
+        assert parse_retry_after("junk", b"{}") is None
+        assert parse_retry_after(None, b"") is None
 
 
 class TestRequestId:
@@ -362,3 +390,7 @@ class TestShardWorkers:
             _, _, metrics = _request(srv, "GET", f"{API_PREFIX}/metrics")
             shards = json.loads(metrics)["shards"]
             assert [shard["epoch"] for shard in shards] == [1, 1]
+            # every worker reports its measured cold warm-up time; with
+            # the parent's pre-spilled blob it is a disk load, not a
+            # rebuild, so it is bounded and strictly positive
+            assert all(shard["warm_ms"] > 0.0 for shard in shards)

@@ -258,7 +258,7 @@ class TestOverlaySpill:
         assert isinstance(overlay, OverlayGraph)
         other = grid_network(5, 5, seed=1)
         cache.get(other, "dijkstra-csr")  # evicts (and spills) the overlay
-        assert list(tmp_path.glob("*.ovl")), "overlay spill file missing"
+        assert list(tmp_path.glob("*.ovlb")), "overlay spill file missing"
         reloaded = cache.get(net, "overlay-csr")
         assert cache.disk_loads == 1
         assert dumps_overlay(reloaded) == dumps_overlay(overlay)
@@ -274,4 +274,4 @@ class TestOverlaySpill:
         cache.get(net, "overlay")
         other = grid_network(4, 4, seed=1)
         cache.get(other, "dijkstra")  # evicts; spill must not blow up
-        assert not list(tmp_path.glob("*.ovl"))
+        assert not list(tmp_path.glob("*.ovlb"))

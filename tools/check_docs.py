@@ -46,7 +46,9 @@ DOCSTRING_AUDIT_FILES = [
     "src/repro/search/kernels.py",
     "src/repro/search/multi.py",
     "src/repro/search/overlay.py",
+    "src/repro/search/vectorized.py",
     "src/repro/service/__init__.py",
+    "src/repro/service/blob.py",
     "src/repro/service/cache.py",
     "src/repro/service/gateway.py",
     "src/repro/service/pipeline.py",
