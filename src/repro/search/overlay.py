@@ -247,6 +247,8 @@ class OverlayGraph:
         "_bys",
         "customize_stats",
         "customized_cells",
+        "_cell_sigs",
+        "_customizer",
     )
 
     def __init__(
@@ -260,6 +262,7 @@ class OverlayGraph:
         customize_stats: SearchStats,
         customized_cells: int,
         metric: bool | None = None,
+        _customizer=None,
     ) -> None:
         self.network = network
         self.partition = partition
@@ -269,7 +272,17 @@ class OverlayGraph:
         self._cell_rcsr = cell_rcsr
         self.customize_stats = customize_stats
         self.customized_cells = customized_cells
+        # Per-cell intra-cell weight fingerprints captured when the
+        # cliques were computed; recustomized() skips cells whose
+        # fingerprint still matches the target network (no-op cells).
+        # Deserialized overlays start empty and recompute conservatively.
+        self._cell_sigs: dict[int, int] = {}
+        # Transient parallel-customization handle, only read during
+        # construction (the nested subclass's supercell pass); cleared
+        # immediately so an overlay never pins a worker pool.
+        self._customizer = _customizer
         self._assemble(metric)
+        self._customizer = None
 
     # ------------------------------------------------------------------
     # Construction / customization
@@ -281,6 +294,8 @@ class OverlayGraph:
         partition: Partition | None = None,
         cell_capacity: int | None = None,
         kernel: str = "dict",
+        parallel: int | None = None,
+        customizer=None,
         **extra,
     ) -> "OverlayGraph":
         """Partition (if needed) and customize every cell.
@@ -289,30 +304,72 @@ class OverlayGraph:
         subclasses with additional knobs (:class:`NestedOverlayGraph`'s
         ``super_capacity``) build through this same entry point.
 
+        Parameters
+        ----------
+        parallel:
+            Fan the per-cell clique computations out to this many worker
+            processes via a transient
+            :class:`~repro.search.parallel.ParallelCustomizer` (closed
+            before returning).  The result is byte-identical
+            (:func:`dumps_overlay`) to the serial build.  ``None`` or
+            ``1`` keeps the serial loop.
+        customizer:
+            A caller-owned
+            :class:`~repro.search.parallel.ParallelCustomizer` to use
+            instead (kept open — the serving stack reuses one pool
+            across re-weights).  Takes precedence over ``parallel``.
+
         Raises
         ------
         GraphError
-            For an unknown ``kernel``.
+            For an unknown ``kernel``, or (parallel path) non-integer
+            node ids.
         """
         if kernel not in _KERNELS:
             raise GraphError(f"unknown overlay kernel {kernel!r}")
         if partition is None:
             partition = partition_snapshot(network, cell_capacity)
-        stats = SearchStats()
-        cliques: list[dict] = []
-        cell_csr: list = []
-        cell_rcsr: list = []
-        for cell in range(partition.num_cells):
-            fcsr, rcsr = cls._cell_graphs(network, partition, cell, kernel)
-            cell_csr.append(fcsr)
-            cell_rcsr.append(rcsr)
-            cliques.append(
-                cls._customize_cell(network, partition, cell, kernel, fcsr, stats)
+        owned = None
+        if customizer is None and parallel is not None and int(parallel) > 1:
+            from repro.search.parallel import ParallelCustomizer
+
+            owned = customizer = ParallelCustomizer(int(parallel))
+        try:
+            stats = SearchStats()
+            cliques: list[dict] = []
+            cell_csr: list = []
+            cell_rcsr: list = []
+            computed = None
+            if customizer is not None and partition.num_cells > 1:
+                computed = customizer.customize(
+                    network, partition, kernel, range(partition.num_cells),
+                    stats, changed_edges=None,
+                )
+            elif customizer is not None:
+                customizer.note_changes(network, None)
+            for cell in range(partition.num_cells):
+                fcsr, rcsr = cls._cell_graphs(network, partition, cell, kernel)
+                cell_csr.append(fcsr)
+                cell_rcsr.append(rcsr)
+                if computed is not None:
+                    cliques.append(computed[cell])
+                else:
+                    cliques.append(
+                        cls._customize_cell(
+                            network, partition, cell, kernel, fcsr, stats
+                        )
+                    )
+            overlay = cls(
+                network, partition, kernel, cliques, cell_csr, cell_rcsr,
+                stats, partition.num_cells, _customizer=customizer, **extra,
             )
-        return cls(
-            network, partition, kernel, cliques, cell_csr, cell_rcsr,
-            stats, partition.num_cells, **extra,
-        )
+        finally:
+            if owned is not None:
+                owned.close()
+        sigs = overlay._cell_sigs
+        for cell, members in enumerate(partition.cells):
+            sigs[cell] = _cell_signature(network, members)
+        return overlay
 
     @staticmethod
     def _cell_graphs(network, partition: Partition, cell: int, kernel: str):
@@ -387,6 +444,8 @@ class OverlayGraph:
         self,
         cells: Iterable[int] | None = None,
         changed_edges: Iterable[Sequence[NodeId]] | None = None,
+        parallel: int | None = None,
+        customizer=None,
     ) -> "OverlayGraph":
         """A new overlay with only the given cells' cliques recomputed.
 
@@ -412,6 +471,10 @@ class OverlayGraph:
             refresh on a large map.  Omitted, or starting from a
             non-metric overlay (the flag could flip back on), the flag
             is recomputed from scratch.
+        parallel, customizer:
+            Parallel-customization knobs, exactly as on :meth:`build`;
+            the touched cells' cliques are computed on the worker pool
+            when more than one cell actually needs recomputing.
 
         Raises
         ------
@@ -419,7 +482,8 @@ class OverlayGraph:
             For an out-of-range cell index.
         """
         return self.recustomized_on(
-            self.network, cells=cells, changed_edges=changed_edges
+            self.network, cells=cells, changed_edges=changed_edges,
+            parallel=parallel, customizer=customizer,
         )
 
     def recustomized_on(
@@ -427,6 +491,8 @@ class OverlayGraph:
         network,
         cells: Iterable[int] | None = None,
         changed_edges: Iterable[Sequence[NodeId]] | None = None,
+        parallel: int | None = None,
+        customizer=None,
     ) -> "OverlayGraph":
         """:meth:`recustomized`, but binding the result to ``network``.
 
@@ -466,35 +532,76 @@ class OverlayGraph:
         cliques = list(self.cliques)
         cell_csr = list(self._cell_csr)
         cell_rcsr = list(self._cell_rcsr)
+        # No-op cell skip: a touched cell whose intra-cell weight
+        # fingerprint is unchanged on the target network (e.g. a
+        # re-weight that restored the previous value, or a wide batch
+        # that only grazed the cell's cut edges) keeps its clique tables
+        # and per-cell CSR snapshots — they are still exact for the new
+        # weights by the fingerprint match.
+        old_sigs = self._cell_sigs
+        new_sigs = dict(old_sigs)
+        work: list[int] = []
         for cell in sorted(touched):
-            fcsr, rcsr = self._cell_graphs(
-                network, partition, cell, self.kernel
+            sig = _cell_signature(network, partition.cells[cell])
+            if cell in old_sigs and old_sigs[cell] == sig:
+                continue
+            new_sigs[cell] = sig
+            work.append(cell)
+        owned = None
+        if customizer is None and parallel is not None and int(parallel) > 1:
+            from repro.search.parallel import ParallelCustomizer
+
+            owned = customizer = ParallelCustomizer(int(parallel))
+        try:
+            use_pool = customizer is not None and len(work) > 1
+            if customizer is not None and not use_pool:
+                # Keep a persistent pool's cumulative delta map coherent
+                # even when this refresh is handled serially.
+                customizer.note_changes(network, changed_edges)
+            for cell in work:
+                fcsr, rcsr = self._cell_graphs(
+                    network, partition, cell, self.kernel
+                )
+                cell_csr[cell] = fcsr
+                cell_rcsr[cell] = rcsr
+                if not use_pool:
+                    cliques[cell] = self._customize_cell(
+                        network, partition, cell, self.kernel, fcsr, stats
+                    )
+            if use_pool:
+                computed = customizer.customize(
+                    network, partition, self.kernel, work, stats,
+                    changed_edges=changed_edges,
+                )
+                for cell in work:
+                    cliques[cell] = computed[cell]
+            metric: bool | None = None
+            if changed_edges is not None and self.metric:
+                metric = all(
+                    _edge_is_metric(network, edge[0], edge[1])
+                    for edge in changed_edges
+                )
+            result = self._rebuilt(
+                network, cliques, cell_csr, cell_rcsr, stats, set(work),
+                metric, changed_edges, customizer if use_pool else None,
             )
-            cell_csr[cell] = fcsr
-            cell_rcsr[cell] = rcsr
-            cliques[cell] = self._customize_cell(
-                network, partition, cell, self.kernel, fcsr, stats
-            )
-        metric: bool | None = None
-        if changed_edges is not None and self.metric:
-            metric = all(
-                _edge_is_metric(network, edge[0], edge[1])
-                for edge in changed_edges
-            )
-        return self._rebuilt(
-            network, cliques, cell_csr, cell_rcsr, stats, touched,
-            metric, changed_edges,
-        )
+        finally:
+            if owned is not None:
+                owned.close()
+        result._cell_sigs = new_sigs
+        return result
 
     def _rebuilt(
         self, network, cliques, cell_csr, cell_rcsr, stats, touched,
-        metric, changed_edges,
+        metric, changed_edges, customizer=None,
     ) -> "OverlayGraph":
         """Construct the recustomized copy (subclass hook).
 
         Subclasses carrying derived state (:class:`NestedOverlayGraph`'s
         supercell tables) override this to thread sharing information
-        from ``touched``/``changed_edges`` into their constructor.
+        from ``touched``/``changed_edges`` into their constructor, and
+        to fan an affected-supercell rebuild out to ``customizer``'s
+        pool when one is live for this refresh.
         """
         return type(self)(
             network, self.partition, self.kernel, cliques, cell_csr,
@@ -803,18 +910,46 @@ def _through_boundary(network, path: PathResult, bset: frozenset) -> bool:
     return False
 
 
+def _cell_signature(network, members: Sequence[NodeId]) -> int:
+    """Order-sensitive fingerprint of a cell's intra-cell arc weights.
+
+    Hashes the ``(u, v, w)`` triples in member order and adjacency
+    insertion order — exactly the arcs a cell's clique depends on (cut
+    arcs are excluded; their weights live only in the flat overlay
+    arrays, which every refresh re-reads).  :meth:`OverlayGraph
+    .recustomized` compares fingerprints captured at customization time
+    against the target network to skip no-op cells.  A hash collision
+    would wrongly skip a cell; with 64-bit tuple hashing over
+    already-distinct floats that risk is negligible for a performance
+    shortcut (and disappears entirely for deserialized overlays, which
+    carry no fingerprints and always recompute).
+    """
+    mset = frozenset(members)
+    arcs = []
+    for u in members:
+        for v, w in network.neighbors(u).items():
+            if v in mset:
+                arcs.append((u, v, w))
+    return hash(tuple(arcs))
+
+
 def build_overlay(
     network,
     partition: Partition | None = None,
     cell_capacity: int | None = None,
     kernel: str = "dict",
+    parallel: int | None = None,
+    customizer=None,
 ) -> OverlayGraph:
     """Partition ``network`` (unless given) and customize every cell.
 
     See :class:`OverlayGraph`; this is the non-memoized entry point.
+    ``parallel``/``customizer`` fan the per-cell clique work out to a
+    worker pool (see :meth:`OverlayGraph.build`).
     """
     return OverlayGraph.build(
-        network, partition=partition, cell_capacity=cell_capacity, kernel=kernel
+        network, partition=partition, cell_capacity=cell_capacity,
+        kernel=kernel, parallel=parallel, customizer=customizer,
     )
 
 
@@ -981,6 +1116,7 @@ class NestedOverlayGraph(OverlayGraph):
         metric: bool | None = None,
         super_capacity: int | None = None,
         _reuse: tuple | None = None,
+        _customizer=None,
     ) -> None:
         # Set before super().__init__ — the base constructor runs
         # _assemble, which our override extends with the supercell level.
@@ -989,6 +1125,7 @@ class NestedOverlayGraph(OverlayGraph):
         super().__init__(
             network, partition, kernel, cliques, cell_csr, cell_rcsr,
             customize_stats, customized_cells, metric=metric,
+            _customizer=_customizer,
         )
         self._reuse = None
 
@@ -1071,20 +1208,39 @@ class NestedOverlayGraph(OverlayGraph):
         self._sup_of = sup_of
         self._sup_members = [tuple(m) for m in members]
         self._sup_sboundary = [tuple(sb) for sb in sboundary]
+        todo = [
+            sc for sc in range(self.sup.num_cells)
+            if old is None or affected is None or sc in affected
+        ]
+        # Fan the supercell cliques out to the same worker pool as the
+        # cell pass when a customizer is live for this construction (a
+        # parallel full build, or a pooled recustomize whose churn spans
+        # more than one supercell).  Results are byte-identical — the
+        # workers run _super_customize over a spilled copy of the very
+        # arrays used here.
+        computed: dict = {}
+        if self._customizer is not None and len(todo) > 1:
+            computed = self._customizer.customize_super(
+                (self.over_offsets, self.over_targets,
+                 self.over_weights, self.over_kinds),
+                self._sup_members, self._sup_sboundary, todo,
+                self.customize_stats,
+            )
         sup_cliques: list[dict] = []
         customized = 0
         for sc in range(self.sup.num_cells):
             if old is not None and affected is not None and sc not in affected:
                 sup_cliques.append(old.sup_cliques[sc])
                 continue
-            sup_cliques.append(
-                _super_customize(
+            clique = computed.get(sc)
+            if clique is None:
+                clique = _super_customize(
                     self.over_offsets, self.over_targets,
                     self.over_weights, self.over_kinds,
                     self._sup_members[sc], self._sup_sboundary[sc],
                     self.customize_stats,
                 )
-            )
+            sup_cliques.append(clique)
             customized += 1
         self.sup_cliques = sup_cliques
         self.customized_supercells = customized
@@ -1134,7 +1290,7 @@ class NestedOverlayGraph(OverlayGraph):
 
     def _rebuilt(
         self, network, cliques, cell_csr, cell_rcsr, stats, touched,
-        metric, changed_edges,
+        metric, changed_edges, customizer=None,
     ) -> "NestedOverlayGraph":
         """Recustomized copy sharing unaffected supercell tables."""
         return type(self)(
@@ -1142,6 +1298,7 @@ class NestedOverlayGraph(OverlayGraph):
             cell_rcsr, stats, len(touched), metric=metric,
             super_capacity=self.super_capacity,
             _reuse=(self, self._affected_supercells(touched, changed_edges)),
+            _customizer=customizer,
         )
 
     def _affected_supercells(self, touched, changed_edges):
@@ -1395,14 +1552,23 @@ def build_nested_overlay(
     cell_capacity: int | None = None,
     kernel: str = "csr",
     super_capacity: int | None = None,
+    parallel: int | None = None,
+    customizer=None,
 ) -> NestedOverlayGraph:
-    """Build a :class:`NestedOverlayGraph` (non-memoized entry point)."""
+    """Build a :class:`NestedOverlayGraph` (non-memoized entry point).
+
+    ``parallel``/``customizer`` fan both customization passes — cell
+    cliques and supercell cliques — out to a worker pool (see
+    :meth:`OverlayGraph.build`).
+    """
     return NestedOverlayGraph.build(
         network,
         partition=partition,
         cell_capacity=cell_capacity,
         kernel=kernel,
         super_capacity=super_capacity,
+        parallel=parallel,
+        customizer=customizer,
     )
 
 

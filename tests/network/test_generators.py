@@ -185,3 +185,91 @@ class TestScaleFreeNetwork:
             scale_free_network(5, attachment=0)
         with pytest.raises(ValueError):
             scale_free_network(2, attachment=2)
+
+
+class TestMetroNetwork:
+    def test_deterministic_for_same_seed(self):
+        from repro.network.generators import metro_network
+
+        a = metro_network(900, seed=4)
+        b = metro_network(900, seed=4)
+        assert list(a.nodes()) == list(b.nodes())
+        assert list(a.edges()) == list(b.edges())
+        for node in a.nodes():
+            assert a.position(node) == b.position(node)
+
+    def test_different_seed_differs(self):
+        from repro.network.generators import metro_network
+
+        a = metro_network(900, seed=4)
+        b = metro_network(900, seed=5)
+        assert list(a.edges()) != list(b.edges())
+
+    def test_connected_and_near_requested_size(self):
+        from repro.network.generators import metro_network
+
+        net = metro_network(2000, seed=1)
+        assert net.is_connected()
+        # largest-component trim loses a fringe sliver at most
+        assert net.num_nodes > 2000 * 0.8
+
+    def test_degree_distribution_sane(self):
+        from repro.network.generators import metro_network
+
+        net = metro_network(2000, seed=2)
+        avg = 2.0 * net.num_edges / net.num_nodes
+        # a street grid with radial thinning: clearly sparser than the
+        # full lattice (4) and denser than a tree (2)
+        assert 2.0 < avg < 4.0
+
+    def test_core_denser_than_fringe(self):
+        from repro.network.generators import metro_network
+
+        net = metro_network(4000, core_drop=0.02, fringe_drop=0.6, seed=3)
+        xs = [net.position(n).x for n in net.nodes()]
+        ys = [net.position(n).y for n in net.nodes()]
+        cx = (min(xs) + max(xs)) / 2.0
+        cy = (min(ys) + max(ys)) / 2.0
+        span = (max(xs) - min(xs)) / 2.0
+        core_deg, core_n, fringe_deg, fringe_n = 0, 0, 0, 0
+        for node in net.nodes():
+            p = net.position(node)
+            r = ((p.x - cx) ** 2 + (p.y - cy) ** 2) ** 0.5
+            if r < span * 0.25:
+                core_deg += net.degree(node)
+                core_n += 1
+            elif r > span * 0.75:
+                fringe_deg += net.degree(node)
+                fringe_n += 1
+        assert core_n and fringe_n
+        assert core_deg / core_n > fringe_deg / fringe_n
+
+    def test_arterials_are_faster_than_length(self):
+        from repro.network.generators import metro_network
+
+        net = metro_network(2000, arterial_every=8, arterial_speedup=2.0,
+                            seed=6)
+        fast = 0
+        for u, v, w in net.edges():
+            pu, pv = net.position(u), net.position(v)
+            length = ((pu.x - pv.x) ** 2 + (pu.y - pv.y) ** 2) ** 0.5
+            if w < length * 0.75:
+                fast += 1
+        assert fast > 0
+
+    def test_undirected(self):
+        from repro.network.generators import metro_network
+
+        assert metro_network(400, seed=0).directed is False
+
+    def test_validations(self):
+        from repro.network.generators import metro_network
+
+        with pytest.raises(ValueError):
+            metro_network(2)
+        with pytest.raises(ValueError):
+            metro_network(400, fringe_drop=1.0)
+        with pytest.raises(ValueError):
+            metro_network(400, perturbation=-0.1)
+        with pytest.raises(ValueError):
+            metro_network(400, arterial_speedup=0.5)

@@ -84,3 +84,139 @@ class TestParsing:
         net = grid_network(6, 6, perturbation=0.2, seed=8)
         clone = loads_network(dumps_network(net))
         assert clone.num_edges == net.num_edges
+
+
+class TestDimacs:
+    """DIMACS 9th-Challenge ``.gr``/``.co`` interchange."""
+
+    def _renamed(self, net):
+        """A copy with dense 1-based ids (the DIMACS precondition)."""
+        from repro.network.io import write_dimacs  # noqa: F401
+
+        ids = {u: i + 1 for i, u in enumerate(net.nodes())}
+        clone = RoadNetwork(directed=net.directed)
+        for u in net.nodes():
+            p = net.position(u)
+            clone.add_node(ids[u], p.x, p.y)
+        for u, v, w in net.edges():
+            clone.add_edge(ids[u], ids[v], w)
+        return clone
+
+    def test_round_trip_exact(self, tmp_path):
+        from repro.network.io import read_dimacs, write_dimacs
+
+        net = self._renamed(grid_network(5, 4, perturbation=0.2, seed=9))
+        gr, co = tmp_path / "g.gr", tmp_path / "g.co"
+        write_dimacs(net, gr, co)
+        back = read_dimacs(gr, co, directed=False)
+        assert set(back.nodes()) == set(net.nodes())
+        assert back.num_edges == net.num_edges
+        for u in net.nodes():
+            assert back.position(u) == net.position(u)
+        for u, v, w in net.edges():
+            assert back.edge_weight(u, v) == w
+
+    def test_round_trip_directed(self, tmp_path):
+        from repro.network.io import read_dimacs, write_dimacs
+
+        net = RoadNetwork(directed=True)
+        net.add_node(1, 0.0, 0.0)
+        net.add_node(2, 1.5, 0.25)
+        net.add_edge(1, 2, 4.0)
+        net.add_edge(2, 1, 7.5)
+        gr = tmp_path / "d.gr"
+        write_dimacs(net, gr)
+        back = read_dimacs(gr, directed=True)
+        assert back.edge_weight(1, 2) == 4.0
+        assert back.edge_weight(2, 1) == 7.5
+
+    def test_without_coordinates_nodes_sit_at_origin(self, tmp_path):
+        from repro.network.io import read_dimacs
+
+        gr = tmp_path / "g.gr"
+        gr.write_text("c tiny\np sp 2 1\na 1 2 3.0\n")
+        net = read_dimacs(gr)
+        assert net.position(1).x == 0.0
+        assert net.position(2).y == 0.0
+        assert net.edge_weight(1, 2) == 3.0
+
+    def test_integral_weights_written_as_ints(self, tmp_path):
+        from repro.network.io import write_dimacs
+
+        net = RoadNetwork(directed=True)
+        net.add_node(1, 0, 0)
+        net.add_node(2, 1, 0)
+        net.add_edge(1, 2, 5.0)
+        gr = tmp_path / "i.gr"
+        write_dimacs(net, gr)
+        assert "a 1 2 5\n" in gr.read_text()
+
+    def test_malformed_arc_reports_line_number(self, tmp_path):
+        from repro.network.io import read_dimacs
+
+        gr = tmp_path / "bad.gr"
+        gr.write_text("c ok\np sp 2 1\na 1 two 3.0\n")
+        with pytest.raises(GraphError, match="malformed line 3"):
+            read_dimacs(gr)
+
+    def test_truncated_arc_reports_line_number(self, tmp_path):
+        from repro.network.io import read_dimacs
+
+        gr = tmp_path / "bad.gr"
+        gr.write_text("p sp 2 1\na 1\n")
+        with pytest.raises(GraphError, match="malformed line 2"):
+            read_dimacs(gr)
+
+    def test_arc_before_header_rejected(self, tmp_path):
+        from repro.network.io import read_dimacs
+
+        gr = tmp_path / "bad.gr"
+        gr.write_text("a 1 2 3.0\np sp 2 1\n")
+        with pytest.raises(GraphError, match="before 'p' header"):
+            read_dimacs(gr)
+
+    def test_arc_count_mismatch_rejected(self, tmp_path):
+        from repro.network.io import read_dimacs
+
+        gr = tmp_path / "bad.gr"
+        gr.write_text("p sp 2 2\na 1 2 3.0\n")
+        with pytest.raises(GraphError, match="declares 2 arcs, found 1"):
+            read_dimacs(gr)
+
+    def test_out_of_range_node_rejected(self, tmp_path):
+        from repro.network.io import read_dimacs
+
+        gr = tmp_path / "bad.gr"
+        gr.write_text("p sp 2 1\na 1 9 3.0\n")
+        with pytest.raises(GraphError, match="outside 1..2"):
+            read_dimacs(gr)
+
+    def test_malformed_coordinate_reports_line_number(self, tmp_path):
+        from repro.network.io import read_dimacs
+
+        gr = tmp_path / "g.gr"
+        gr.write_text("p sp 1 0\n")
+        co = tmp_path / "g.co"
+        co.write_text("p aux sp co 1\nv 1 x 0.0\n")
+        with pytest.raises(GraphError, match="malformed line 2"):
+            read_dimacs(gr, co)
+
+    def test_coordinate_count_mismatch_rejected(self, tmp_path):
+        from repro.network.io import read_dimacs
+
+        gr = tmp_path / "g.gr"
+        gr.write_text("p sp 2 0\n")
+        co = tmp_path / "g.co"
+        co.write_text("p aux sp co 2\nv 1 0.0 0.0\n")
+        with pytest.raises(GraphError, match="declares 2 nodes, lists 1"):
+            read_dimacs(gr, co)
+
+    def test_non_dense_ids_rejected_on_write(self, tmp_path):
+        from repro.network.io import write_dimacs
+
+        net = RoadNetwork()
+        net.add_node(1, 0, 0)
+        net.add_node(5, 1, 0)
+        net.add_edge(1, 5, 1.0)
+        with pytest.raises(GraphError):
+            write_dimacs(net, tmp_path / "g.gr")

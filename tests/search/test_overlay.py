@@ -180,6 +180,45 @@ class TestRecustomize:
             else:
                 assert refreshed.cliques[cell] is ov.cliques[cell]
 
+    def test_noop_cells_are_skipped(self, net, kernel):
+        """Re-writing an edge with its *unchanged* weight leaves the
+        intra-cell fingerprint intact: the cell is not recomputed and
+        its clique tables are shared with the source overlay."""
+        ov = build_overlay(net, cell_capacity=24, kernel=kernel)
+        u, v, w = next(
+            (u, v, w)
+            for u, v, w in net.edges()
+            if ov.touched_cells([(u, v)])
+        )
+        net.add_edge(u, v, w)  # same value: a no-op re-weight
+        touched = ov.touched_cells([(u, v)])
+        assert touched
+        refreshed = ov.recustomized(touched, changed_edges=[(u, v)])
+        assert refreshed.customized_cells == 0
+        for cell in range(ov.num_cells):
+            assert refreshed.cliques[cell] is ov.cliques[cell]
+        # A real change to the same edge must still recompute.
+        net.add_edge(u, v, w * 2.0)
+        refreshed = ov.recustomized(touched, changed_edges=[(u, v)])
+        assert refreshed.customized_cells == len(touched)
+
+    def test_deserialized_overlay_recomputes_conservatively(self, net, kernel):
+        """Fingerprints do not survive serialization; a loaded overlay
+        must recompute every touched cell rather than wrongly skip."""
+        from repro.search.overlay import dumps_overlay, loads_overlay
+
+        ov = build_overlay(net, cell_capacity=24, kernel=kernel)
+        loaded = loads_overlay(dumps_overlay(ov), net)
+        u, v, w = next(
+            (u, v, w)
+            for u, v, w in net.edges()
+            if ov.touched_cells([(u, v)])
+        )
+        net.add_edge(u, v, w)  # no-op, but the loaded overlay can't know
+        touched = loaded.touched_cells([(u, v)])
+        refreshed = loaded.recustomized(touched, changed_edges=[(u, v)])
+        assert refreshed.customized_cells == len(touched)
+
     def test_cut_edge_touches_no_cell_but_refreshes_weight(self, kernel):
         net = grid_network(8, 8, perturbation=0.1, seed=3)
         ov = build_overlay(net, cell_capacity=16, kernel=kernel)
