@@ -52,6 +52,7 @@ from __future__ import annotations
 import os
 import threading
 from collections import namedtuple
+from hashlib import blake2b
 from collections.abc import Iterable, Sequence
 from heapq import heappop, heappush
 from typing import TextIO
@@ -276,7 +277,7 @@ class OverlayGraph:
         # cliques were computed; recustomized() skips cells whose
         # fingerprint still matches the target network (no-op cells).
         # Deserialized overlays start empty and recompute conservatively.
-        self._cell_sigs: dict[int, int] = {}
+        self._cell_sigs: dict[int, bytes] = {}
         # Transient parallel-customization handle, only read during
         # construction (the nested subclass's supercell pass); cleared
         # immediately so an overlay never pins a worker pool.
@@ -910,19 +911,21 @@ def _through_boundary(network, path: PathResult, bset: frozenset) -> bool:
     return False
 
 
-def _cell_signature(network, members: Sequence[NodeId]) -> int:
+def _cell_signature(network, members: Sequence[NodeId]) -> bytes:
     """Order-sensitive fingerprint of a cell's intra-cell arc weights.
 
-    Hashes the ``(u, v, w)`` triples in member order and adjacency
+    Digests the ``(u, v, w)`` triples in member order and adjacency
     insertion order — exactly the arcs a cell's clique depends on (cut
     arcs are excluded; their weights live only in the flat overlay
     arrays, which every refresh re-reads).  :meth:`OverlayGraph
     .recustomized` compares fingerprints captured at customization time
-    against the target network to skip no-op cells.  A hash collision
-    would wrongly skip a cell; with 64-bit tuple hashing over
-    already-distinct floats that risk is negligible for a performance
-    shortcut (and disappears entirely for deserialized overlays, which
-    carry no fingerprints and always recompute).
+    against the target network to skip no-op cells.  A collision would
+    wrongly skip a cell and silently serve stale distances, so this is
+    a 128-bit ``blake2b`` over the exact ``repr`` of the arc list (ids
+    and shortest-roundtrip float text are unambiguous) rather than
+    Python's 64-bit ``hash()``, whose structured collisions on numeric
+    tuples would turn a performance shortcut into a correctness bet.
+    Deserialized overlays carry no fingerprints and always recompute.
     """
     mset = frozenset(members)
     arcs = []
@@ -930,7 +933,7 @@ def _cell_signature(network, members: Sequence[NodeId]) -> int:
         for v, w in network.neighbors(u).items():
             if v in mset:
                 arcs.append((u, v, w))
-    return hash(tuple(arcs))
+    return blake2b(repr(arcs).encode(), digest_size=16).digest()
 
 
 def build_overlay(

@@ -59,7 +59,7 @@ from array import array
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 
-from repro.exceptions import GraphError
+from repro.exceptions import GraphError, UnknownNodeError
 from repro.network.graph import Point
 from repro.search.result import PathResult, SearchStats
 
@@ -170,28 +170,31 @@ class _BlobNetwork:
         return out
 
 
-#: per-worker attachment cache: spec tuple -> attached state.  One
-#: generation at a time — a new spec drops the previous mappings.
+#: per-worker attachment cache: spec *kind* -> (spec, attached state).
+#: One generation per kind — a new spec of the same kind replaces only
+#: that kind's mappings, so a nested overlay's alternating cell/super
+#: passes never evict each other's graph+layout mappings (the whole
+#: point of mapping once per pool lifetime).
 _ATTACHED: dict = {}
 
 
 def _attach_cells(spec: tuple):
     """Attach (mmap) the graph + layout blobs named by ``spec``, cached."""
-    state = _ATTACHED.get(spec)
-    if state is None:
-        from repro.service.blob import read_blob, read_csr_blob
+    cached = _ATTACHED.get(spec[0])
+    if cached is not None and cached[0] == spec:
+        return cached[1]
+    from repro.service.blob import read_blob, read_csr_blob
 
-        _ATTACHED.clear()  # drop prior generations' mappings
-        graph_path, layout_path = spec[1], spec[2]
-        net = _BlobNetwork(read_csr_blob(graph_path))
-        layout = read_blob(layout_path)
-        s = layout.sections
-        part = _BlobPartition(
-            _LazyRows(s["cell_offsets"], s["cell_nodes"]),
-            _LazyRows(s["bnd_offsets"], s["bnd_nodes"]),
-        )
-        state = (net, part)
-        _ATTACHED[spec] = state
+    graph_path, layout_path = spec[1], spec[2]
+    net = _BlobNetwork(read_csr_blob(graph_path))
+    layout = read_blob(layout_path)
+    s = layout.sections
+    part = _BlobPartition(
+        _LazyRows(s["cell_offsets"], s["cell_nodes"]),
+        _LazyRows(s["bnd_offsets"], s["bnd_nodes"]),
+    )
+    state = (net, part)
+    _ATTACHED[spec[0]] = (spec, state)
     return state
 
 
@@ -270,20 +273,20 @@ def _customize_cells_task(
 
 def _attach_super(spec: tuple):
     """Attach the level-1 overlay blob named by ``spec``, cached."""
-    state = _ATTACHED.get(spec)
-    if state is None:
-        from repro.service.blob import read_blob
+    cached = _ATTACHED.get(spec[0])
+    if cached is not None and cached[0] == spec:
+        return cached[1]
+    from repro.service.blob import read_blob
 
-        _ATTACHED.clear()
-        blob = read_blob(spec[1])
-        s = blob.sections
-        state = (
-            s["over_offsets"], s["over_targets"],
-            s["over_weights"], s["over_kinds"],
-            _LazyRows(s["mem_offsets"], s["mem_nodes"]),
-            _LazyRows(s["sb_offsets"], s["sb_nodes"]),
-        )
-        _ATTACHED[spec] = state
+    blob = read_blob(spec[1])
+    s = blob.sections
+    state = (
+        s["over_offsets"], s["over_targets"],
+        s["over_weights"], s["over_kinds"],
+        _LazyRows(s["mem_offsets"], s["mem_nodes"]),
+        _LazyRows(s["sb_offsets"], s["sb_nodes"]),
+    )
+    _ATTACHED[spec[0]] = (spec, state)
     return state
 
 
@@ -575,8 +578,10 @@ class ParallelCustomizer:
 
         Returns ``False`` when the current spill cannot be kept — no
         spill yet, the caller could not name its changes, the network
-        shape moved, or the map outgrew its budget (a delta map rivaling
-        the arc count costs every task more than a re-spill saves).
+        shape moved, a named edge does not exist on the target network
+        (add+remove churn can slip past the cheap shape check), or the
+        map outgrew its budget (a delta map rivaling the arc count costs
+        every task more than a re-spill saves).
 
         Contract: ``changed_edges`` must name every weight that differs
         between the state this pool last saw (spill or absorb) and
@@ -598,7 +603,13 @@ class ParallelCustomizer:
         deltas = self._deltas
         for edge in changed_edges:
             u, v = edge[0], edge[1]
-            w = network.neighbors(u)[v]
+            try:
+                w = network.neighbors(u)[v]
+            except (KeyError, UnknownNodeError):
+                # The edge is gone: the graph structurally changed, so
+                # the spill (and any deltas folded so far — the caller
+                # re-spills, which resets the map) cannot be kept.
+                return False
             deltas[(u, v)] = w
             if not directed:
                 deltas[(v, u)] = w

@@ -1264,6 +1264,13 @@ class ServingStack:
             )
             touched = tuple(sorted(cells))
             recustomized = True
+        elif applied and self.customizer is not None:
+            # The pool never saw this re-weight (recustomize off, the
+            # artifact evicted, or a foreign overlay in a shared cache):
+            # fold the changes into its cumulative delta map so the next
+            # pooled recustomize still computes from current weights
+            # instead of the blob's stale ones.
+            self.customizer.note_changes(self.network, applied)
         return ReweightOutcome(
             edges=len(applied),
             touched_cells=touched,
@@ -1305,6 +1312,11 @@ class ServingStack:
                 customizer=self.customizer,
             )
             touched = tuple(sorted(cells))
+        elif self.customizer is not None:
+            # Same coherence rule as the in-place path: a re-weight the
+            # pool did not customize must still land in its delta map,
+            # or the next pooled refresh serves pre-change weights.
+            self.customizer.note_changes(snapshot, applied)
         new_fingerprint = self.install_epoch(snapshot, artifact=overlay)
         return ReweightOutcome(
             edges=len(applied),

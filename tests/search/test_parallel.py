@@ -149,6 +149,33 @@ class TestPoolSurvival:
         finally:
             customizer.close()
 
+    def test_vanished_edge_marks_spill_stale(self, net):
+        """``changed_edges`` naming an edge the target network does not
+        have must fail absorption cleanly (stale spill, fresh re-spill
+        on the next pooled run) — never a KeyError from inside
+        ``customize``.  Shape checks cannot catch add+remove churn."""
+        customizer = ParallelCustomizer(2, start_method="fork")
+        try:
+            overlay = build_overlay(
+                net, cell_capacity=10, kernel="csr", customizer=customizer
+            )
+            assert customizer.spills == 1
+            # A contract-breaking caller names a non-edge: absorbed as
+            # "cannot keep the spill", not an exception.
+            customizer.note_changes(net, [(10**9, 10**9 + 1)])
+            changed = []
+            for u, v, w in list(net.edges())[::6]:
+                net.add_edge(u, v, w * 1.3)
+                changed.append((u, v))
+            overlay = overlay.recustomized(
+                changed_edges=changed, customizer=customizer
+            )
+            assert customizer.spills == 2
+            fresh = build_overlay(net, cell_capacity=10, kernel="csr")
+            assert dumps_overlay(overlay) == dumps_overlay(fresh)
+        finally:
+            customizer.close()
+
     def test_serial_bypass_keeps_pool_coherent(self, net):
         """A one-cell refresh skips the pool; the next pooled run must
         still see that weight change (note_changes path)."""
@@ -175,6 +202,52 @@ class TestPoolSurvival:
             )
             fresh = build_overlay(net, cell_capacity=10, kernel="csr")
             assert dumps_overlay(overlay) == dumps_overlay(fresh)
+        finally:
+            customizer.close()
+
+
+class TestWorkerAttachCache:
+    def test_one_mapping_per_spec_kind(self, net, tmp_path):
+        """Cell and super attachments cache independently: a nested
+        overlay alternates the two every pooled refresh, and a super
+        attach must not evict the (much larger) graph+layout mapping.
+        The attach functions are plain module functions, so the worker
+        cache behaviour is observable in-process."""
+        from array import array
+
+        from repro.search import parallel as par
+        from repro.service.blob import write_blob
+
+        customizer = ParallelCustomizer(1, start_method="fork")
+        try:
+            partition = partition_network(net, cell_capacity=10)
+            customizer._spill_layout(partition)
+            customizer._spill_graph(net)
+            cells_spec = customizer._graph_spec
+            super_path = str(tmp_path / "super.blob")
+            write_blob(super_path, {"kind": "overlay-level1"}, [
+                ("over_offsets", "q", array("q", [0])),
+                ("over_targets", "q", array("q")),
+                ("over_weights", "d", array("d")),
+                ("over_kinds", "q", array("q")),
+                ("mem_offsets", "q", array("q", [0])),
+                ("mem_nodes", "q", array("q")),
+                ("sb_offsets", "q", array("q", [0])),
+                ("sb_nodes", "q", array("q")),
+            ])
+            saved = dict(par._ATTACHED)
+            par._ATTACHED.clear()
+            try:
+                cells_state = par._attach_cells(cells_spec)
+                par._attach_super(("super", super_path))
+                # The super attach replaced nothing: the cells mapping
+                # survives (identity, not a re-parse) ...
+                assert par._attach_cells(cells_spec) is cells_state
+                # ... and both kinds stay resident side by side.
+                assert set(par._ATTACHED) == {"cells", "super"}
+            finally:
+                par._ATTACHED.clear()
+                par._ATTACHED.update(saved)
         finally:
             customizer.close()
 
